@@ -1,0 +1,91 @@
+// Shared helpers for the table-reproduction benchmark binaries.
+//
+// Every binary prints (a) a human-readable table in the layout of the
+// paper's Table 1.0 and (b) machine-readable CSV lines prefixed "csv,".
+// Environment knobs keep default runtimes short while allowing full
+// paper-scale runs:
+//   SAGE_BENCH_RUNS   -- measurement repetitions   (paper: 10, default 2)
+//   SAGE_BENCH_ITERS  -- iterations per repetition (paper: 100, default 3)
+//   SAGE_BENCH_SIZES  -- comma list of matrix sizes (default 256,512,1024)
+//   SAGE_BENCH_NODES  -- comma list of node counts  (default 4,8)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace sage::bench {
+
+struct BenchEnv {
+  int runs = 2;
+  int iterations = 3;
+  std::vector<std::size_t> sizes{256, 512, 1024};
+  std::vector<int> nodes{4, 8};
+};
+
+inline BenchEnv bench_env() {
+  BenchEnv env;
+  if (const char* v = std::getenv("SAGE_BENCH_RUNS")) {
+    env.runs = std::max(1, static_cast<int>(support::parse_int(v)));
+  }
+  if (const char* v = std::getenv("SAGE_BENCH_ITERS")) {
+    env.iterations = std::max(1, static_cast<int>(support::parse_int(v)));
+  }
+  if (const char* v = std::getenv("SAGE_BENCH_SIZES")) {
+    env.sizes.clear();
+    for (const auto& part : support::split(v, ',')) {
+      env.sizes.push_back(static_cast<std::size_t>(support::parse_int(part)));
+    }
+  }
+  if (const char* v = std::getenv("SAGE_BENCH_NODES")) {
+    env.nodes.clear();
+    for (const auto& part : support::split(v, ',')) {
+      env.nodes.push_back(static_cast<int>(support::parse_int(part)));
+    }
+  }
+  return env;
+}
+
+/// One row of a hand-coded vs auto-generated comparison table.
+struct ComparisonRow {
+  std::string application;
+  std::size_t size = 0;
+  int nodes = 0;
+  double hand_seconds = 0.0;   // mean latency, virtual seconds
+  double sage_seconds = 0.0;
+
+  /// The paper's "% of Hand Coded" column: hand/sage * 100 (100 means
+  /// parity; lower means the generated code is slower).
+  double percent_of_hand() const {
+    return sage_seconds > 0 ? hand_seconds / sage_seconds * 100.0 : 0.0;
+  }
+};
+
+inline void print_table(const std::string& title,
+                        const std::vector<ComparisonRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-6s %-14s %-10s %14s %14s %12s\n", "Nodes", "Application",
+              "Array", "HandCoded(ms)", "SAGE(ms)", "%ofHand");
+  double percent_sum = 0.0;
+  for (const ComparisonRow& row : rows) {
+    std::printf("%-6d %-14s %zux%-7zu %14.3f %14.3f %11.1f%%\n", row.nodes,
+                row.application.c_str(), row.size, row.size,
+                row.hand_seconds * 1e3, row.sage_seconds * 1e3,
+                row.percent_of_hand());
+    percent_sum += row.percent_of_hand();
+  }
+  if (!rows.empty()) {
+    std::printf("%-54s average: %11.1f%%\n", "",
+                percent_sum / static_cast<double>(rows.size()));
+  }
+  for (const ComparisonRow& row : rows) {
+    std::printf("csv,%s,%zu,%d,%.6f,%.6f,%.2f\n", row.application.c_str(),
+                row.size, row.nodes, row.hand_seconds, row.sage_seconds,
+                row.percent_of_hand());
+  }
+}
+
+}  // namespace sage::bench

@@ -1,0 +1,96 @@
+// Striping-engine microbenchmarks (paper §2).
+//
+// "The runtime is responsible for striping the data based on the model
+// information specified in the glue-code." These google-benchmark cases
+// measure plan construction and the pack/copy paths for the striping
+// patterns the runtime executes: aligned row stripes (cheap, one
+// segment), corner-turn redistribution (rows -> columns, many strided
+// segments), and replication fan-out.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "runtime/striping.hpp"
+
+namespace {
+
+using namespace sage;
+using runtime::StripeSpec;
+
+StripeSpec make_spec(std::size_t n, model::Striping striping, int dim,
+                     int threads) {
+  StripeSpec spec;
+  spec.dims = {n, n};
+  spec.striping = striping;
+  spec.stripe_dim = dim;
+  spec.threads = threads;
+  return spec;
+}
+
+void BM_PlanRowToRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto src = make_spec(n, model::Striping::kStriped, 0, threads);
+  const auto dst = make_spec(n, model::Striping::kStriped, 0, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::build_transfer_plan(src, dst));
+  }
+}
+BENCHMARK(BM_PlanRowToRow)->Args({1024, 4})->Args({1024, 8});
+
+void BM_PlanCornerTurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto src = make_spec(n, model::Striping::kStriped, 0, threads);
+  const auto dst = make_spec(n, model::Striping::kStriped, 1, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::build_transfer_plan(src, dst));
+  }
+}
+BENCHMARK(BM_PlanCornerTurn)->Args({256, 4})->Args({1024, 4})->Args({1024, 8});
+
+void BM_PackCornerTurnSegments(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto src = make_spec(n, model::Striping::kStriped, 0, threads);
+  const auto dst = make_spec(n, model::Striping::kStriped, 1, threads);
+  const auto plan = runtime::build_transfer_plan(src, dst);
+  constexpr std::size_t kElem = sizeof(std::complex<float>);
+  std::vector<std::byte> src_buf(src.elems_per_thread() * kElem);
+  std::vector<std::byte> packed(src.elems_per_thread() * kElem);
+
+  for (auto _ : state) {
+    for (const runtime::ThreadPairTransfer& pair : plan) {
+      if (pair.src_thread != 0) continue;
+      std::size_t cursor = 0;
+      for (const runtime::Segment& seg : pair.segments) {
+        std::memcpy(packed.data() + cursor,
+                    src_buf.data() + seg.src_offset * kElem,
+                    seg.length * kElem);
+        cursor += seg.length * kElem;
+      }
+      benchmark::DoNotOptimize(packed.data());
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(src.elems_per_thread() * kElem));
+}
+BENCHMARK(BM_PackCornerTurnSegments)->Args({256, 4})->Args({1024, 8});
+
+void BM_PlanReplicatedFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto src = make_spec(n, model::Striping::kReplicated, 0, 1);
+  const auto dst = make_spec(n, model::Striping::kStriped, 0,
+                             static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::build_transfer_plan(src, dst));
+  }
+}
+BENCHMARK(BM_PlanReplicatedFanout)->Args({512, 8});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table 1.0 (Corner Turn rows): hand-coded vs SAGE auto-generated
+// Distributed Corner Turn on the emulated CSPI platform.
+//
+// The paper reports ~20-25% SAGE overhead here, with a noted extra
+// penalty on the two-node configuration caused by the runtime's
+// unique-logical-buffer policy (see bench/ablation_buffers.cpp for the
+// isolated effect). We therefore include 2 nodes in the default sweep.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/benchmarks.hpp"
+#include "apps/handcoded.hpp"
+#include "bench_util.hpp"
+#include "core/project.hpp"
+
+namespace {
+
+using namespace sage;
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::bench_env();
+  if (std::getenv("SAGE_BENCH_NODES") == nullptr) {
+    env.nodes = {2, 4, 8};  // the paper discusses the 2-node anomaly
+  }
+  std::printf(
+      "Table 1.0 reproduction -- Distributed Corner Turn, CSPI-like platform\n");
+  std::printf("(runs=%d iterations/run=%d; paper used 10 runs x 100 iterations)\n",
+              env.runs, env.iterations);
+
+  std::vector<bench::ComparisonRow> rows;
+  for (int nodes : env.nodes) {
+    for (std::size_t size : env.sizes) {
+      if (size % static_cast<std::size_t>(nodes) != 0) continue;
+
+      std::vector<double> hand_lat;
+      for (int run = 0; run < env.runs; ++run) {
+        apps::HandcodedOptions options;
+        options.iterations = env.iterations;
+        const apps::HandcodedResult result =
+            apps::run_cornerturn_handcoded(size, nodes, options);
+        for (double lat : result.latencies) hand_lat.push_back(lat);
+      }
+
+      core::Project project(apps::make_cornerturn_workspace(size, nodes));
+      std::vector<double> sage_lat;
+      for (int run = 0; run < env.runs; ++run) {
+        core::ExecuteOptions options;
+        options.iterations = env.iterations;
+        options.collect_trace = false;
+        const runtime::RunStats stats = project.execute(options);
+        for (double lat : stats.latencies) sage_lat.push_back(lat);
+      }
+
+      bench::ComparisonRow row;
+      row.application = "Corner Turn";
+      row.size = size;
+      row.nodes = nodes;
+      row.hand_seconds = mean(hand_lat);
+      row.sage_seconds = mean(sage_lat);
+      rows.push_back(row);
+    }
+  }
+
+  bench::print_table(
+      "Comparison of hand-coded and auto-generated code (Corner Turn)", rows);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// openSAGE -- Alter lexical environments (chained scopes).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "alter/value.hpp"
+#include "support/error.hpp"
+
+namespace sage::alter {
+
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  static EnvPtr make_root() { return EnvPtr(new Environment(nullptr)); }
+  static EnvPtr make_child(EnvPtr parent) {
+    return EnvPtr(new Environment(std::move(parent)));
+  }
+
+  /// Introduces (or rebinds) a name in this scope.
+  void define(std::string_view name, Value value) {
+    bindings_.insert_or_assign(std::string(name), std::move(value));
+  }
+
+  /// Rebinds the nearest existing binding; throws when unbound.
+  void set(std::string_view name, Value value) {
+    for (Environment* env = this; env != nullptr; env = env->parent_.get()) {
+      auto it = env->bindings_.find(name);
+      if (it != env->bindings_.end()) {
+        it->second = std::move(value);
+        return;
+      }
+    }
+    raise<AlterError>("set!: unbound variable '", std::string(name), "'");
+  }
+
+  /// Looks up the nearest binding; throws when unbound.
+  const Value& lookup(std::string_view name) const {
+    for (const Environment* env = this; env != nullptr;
+         env = env->parent_.get()) {
+      auto it = env->bindings_.find(name);
+      if (it != env->bindings_.end()) return it->second;
+    }
+    raise<AlterError>("unbound variable '", std::string(name), "'");
+  }
+
+  bool bound(std::string_view name) const {
+    for (const Environment* env = this; env != nullptr;
+         env = env->parent_.get()) {
+      if (env->bindings_.find(name) != env->bindings_.end()) return true;
+    }
+    return false;
+  }
+
+ private:
+  explicit Environment(EnvPtr parent) : parent_(std::move(parent)) {}
+
+  EnvPtr parent_;
+  std::map<std::string, Value, std::less<>> bindings_;
+};
+
+}  // namespace sage::alter

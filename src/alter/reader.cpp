@@ -1,0 +1,151 @@
+#include "alter/reader.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sage::alter {
+
+namespace {
+
+class Reader {
+ public:
+  explicit Reader(std::string_view source) : src_(source) {}
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= src_.size();
+  }
+
+  Value read_expr() {
+    skip_ws();
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    const char c = src_[pos_];
+    if (c == '(') return read_list();
+    if (c == ')') fail("unbalanced ')'");
+    if (c == '\'') {
+      ++pos_;
+      return Value::list({Value::symbol("quote"), read_expr()});
+    }
+    if (c == '"') return read_string();
+    return read_atom();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == ';') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    raise<AlterError>("alter read error (line ", line_, "): ", message);
+  }
+
+  Value read_list() {
+    ++pos_;  // consume '('
+    ValueList items;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= src_.size()) fail("unterminated list");
+      if (src_[pos_] == ')') {
+        ++pos_;
+        return Value::list(std::move(items));
+      }
+      items.push_back(read_expr());
+    }
+  }
+
+  Value read_string() {
+    ++pos_;  // consume opening quote
+    std::string out;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= src_.size()) fail("dangling escape in string");
+        const char esc = src_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default: fail(format_msg("bad escape '\\", esc, "'"));
+        }
+      } else if (c == '\n') {
+        ++line_;
+      }
+      out += c;
+    }
+    if (pos_ >= src_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return Value(std::move(out));
+  }
+
+  static bool is_delimiter(char c) {
+    return c == '(' || c == ')' || c == '"' || c == ';' || c == ' ' ||
+           c == '\t' || c == '\r' || c == '\n';
+  }
+
+  Value read_atom() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && !is_delimiter(src_[pos_])) ++pos_;
+    std::string_view token = src_.substr(start, pos_ - start);
+    if (token.empty()) fail("empty token");
+
+    if (token == "nil") return Value::nil();
+    if (token == "#t" || token == "true") return Value(true);
+    if (token == "#f" || token == "false") return Value(false);
+
+    // Numeric? Integers first, then reals.
+    if (support::is_integer(token)) {
+      return Value(static_cast<std::int64_t>(support::parse_int(token)));
+    }
+    const char first = token[0];
+    if (std::isdigit(static_cast<unsigned char>(first)) ||
+        ((first == '-' || first == '+' || first == '.') && token.size() > 1 &&
+         (std::isdigit(static_cast<unsigned char>(token[1])) ||
+          token[1] == '.'))) {
+      try {
+        return Value(support::parse_double(token));
+      } catch (const Error&) {
+        // fall through to symbol
+      }
+    }
+    return Value::symbol(std::string(token));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Value read_one(std::string_view source) {
+  Reader reader(source);
+  Value value = reader.read_expr();
+  if (!reader.at_end()) {
+    raise<AlterError>("alter read error: trailing input after expression");
+  }
+  return value;
+}
+
+ValueList read_program(std::string_view source) {
+  Reader reader(source);
+  ValueList program;
+  while (!reader.at_end()) {
+    program.push_back(reader.read_expr());
+  }
+  return program;
+}
+
+}  // namespace sage::alter

@@ -1,0 +1,21 @@
+// openSAGE -- the Alter reader (s-expression tokenizer + parser).
+//
+// Syntax: (...) lists, 'x quote sugar, "..." strings with the escapes
+// \n \t \" and backslash-backslash, ; line comments, #t/#f booleans,
+// nil, integers, reals, symbols. Reports line numbers in errors.
+#pragma once
+
+#include <string_view>
+
+#include "alter/value.hpp"
+
+namespace sage::alter {
+
+/// Parses one complete expression; throws sage::AlterError on trailing
+/// garbage or malformed input.
+Value read_one(std::string_view source);
+
+/// Parses a whole program (sequence of expressions).
+ValueList read_program(std::string_view source);
+
+}  // namespace sage::alter

@@ -1,0 +1,145 @@
+#include "apps/benchmarks.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/mapping.hpp"
+#include "support/error.hpp"
+
+namespace sage::apps {
+
+namespace {
+
+using model::ModelObject;
+using model::PortDirection;
+using model::Striping;
+
+std::vector<int> all_ranks(int nodes) {
+  std::vector<int> ranks(static_cast<std::size_t>(nodes));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return ranks;
+}
+
+void check_benchmark_args(std::size_t n, int nodes) {
+  SAGE_CHECK_AS(ModelError, nodes >= 1, "benchmark needs >= 1 node");
+  SAGE_CHECK_AS(ModelError, n >= 2 && (n & (n - 1)) == 0,
+                "benchmark matrix size must be a power of two, got ", n);
+  SAGE_CHECK_AS(ModelError, n % static_cast<std::size_t>(nodes) == 0,
+                "matrix size ", n, " must divide over ", nodes, " nodes");
+}
+
+}  // namespace
+
+std::unique_ptr<model::Workspace> make_fft2d_workspace(std::size_t n,
+                                                       int nodes) {
+  check_benchmark_args(n, nodes);
+  auto ws = std::make_unique<model::Workspace>("fft2d-project");
+  ModelObject& root = ws->root();
+
+  model::add_cspi_platform(root, nodes);
+  ModelObject& app = model::add_application(root, "parallel_fft2d");
+
+  const std::vector<std::size_t> dims{n, n};
+  const double fft_work =
+      static_cast<double>(n) * static_cast<double>(n) * 10.0;  // ~5n^2 log n
+
+  ModelObject& src =
+      model::add_function(app, "src", "matrix_source", nodes, 1.0);
+  src.set_property("role", "source");
+  model::add_port(src, "out", PortDirection::kOut, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  ModelObject& fft_rows =
+      model::add_function(app, "fft_rows", "isspl.fft_rows", nodes, fft_work);
+  model::add_port(fft_rows, "in", PortDirection::kIn, Striping::kStriped,
+                  "cfloat", dims, 0);
+  model::add_port(fft_rows, "out", PortDirection::kOut, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  // The distributed corner turn: in-port striped along columns (dim 1)
+  // makes the runtime deliver packed column blocks; the kernel transposes
+  // them, so the out-port carries the transposed matrix striped by rows.
+  ModelObject& ct = model::add_function(app, "corner_turn",
+                                        "isspl.corner_turn_local", nodes,
+                                        static_cast<double>(n * n));
+  model::add_port(ct, "in", PortDirection::kIn, Striping::kStriped, "cfloat",
+                  dims, 1);
+  model::add_port(ct, "out", PortDirection::kOut, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  ModelObject& fft_cols =
+      model::add_function(app, "fft_cols", "isspl.fft_rows", nodes, fft_work);
+  model::add_port(fft_cols, "in", PortDirection::kIn, Striping::kStriped,
+                  "cfloat", dims, 0);
+  model::add_port(fft_cols, "out", PortDirection::kOut, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  ModelObject& sink =
+      model::add_function(app, "sink", "matrix_sink", nodes, 1.0);
+  sink.set_property("role", "sink");
+  model::add_port(sink, "in", PortDirection::kIn, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  model::connect(app, "src.out", "fft_rows.in");
+  model::connect(app, "fft_rows.out", "corner_turn.in");
+  model::connect(app, "corner_turn.out", "fft_cols.in");
+  model::connect(app, "fft_cols.out", "sink.in");
+
+  ModelObject& mapping = model::add_mapping(root, "mapping", "cspi");
+  const std::vector<int> ranks = all_ranks(nodes);
+  for (const char* fn :
+       {"src", "fft_rows", "corner_turn", "fft_cols", "sink"}) {
+    model::assign_ranks(root, mapping, fn, ranks);
+  }
+
+  ws->validate_or_throw();
+  return ws;
+}
+
+std::unique_ptr<model::Workspace> make_cornerturn_workspace(std::size_t n,
+                                                            int nodes) {
+  check_benchmark_args(n, nodes);
+  auto ws = std::make_unique<model::Workspace>("cornerturn-project");
+  ModelObject& root = ws->root();
+
+  model::add_cspi_platform(root, nodes);
+  ModelObject& app = model::add_application(root, "distributed_corner_turn");
+
+  const std::vector<std::size_t> dims{n, n};
+
+  ModelObject& src =
+      model::add_function(app, "src", "matrix_source", nodes, 1.0);
+  src.set_property("role", "source");
+  model::add_port(src, "out", PortDirection::kOut, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  ModelObject& ct = model::add_function(app, "corner_turn",
+                                        "isspl.corner_turn_local", nodes,
+                                        static_cast<double>(n * n));
+  model::add_port(ct, "in", PortDirection::kIn, Striping::kStriped, "cfloat",
+                  dims, 1);
+  model::add_port(ct, "out", PortDirection::kOut, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  ModelObject& sink =
+      model::add_function(app, "sink", "matrix_sink", nodes, 1.0);
+  sink.set_property("role", "sink");
+  model::add_port(sink, "in", PortDirection::kIn, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  model::connect(app, "src.out", "corner_turn.in");
+  model::connect(app, "corner_turn.out", "sink.in");
+
+  ModelObject& mapping = model::add_mapping(root, "mapping", "cspi");
+  const std::vector<int> ranks = all_ranks(nodes);
+  for (const char* fn : {"src", "corner_turn", "sink"}) {
+    model::assign_ranks(root, mapping, fn, ranks);
+  }
+
+  ws->validate_or_throw();
+  return ws;
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,30 @@
+// openSAGE -- the two MITRE/Rome-Labs benchmark applications as SAGE
+// designs: the Parallel 2D FFT and the Distributed Corner Turn, each
+// over an n x n complex matrix on a CSPI-like platform.
+//
+// The corner turn appears in both designs as a pair of port striping
+// declarations: an in-port striped along dim 1 receives the packed
+// column blocks (the runtime's transfer plan becomes the all-to-all),
+// and the corner_turn_local kernel transposes the local block.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "model/workspace.hpp"
+
+namespace sage::apps {
+
+/// Parallel 2D FFT:
+///   src -> fft_rows -> corner_turn -> fft_cols -> sink
+/// Every function runs one thread per node (ranks 0..nodes-1); matrices
+/// are striped by rows except the corner turn input (columns).
+std::unique_ptr<model::Workspace> make_fft2d_workspace(std::size_t n,
+                                                       int nodes);
+
+/// Distributed corner turn:
+///   src -> corner_turn -> sink
+std::unique_ptr<model::Workspace> make_cornerturn_workspace(std::size_t n,
+                                                            int nodes);
+
+}  // namespace sage::apps

@@ -1,0 +1,44 @@
+// openSAGE -- hand-coded benchmark implementations.
+//
+// These are the comparison baselines of the paper's Table 1.0: the same
+// Parallel 2D FFT and Distributed Corner Turn written directly against
+// minimpi and ISSPL by "hand", the way the CSPI reference versions were
+// written against vendor MPI and ISSPL -- no model, no glue code, no
+// SAGE runtime, buffers managed manually and the vendor alltoall used
+// for the corner turn.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/alltoall.hpp"
+#include "net/fabric_model.hpp"
+#include "support/clock.hpp"
+
+namespace sage::apps {
+
+struct HandcodedOptions {
+  int iterations = 1;
+  net::FabricModel fabric = net::myrinet_fabric();
+  /// The vendor-tuned alltoall is the paper's default baseline.
+  mpi::AlltoallAlgorithm alltoall = mpi::AlltoallAlgorithm::kVendorDirect;
+  double cpu_scale = 1.0;
+};
+
+struct HandcodedResult {
+  std::vector<support::VirtualSeconds> latencies;  // per iteration
+  support::VirtualSeconds period = 0.0;
+  support::VirtualSeconds makespan = 0.0;
+  std::vector<double> checksums;  // per iteration, global sum
+};
+
+/// n x n complex 2D FFT over `nodes` ranks: row FFTs, corner turn
+/// (pack + alltoall + block transpose), column FFTs, checksum.
+HandcodedResult run_fft2d_handcoded(std::size_t n, int nodes,
+                                    const HandcodedOptions& options = {});
+
+/// n x n distributed corner turn over `nodes` ranks.
+HandcodedResult run_cornerturn_handcoded(std::size_t n, int nodes,
+                                         const HandcodedOptions& options = {});
+
+}  // namespace sage::apps

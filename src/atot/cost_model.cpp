@@ -1,0 +1,189 @@
+#include "atot/cost_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/mapping.hpp"
+#include "runtime/striping.hpp"
+#include "support/error.hpp"
+
+namespace sage::atot {
+
+double MappingProblem::compute_seconds(int t, int p) const {
+  const double flops = tasks[static_cast<std::size_t>(t)].work_flops;
+  const double speed = proc_flops[static_cast<std::size_t>(p)];
+  return speed > 0 ? flops / speed : 0.0;
+}
+
+double MappingProblem::comm_seconds(const Traffic& edge, int ps,
+                                    int pd) const {
+  if (ps == pd) return 0.0;
+  return fabric.send_overhead_s + fabric.recv_overhead_s +
+         fabric.transfer_seconds(ps, pd, edge.bytes);
+}
+
+MappingProblem build_problem(const model::Workspace& workspace) {
+  MappingProblem problem;
+
+  const model::ModelObject& root = workspace.root();
+  const model::ModelObject& app = workspace.application();
+  const model::ModelObject& hw = workspace.hardware();
+
+  problem.fabric = model::to_fabric_model(hw);
+  for (const model::ModelObject* cpu : model::processors(hw)) {
+    // One flop per cycle: mhz * 1e6 effective flops/s.
+    problem.proc_flops.push_back(cpu->property("mhz").as_double() * 1e6);
+    problem.proc_mem_bytes.push_back(static_cast<std::size_t>(
+        cpu->property_or("mem_bytes", 0).as_int()));
+  }
+
+  // Tasks: one per (function, thread); ids assigned densely in
+  // topological function order so traffic edges always point forward.
+  std::map<std::pair<std::string, int>, int> task_id;
+  for (const model::ModelObject* fn : model::topological_order(app)) {
+    const int threads =
+        static_cast<int>(fn->property_or("threads", 1).as_int());
+    const double work = fn->property_or("work_flops", 0.0).as_double();
+    const std::string role = fn->property_or("role", "compute").as_string();
+    // Per-thread staging memory: the sum of this thread's port slices.
+    std::size_t thread_bytes = 0;
+    for (const model::ModelObject* port : fn->children_of_type("port")) {
+      const model::PortView view = model::port_view(*port);
+      const std::size_t elem_bytes =
+          model::datatype_bytes(root, view.datatype);
+      const std::size_t total = view.total_elems() * elem_bytes;
+      thread_bytes += (view.striping == model::Striping::kStriped)
+                          ? total / static_cast<std::size_t>(threads)
+                          : total;
+    }
+    for (int t = 0; t < threads; ++t) {
+      Task task;
+      task.id = problem.task_count();
+      task.function = fn->name();
+      task.thread = t;
+      task.work_flops = work / threads;
+      task.mem_bytes = thread_bytes;
+      task.is_source = (role == "source");
+      task.is_sink = (role == "sink");
+      task_id[{fn->name(), t}] = task.id;
+      problem.tasks.push_back(std::move(task));
+    }
+  }
+
+  // Traffic: the exact per-thread-pair transfer volumes the runtime will
+  // move, from the striping engine.
+  for (const model::ModelObject* arc : model::arcs(app)) {
+    const model::ArcView view = model::arc_view(app, *arc);
+    const model::PortView src = model::port_view(*view.src_port);
+    const model::PortView dst = model::port_view(*view.dst_port);
+    const std::size_t elem_bytes =
+        model::datatype_bytes(root, src.datatype);
+
+    runtime::StripeSpec src_spec;
+    src_spec.dims = src.dims;
+    src_spec.striping = src.striping;
+    src_spec.stripe_dim = src.stripe_dim;
+    src_spec.threads =
+        static_cast<int>(view.src_function->property_or("threads", 1).as_int());
+    runtime::StripeSpec dst_spec;
+    dst_spec.dims = dst.dims;
+    dst_spec.striping = dst.striping;
+    dst_spec.stripe_dim = dst.stripe_dim;
+    dst_spec.threads =
+        static_cast<int>(view.dst_function->property_or("threads", 1).as_int());
+
+    for (const runtime::ThreadPairTransfer& pair :
+         runtime::build_transfer_plan(src_spec, dst_spec)) {
+      Traffic edge;
+      edge.src_task =
+          task_id.at({view.src_function->name(), pair.src_thread});
+      edge.dst_task =
+          task_id.at({view.dst_function->name(), pair.dst_thread});
+      edge.bytes = pair.total_elems() * elem_bytes;
+      problem.traffic.push_back(edge);
+    }
+  }
+
+  return problem;
+}
+
+CostBreakdown evaluate(const MappingProblem& problem,
+                       const Assignment& assignment,
+                       const ObjectiveWeights& weights) {
+  SAGE_CHECK(static_cast<int>(assignment.size()) == problem.task_count(),
+             "assignment size mismatch");
+
+  CostBreakdown cost;
+  std::vector<double> load(static_cast<std::size_t>(problem.proc_count()),
+                           0.0);
+  for (int t = 0; t < problem.task_count(); ++t) {
+    const int p = assignment[static_cast<std::size_t>(t)];
+    SAGE_CHECK(p >= 0 && p < problem.proc_count(),
+               "assignment maps task ", t, " to bad processor ", p);
+    load[static_cast<std::size_t>(p)] += problem.compute_seconds(t, p);
+  }
+  cost.max_load = *std::max_element(load.begin(), load.end());
+  double mean = 0.0;
+  for (double l : load) mean += l;
+  mean /= static_cast<double>(load.size());
+  cost.imbalance = cost.max_load - mean;
+
+  for (const Traffic& edge : problem.traffic) {
+    cost.total_comm += problem.comm_seconds(
+        edge, assignment[static_cast<std::size_t>(edge.src_task)],
+        assignment[static_cast<std::size_t>(edge.dst_task)]);
+  }
+
+  // Memory feasibility: sum staged bytes per processor against capacity.
+  if (!problem.proc_mem_bytes.empty()) {
+    std::vector<std::size_t> used(
+        static_cast<std::size_t>(problem.proc_count()), 0);
+    for (int t = 0; t < problem.task_count(); ++t) {
+      used[static_cast<std::size_t>(assignment[static_cast<std::size_t>(t)])] +=
+          problem.tasks[static_cast<std::size_t>(t)].mem_bytes;
+    }
+    for (int p = 0; p < problem.proc_count(); ++p) {
+      const std::size_t capacity =
+          problem.proc_mem_bytes[static_cast<std::size_t>(p)];
+      if (capacity > 0 && used[static_cast<std::size_t>(p)] > capacity) {
+        cost.mem_overflow_bytes +=
+            used[static_cast<std::size_t>(p)] - capacity;
+      }
+    }
+  }
+
+  cost.objective = weights.load * cost.max_load +
+                   weights.comm * cost.total_comm +
+                   weights.imbalance * cost.imbalance +
+                   weights.mem_overflow_per_mib *
+                       (static_cast<double>(cost.mem_overflow_bytes) /
+                        (1024.0 * 1024.0));
+  return cost;
+}
+
+void apply_assignment(model::Workspace& workspace,
+                      const MappingProblem& problem,
+                      const Assignment& assignment) {
+  SAGE_CHECK(static_cast<int>(assignment.size()) == problem.task_count(),
+             "assignment size mismatch");
+  model::ModelObject& mapping = workspace.mapping();
+
+  // Clear existing assignments.
+  while (true) {
+    const auto existing = mapping.children_of_type("assignment");
+    if (existing.empty()) break;
+    mapping.remove_child(*existing.front());
+  }
+
+  // Threads must be assigned in order so that thread t becomes the t-th
+  // assignment of its function.
+  for (int t = 0; t < problem.task_count(); ++t) {
+    const Task& task = problem.tasks[static_cast<std::size_t>(t)];
+    model::assign_ranks(workspace.root(), mapping, task.function,
+                        {assignment[static_cast<std::size_t>(t)]});
+  }
+}
+
+}  // namespace sage::atot

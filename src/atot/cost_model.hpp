@@ -1,0 +1,97 @@
+// openSAGE -- AToT cost model.
+//
+// Turns a design workspace into the task-level optimization problem the
+// Architecture Trades and Optimization Tool works on: one task per
+// (function, thread), per-task compute estimates from the function's
+// work_flops and the candidate processor's clock, and per-task-pair
+// communication volumes taken from the same striping transfer plans the
+// runtime executes (so the optimizer sees the traffic the machine will
+// actually carry).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/workspace.hpp"
+#include "net/fabric_model.hpp"
+
+namespace sage::atot {
+
+/// One schedulable unit: a single thread of a model function.
+struct Task {
+  int id = -1;
+  std::string function;
+  int thread = 0;
+  double work_flops = 0.0;
+  /// Staging memory this thread needs (sum of its port slices).
+  std::size_t mem_bytes = 0;
+  bool is_source = false;
+  bool is_sink = false;
+};
+
+/// Directed traffic between two tasks (bytes per iteration).
+struct Traffic {
+  int src_task = -1;
+  int dst_task = -1;
+  std::size_t bytes = 0;
+};
+
+struct MappingProblem {
+  std::vector<Task> tasks;
+  std::vector<Traffic> traffic;
+  /// Effective flops/second of each processor (rank-ordered).
+  std::vector<double> proc_flops;
+  /// DRAM capacity of each processor (rank-ordered; 0 = unlimited).
+  std::vector<std::size_t> proc_mem_bytes;
+  net::FabricModel fabric;
+
+  int task_count() const { return static_cast<int>(tasks.size()); }
+  int proc_count() const { return static_cast<int>(proc_flops.size()); }
+
+  /// Seconds task `t` takes on processor `p`.
+  double compute_seconds(int t, int p) const;
+  /// Seconds a traffic edge takes when its endpoints sit on (ps, pd);
+  /// zero when co-located.
+  double comm_seconds(const Traffic& edge, int ps, int pd) const;
+};
+
+/// Builds the problem from a validated workspace (application + hardware;
+/// the mapping model is ignored -- it is AToT's output).
+MappingProblem build_problem(const model::Workspace& workspace);
+
+/// An assignment maps task id -> processor rank.
+using Assignment = std::vector<int>;
+
+/// Cost summary of one assignment.
+struct CostBreakdown {
+  double max_load = 0.0;      // busiest processor's compute seconds
+  double total_comm = 0.0;    // cross-processor communication seconds
+  double imbalance = 0.0;     // max_load - mean_load
+  /// Bytes by which processor memory budgets are exceeded (0: fits).
+  std::size_t mem_overflow_bytes = 0;
+  double objective = 0.0;     // weighted sum used as GA fitness
+
+  bool fits_memory() const { return mem_overflow_bytes == 0; }
+};
+
+struct ObjectiveWeights {
+  double load = 1.0;
+  double comm = 1.0;
+  double imbalance = 0.5;
+  /// Penalty in objective units per overflowed MiB; large by default so
+  /// infeasible placements lose to any feasible one.
+  double mem_overflow_per_mib = 100.0;
+};
+
+CostBreakdown evaluate(const MappingProblem& problem,
+                       const Assignment& assignment,
+                       const ObjectiveWeights& weights = {});
+
+/// Writes an assignment back into the workspace's mapping model
+/// (replacing existing assignments).
+void apply_assignment(model::Workspace& workspace,
+                      const MappingProblem& problem,
+                      const Assignment& assignment);
+
+}  // namespace sage::atot

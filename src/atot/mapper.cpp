@@ -1,0 +1,197 @@
+#include "atot/mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "atot/scheduler.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sage::atot {
+
+namespace {
+
+using support::Rng;
+
+Assignment random_assignment(const MappingProblem& problem, Rng& rng) {
+  Assignment a(static_cast<std::size_t>(problem.task_count()));
+  for (auto& gene : a) {
+    gene = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(problem.proc_count())));
+  }
+  return a;
+}
+
+}  // namespace
+
+Assignment random_mapping(const MappingProblem& problem, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_assignment(problem, rng);
+}
+
+Assignment round_robin_mapping(const MappingProblem& problem) {
+  Assignment a(static_cast<std::size_t>(problem.task_count()));
+  for (int t = 0; t < problem.task_count(); ++t) {
+    a[static_cast<std::size_t>(t)] = t % problem.proc_count();
+  }
+  return a;
+}
+
+Assignment greedy_mapping(const MappingProblem& problem) {
+  // Order tasks by descending work; place each on the processor that
+  // minimizes (new load + communication to already-placed neighbours).
+  std::vector<int> order(static_cast<std::size_t>(problem.task_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return problem.tasks[static_cast<std::size_t>(a)].work_flops >
+           problem.tasks[static_cast<std::size_t>(b)].work_flops;
+  });
+
+  Assignment assignment(static_cast<std::size_t>(problem.task_count()), -1);
+  std::vector<double> load(static_cast<std::size_t>(problem.proc_count()),
+                           0.0);
+
+  for (int t : order) {
+    double best_cost = 0.0;
+    int best_proc = -1;
+    for (int p = 0; p < problem.proc_count(); ++p) {
+      double cost = load[static_cast<std::size_t>(p)] +
+                    problem.compute_seconds(t, p);
+      for (const Traffic& edge : problem.traffic) {
+        const int other = (edge.src_task == t)   ? edge.dst_task
+                          : (edge.dst_task == t) ? edge.src_task
+                                                 : -1;
+        if (other < 0) continue;
+        const int other_proc = assignment[static_cast<std::size_t>(other)];
+        if (other_proc < 0) continue;
+        cost += problem.comm_seconds(edge, p, other_proc);
+      }
+      if (best_proc < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_proc = p;
+      }
+    }
+    assignment[static_cast<std::size_t>(t)] = best_proc;
+    load[static_cast<std::size_t>(best_proc)] +=
+        problem.compute_seconds(t, best_proc);
+  }
+  return assignment;
+}
+
+GeneticResult genetic_mapping(const MappingProblem& problem,
+                              const GeneticOptions& options) {
+  SAGE_CHECK(options.population >= 4, "population too small");
+  SAGE_CHECK(problem.task_count() > 0, "empty mapping problem");
+  Rng rng(options.seed);
+
+  struct Individual {
+    Assignment genes;
+    double fitness = 0.0;  // objective: lower is better
+  };
+
+  auto fitness_of = [&](const Assignment& a) {
+    double fitness = evaluate(problem, a, options.weights).objective;
+    if (options.latency_bound > 0) {
+      const double latency = list_schedule(problem, a).latency;
+      if (latency > options.latency_bound) {
+        fitness += options.latency_penalty_weight *
+                   (latency - options.latency_bound);
+      }
+    }
+    return fitness;
+  };
+
+  // Seed the population with the greedy and round-robin solutions so the
+  // GA never does worse than the baselines.
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(options.population));
+  population.push_back({greedy_mapping(problem), 0.0});
+  population.push_back({round_robin_mapping(problem), 0.0});
+  while (static_cast<int>(population.size()) < options.population) {
+    population.push_back({random_assignment(problem, rng), 0.0});
+  }
+  for (Individual& ind : population) ind.fitness = fitness_of(ind.genes);
+
+  auto best_of_population = [&]() {
+    return std::min_element(population.begin(), population.end(),
+                            [](const Individual& a, const Individual& b) {
+                              return a.fitness < b.fitness;
+                            });
+  };
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (int i = 0; i < options.tournament; ++i) {
+      const Individual& cand = population[static_cast<std::size_t>(
+          rng.below(population.size()))];
+      if (best == nullptr || cand.fitness < best->fitness) best = &cand;
+    }
+    return *best;
+  };
+
+  GeneticResult result;
+  result.best = best_of_population()->genes;
+  double best_fitness = best_of_population()->fitness;
+  int stall = 0;
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+
+    // Elitism.
+    std::vector<int> by_fitness(population.size());
+    std::iota(by_fitness.begin(), by_fitness.end(), 0);
+    std::partial_sort(by_fitness.begin(),
+                      by_fitness.begin() + options.elites, by_fitness.end(),
+                      [&](int a, int b) {
+                        return population[static_cast<std::size_t>(a)].fitness <
+                               population[static_cast<std::size_t>(b)].fitness;
+                      });
+    for (int e = 0; e < options.elites; ++e) {
+      next.push_back(population[static_cast<std::size_t>(by_fitness[
+          static_cast<std::size_t>(e)])]);
+    }
+
+    while (next.size() < population.size()) {
+      Individual child;
+      const Individual& a = tournament_pick();
+      if (rng.chance(options.crossover_rate)) {
+        const Individual& b = tournament_pick();
+        child.genes.resize(a.genes.size());
+        for (std::size_t g = 0; g < a.genes.size(); ++g) {
+          child.genes[g] = rng.chance(0.5) ? a.genes[g] : b.genes[g];
+        }
+      } else {
+        child.genes = a.genes;
+      }
+      for (auto& gene : child.genes) {
+        if (rng.chance(options.mutation_rate)) {
+          gene = static_cast<int>(
+              rng.below(static_cast<std::uint64_t>(problem.proc_count())));
+        }
+      }
+      child.fitness = fitness_of(child.genes);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    ++result.generations_run;
+
+    const auto best_it = best_of_population();
+    if (best_it->fitness < best_fitness) {
+      best_fitness = best_it->fitness;
+      result.best = best_it->genes;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    result.history.push_back(best_fitness);
+    if (options.stall_generations > 0 && stall >= options.stall_generations) {
+      break;
+    }
+  }
+
+  result.cost = evaluate(problem, result.best, options.weights);
+  return result;
+}
+
+}  // namespace sage::atot

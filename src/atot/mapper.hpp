@@ -1,0 +1,59 @@
+// openSAGE -- AToT mappers.
+//
+// "After the architecture trades process has determined a target
+// hardware architecture, the genetic algorithm based partitioning and
+// mapping capability of AToT assigns the application tasks to the
+// multi-processor, heterogeneous architecture." The GA optimizes the
+// weighted objective of the cost model (CPU load balancing,
+// communication minimization); greedy, round-robin, and random mappers
+// serve as baselines for the trades benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atot/cost_model.hpp"
+
+namespace sage::atot {
+
+struct GeneticOptions {
+  int population = 64;
+  int generations = 120;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.05;   // per gene
+  int tournament = 3;
+  int elites = 2;
+  std::uint64_t seed = 0x5A6E2000u;
+  ObjectiveWeights weights;
+  /// Stop early after this many generations without improvement (0: off).
+  int stall_generations = 30;
+  /// Latency constraint (seconds, estimated by the list scheduler);
+  /// 0 disables. Violations are penalized in the fitness, steering the
+  /// GA toward designs that meet the requirement.
+  double latency_bound = 0.0;
+  double latency_penalty_weight = 10.0;
+};
+
+struct GeneticResult {
+  Assignment best;
+  CostBreakdown cost;
+  /// Best objective after each generation (for convergence plots).
+  std::vector<double> history;
+  int generations_run = 0;
+};
+
+/// Genetic-algorithm mapping. Deterministic for a fixed seed.
+GeneticResult genetic_mapping(const MappingProblem& problem,
+                              const GeneticOptions& options = {});
+
+/// Longest-processing-time-first onto the least-loaded processor, with a
+/// communication-affinity tie break.
+Assignment greedy_mapping(const MappingProblem& problem);
+
+/// Task i -> processor i mod P.
+Assignment round_robin_mapping(const MappingProblem& problem);
+
+/// Uniform random assignment (the GA's initial population shape).
+Assignment random_mapping(const MappingProblem& problem, std::uint64_t seed);
+
+}  // namespace sage::atot

@@ -1,0 +1,107 @@
+#include "atot/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sage::atot {
+
+ScheduleResult list_schedule(const MappingProblem& problem,
+                             const Assignment& assignment) {
+  SAGE_CHECK(static_cast<int>(assignment.size()) == problem.task_count(),
+             "assignment size mismatch");
+  const int n = problem.task_count();
+
+  // Dependencies: traffic edges (task ids are topologically ordered by
+  // construction in build_problem).
+  std::vector<std::vector<const Traffic*>> incoming(
+      static_cast<std::size_t>(n));
+  for (const Traffic& edge : problem.traffic) {
+    incoming[static_cast<std::size_t>(edge.dst_task)].push_back(&edge);
+  }
+
+  std::vector<double> proc_free(
+      static_cast<std::size_t>(problem.proc_count()), 0.0);
+  // One serialized channel per (board, board) pair models bus scheduling.
+  std::map<std::pair<int, int>, double> link_free;
+  auto board_of = [&](int proc) {
+    return proc / problem.fabric.nodes_per_board;
+  };
+
+  ScheduleResult result;
+  result.timeline.resize(static_cast<std::size_t>(n));
+  result.proc_busy.assign(static_cast<std::size_t>(problem.proc_count()),
+                          0.0);
+
+  // Task ids are already topologically ordered.
+  for (int t = 0; t < n; ++t) {
+    const int p = assignment[static_cast<std::size_t>(t)];
+    double ready = 0.0;
+    for (const Traffic* edge : incoming[static_cast<std::size_t>(t)]) {
+      const int sp = assignment[static_cast<std::size_t>(edge->src_task)];
+      const double src_finish =
+          result.timeline[static_cast<std::size_t>(edge->src_task)].finish;
+      double arrival = src_finish;
+      if (sp != p) {
+        const double cost = problem.comm_seconds(*edge, sp, p);
+        auto key = std::minmax(board_of(sp), board_of(p));
+        double& link = link_free[{key.first, key.second}];
+        const double start = std::max(src_finish, link);
+        link = start + cost;
+        arrival = start + cost;
+      }
+      ready = std::max(ready, arrival);
+    }
+
+    ScheduledTask& slot = result.timeline[static_cast<std::size_t>(t)];
+    slot.task = t;
+    slot.proc = p;
+    slot.start = std::max(ready, proc_free[static_cast<std::size_t>(p)]);
+    slot.finish = slot.start + problem.compute_seconds(t, p);
+    proc_free[static_cast<std::size_t>(p)] = slot.finish;
+    result.proc_busy[static_cast<std::size_t>(p)] +=
+        slot.finish - slot.start;
+    result.makespan = std::max(result.makespan, slot.finish);
+  }
+
+  double source_start = result.makespan;
+  double sink_finish = 0.0;
+  bool any_source = false;
+  bool any_sink = false;
+  for (int t = 0; t < n; ++t) {
+    const Task& task = problem.tasks[static_cast<std::size_t>(t)];
+    const ScheduledTask& slot = result.timeline[static_cast<std::size_t>(t)];
+    if (task.is_source) {
+      source_start = std::min(source_start, slot.start);
+      any_source = true;
+    }
+    if (task.is_sink) {
+      sink_finish = std::max(sink_finish, slot.finish);
+      any_sink = true;
+    }
+  }
+  result.latency = (any_source && any_sink) ? sink_finish - source_start
+                                            : result.makespan;
+  return result;
+}
+
+double latency_margin(const MappingProblem& problem,
+                      const Assignment& assignment, double latency_bound) {
+  return latency_bound - list_schedule(problem, assignment).latency;
+}
+
+std::string ScheduleResult::to_string(const MappingProblem& problem) const {
+  std::ostringstream os;
+  os << "schedule: makespan " << makespan << "s, latency " << latency
+     << "s\n";
+  for (const ScheduledTask& slot : timeline) {
+    const Task& task = problem.tasks[static_cast<std::size_t>(slot.task)];
+    os << "  " << task.function << "[" << task.thread << "] on proc "
+       << slot.proc << ": " << slot.start << " .. " << slot.finish << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sage::atot

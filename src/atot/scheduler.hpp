@@ -1,0 +1,45 @@
+// openSAGE -- AToT list scheduler.
+//
+// Given an assignment, builds a static timeline: tasks start when their
+// processor is free and all producer traffic has arrived; each fabric
+// link (board pair) serializes its transfers. Used for the trades
+// reports ("optimizing over latency constraints ... scheduling of CPUs
+// and busses") and to estimate a design's latency before anything runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atot/cost_model.hpp"
+
+namespace sage::atot {
+
+struct ScheduledTask {
+  int task = -1;
+  int proc = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct ScheduleResult {
+  std::vector<ScheduledTask> timeline;  // one entry per task, task order
+  double makespan = 0.0;
+  /// Estimated source-to-sink latency (max sink finish - min source start).
+  double latency = 0.0;
+  /// Busy seconds per processor.
+  std::vector<double> proc_busy;
+
+  std::string to_string(const MappingProblem& problem) const;
+};
+
+/// Topological list scheduling under the cost model. Traffic edges are
+/// dependencies; tasks with no incoming edges start at time zero.
+ScheduleResult list_schedule(const MappingProblem& problem,
+                             const Assignment& assignment);
+
+/// Checks an assignment against a latency bound; returns the margin
+/// (positive: meets the constraint).
+double latency_margin(const MappingProblem& problem,
+                      const Assignment& assignment, double latency_bound);
+
+}  // namespace sage::atot

@@ -1,0 +1,45 @@
+#include "codegen/generator.hpp"
+
+#include "alter/interp.hpp"
+#include "codegen/generator_program.hpp"
+#include "support/clock.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace sage::codegen {
+
+GeneratedArtifacts generate_glue(model::Workspace& workspace,
+                                 const GenerateOptions& options) {
+  workspace.validate_or_throw();
+
+  const double start = support::wall_seconds();
+
+  alter::Interpreter interp;
+  interp.attach_model(workspace.root());
+  const std::string& program =
+      options.program.empty() ? glue_generator_source() : options.program;
+  interp.eval_string(program);
+
+  GeneratedArtifacts artifacts;
+  artifacts.outputs = interp.outputs();
+
+  auto it = artifacts.outputs.find("glue.cfg");
+  SAGE_CHECK_AS(ConfigError, it != artifacts.outputs.end(),
+                "generator produced no 'glue.cfg' stream");
+  artifacts.config = runtime::parse_glue_config(it->second);
+  if (options.iterations_default > 0) {
+    artifacts.config.iterations_default = options.iterations_default;
+  }
+  artifacts.config.validate();
+
+  artifacts.generation_seconds = support::wall_seconds() - start;
+  support::log_info("generated glue for application '",
+                    artifacts.config.application, "': ",
+                    artifacts.config.functions.size(), " functions, ",
+                    artifacts.config.buffers.size(), " buffers, ",
+                    artifacts.config.nodes, " nodes in ",
+                    artifacts.generation_seconds, "s");
+  return artifacts;
+}
+
+}  // namespace sage::codegen

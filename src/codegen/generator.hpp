@@ -1,0 +1,45 @@
+// openSAGE -- the glue-code generation driver.
+//
+// Runs the Alter glue-code generator (or a caller-supplied Alter
+// program) against a validated workspace and returns the generated
+// artifacts: the runtime configuration (parsed and validated) plus every
+// emitted source stream. This is Figure 1.0 of the paper as code:
+// SAGE models -> Alter glue-code generator -> source files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "model/workspace.hpp"
+#include "runtime/glue_config.hpp"
+
+namespace sage::codegen {
+
+struct GenerateOptions {
+  /// Overrides the model's iterations-default when > 0.
+  int iterations_default = 0;
+  /// Alter program to run; empty uses the standard generator.
+  std::string program;
+};
+
+struct GeneratedArtifacts {
+  /// Every stream the generator emitted, keyed by output name.
+  std::map<std::string, std::string> outputs;
+  /// The parsed, validated runtime configuration (from "glue.cfg").
+  runtime::GlueConfig config;
+  /// Wall-clock generation time (host seconds; tooling cost, not
+  /// modeled application time).
+  double generation_seconds = 0.0;
+
+  const std::string& glue_config_text() const { return outputs.at("glue.cfg"); }
+  const std::string& glue_source_text() const { return outputs.at("glue.c"); }
+};
+
+/// Validates the workspace, runs the generator, parses and validates the
+/// resulting configuration. Throws sage::ModelError / sage::AlterError /
+/// sage::ConfigError on failure.
+GeneratedArtifacts generate_glue(model::Workspace& workspace,
+                                 const GenerateOptions& options = {});
+
+}  // namespace sage::codegen

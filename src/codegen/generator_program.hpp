@@ -1,0 +1,12 @@
+// openSAGE -- source text of the Alter glue-code generator program.
+#pragma once
+
+#include <string>
+
+namespace sage::codegen {
+
+/// The Alter program that generates glue.cfg and glue.c from an attached
+/// model (see generator_program.cpp for the program itself).
+const std::string& glue_generator_source();
+
+}  // namespace sage::codegen

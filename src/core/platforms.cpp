@@ -1,0 +1,65 @@
+#include "core/platforms.hpp"
+
+#include <algorithm>
+
+#include "model/hardware.hpp"
+#include "support/error.hpp"
+
+namespace sage::core {
+
+const std::vector<VendorPlatform>& vendor_platforms() {
+  static const std::vector<VendorPlatform> platforms = {
+      {"cspi", "cspi-myrinet-160", 200.0, 1.0, 4},
+      {"mercury", "mercury-raceway", 250.0, 0.8, 6},
+      {"sky", "sky-skychannel", 225.0, 0.9, 4},
+      {"sigi", "sigi", 166.0, 1.2, 2},
+  };
+  return platforms;
+}
+
+const VendorPlatform& vendor_platform(std::string_view key) {
+  for (const VendorPlatform& platform : vendor_platforms()) {
+    if (platform.key == key) return platform;
+  }
+  raise<ModelError>("unknown vendor platform '", std::string(key),
+                    "' (want cspi, mercury, sky, or sigi)");
+}
+
+model::ModelObject& add_vendor_platform(model::ModelObject& root,
+                                        std::string_view key, int nodes) {
+  SAGE_CHECK_AS(ModelError, nodes >= 1, "need at least one processor");
+  const VendorPlatform& vendor = vendor_platform(key);
+
+  model::ModelObject& hw =
+      model::add_hardware(root, vendor.key, vendor.fabric_preset);
+  int remaining = nodes;
+  int board_index = 0;
+  while (remaining > 0) {
+    model::ModelObject& board = model::add_board(
+        hw, vendor.key + "_board_" + std::to_string(board_index));
+    const int on_board = std::min(vendor.processors_per_board, remaining);
+    for (int p = 0; p < on_board; ++p) {
+      model::add_processor(
+          board,
+          vendor.key + "_cpu_" +
+              std::to_string(nodes - remaining + p),
+          vendor.mhz, std::int64_t{64} << 20, vendor.cpu_scale);
+    }
+    remaining -= on_board;
+    ++board_index;
+  }
+  return hw;
+}
+
+void retarget_hardware(model::ModelObject& hardware, std::string_view key) {
+  SAGE_CHECK_AS(ModelError, hardware.type() == "hardware",
+                "retarget_hardware of non-hardware object");
+  const VendorPlatform& vendor = vendor_platform(key);
+  hardware.set_property("fabric", vendor.fabric_preset);
+  for (model::ModelObject* cpu : model::processors(hardware)) {
+    cpu->set_property("mhz", vendor.mhz);
+    cpu->set_property("cpu_scale", vendor.cpu_scale);
+  }
+}
+
+}  // namespace sage::core

@@ -1,0 +1,41 @@
+// openSAGE -- vendor platform presets.
+//
+// The MITRE cross-vendor study measured CSPI, Mercury, SKY and SIGI
+// machines; these helpers build the corresponding hardware models
+// (fabric preset + CPU parameters) so a design can be re-targeted by
+// swapping one call -- the paper's portability workflow.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/object.hpp"
+
+namespace sage::core {
+
+struct VendorPlatform {
+  std::string key;            // "cspi" | "mercury" | "sky" | "sigi"
+  std::string fabric_preset;  // sage::net preset name
+  double mhz = 200.0;
+  double cpu_scale = 1.0;     // modeled-vs-host compute time ratio
+  int processors_per_board = 4;
+};
+
+/// All known vendor presets.
+const std::vector<VendorPlatform>& vendor_platforms();
+
+/// Preset by key; throws sage::ModelError for unknown vendors.
+const VendorPlatform& vendor_platform(std::string_view key);
+
+/// Adds a hardware model for the vendor with exactly `nodes` processors
+/// (full boards plus a partial last board).
+model::ModelObject& add_vendor_platform(model::ModelObject& root,
+                                        std::string_view key, int nodes);
+
+/// Re-targets an existing hardware model at another vendor in place
+/// (fabric preset + per-processor mhz/cpu_scale); the board layout is
+/// kept so the mapping stays valid.
+void retarget_hardware(model::ModelObject& hardware, std::string_view key);
+
+}  // namespace sage::core

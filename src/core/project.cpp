@@ -1,0 +1,44 @@
+#include "core/project.hpp"
+
+#include "model/hardware.hpp"
+#include "support/error.hpp"
+
+namespace sage::core {
+
+Project::Project(std::unique_ptr<model::Workspace> workspace)
+    : workspace_(std::move(workspace)),
+      registry_(runtime::standard_registry()) {
+  SAGE_CHECK(workspace_ != nullptr, "Project needs a workspace");
+}
+
+void Project::set_registry(runtime::FunctionRegistry registry) {
+  registry_ = std::move(registry);
+}
+
+const codegen::GeneratedArtifacts& Project::generate(bool force) {
+  if (force || !artifacts_.has_value()) {
+    artifacts_ = codegen::generate_glue(*workspace_);
+  }
+  return *artifacts_;
+}
+
+runtime::RunStats Project::execute(const ExecuteOptions& options) {
+  const codegen::GeneratedArtifacts& artifacts = generate();
+
+  const model::ModelObject& hw = workspace_->hardware();
+  runtime::EngineOptions engine_options;
+  engine_options.buffer_policy = options.buffer_policy;
+  engine_options.iterations = options.iterations;
+  engine_options.collect_trace = options.collect_trace;
+  engine_options.fabric = model::to_fabric_model(hw);
+  const int nodes = static_cast<int>(model::processors(hw).size());
+  engine_options.cpu_scales.reserve(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) {
+    engine_options.cpu_scales.push_back(model::cpu_scale_of_rank(hw, r));
+  }
+
+  runtime::Engine engine(artifacts.config, registry_, engine_options);
+  return engine.run();
+}
+
+}  // namespace sage::core

@@ -1,0 +1,58 @@
+// openSAGE -- the top-level facade: one Project owns a design workspace
+// and drives the paper's pipeline end to end:
+//
+//   Designer (model) -> [AToT mapping] -> Alter glue generation ->
+//   run-time execution on the emulated platform -> Visualizer trace.
+//
+// This is the API the examples and benchmark harnesses use.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "codegen/generator.hpp"
+#include "model/workspace.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/registry.hpp"
+
+namespace sage::core {
+
+struct ExecuteOptions {
+  runtime::BufferPolicy buffer_policy =
+      runtime::BufferPolicy::kUniquePerFunction;
+  int iterations = 1;
+  bool collect_trace = true;
+};
+
+class Project {
+ public:
+  /// Takes ownership of a workspace (usually from a builder in
+  /// sage::apps or hand-assembled through the model API).
+  explicit Project(std::unique_ptr<model::Workspace> workspace);
+
+  model::Workspace& workspace() { return *workspace_; }
+  const model::Workspace& workspace() const { return *workspace_; }
+
+  /// Replaces the kernel registry (defaults to standard_registry()).
+  void set_registry(runtime::FunctionRegistry registry);
+  const runtime::FunctionRegistry& registry() const { return registry_; }
+
+  /// Runs the Alter glue-code generator; caches and returns the
+  /// artifacts. Re-generates when `force` (e.g. after model edits).
+  const codegen::GeneratedArtifacts& generate(bool force = false);
+
+  /// Generates (if needed) and executes on the emulated platform
+  /// described by the workspace's hardware model.
+  runtime::RunStats execute(const ExecuteOptions& options = {});
+
+  /// Invalidates cached artifacts after a model edit.
+  void invalidate() { artifacts_.reset(); }
+
+ private:
+  std::unique_ptr<model::Workspace> workspace_;
+  runtime::FunctionRegistry registry_;
+  std::optional<codegen::GeneratedArtifacts> artifacts_;
+};
+
+}  // namespace sage::core

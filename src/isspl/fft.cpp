@@ -1,0 +1,256 @@
+#include "isspl/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "isspl/transpose.hpp"
+#include "support/error.hpp"
+
+namespace sage::isspl {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+bool is_power_of_four(std::size_t n) {
+  if (!is_power_of_two(n)) return false;
+  // Powers of four have their single set bit on an even position.
+  return (n & 0x5555555555555555ull) != 0;
+}
+
+std::uint32_t reverse_bits(std::uint32_t value, int bits) {
+  std::uint32_t result = 0;
+  for (int i = 0; i < bits; ++i) {
+    result = (result << 1) | (value & 1u);
+    value >>= 1;
+  }
+  return result;
+}
+
+std::uint32_t reverse_digits_base4(std::uint32_t value, int digits) {
+  std::uint32_t result = 0;
+  for (int i = 0; i < digits; ++i) {
+    result = (result << 2) | (value & 3u);
+    value >>= 2;
+  }
+  return result;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n, FftDirection direction,
+                 FftAlgorithm algorithm)
+    : n_(n), direction_(direction), algorithm_(algorithm) {
+  SAGE_CHECK(is_power_of_two(n) && n >= 2,
+             "FFT size must be a power of two >= 2, got ", n);
+  if (algorithm_ == FftAlgorithm::kAuto) {
+    algorithm_ = is_power_of_four(n) ? FftAlgorithm::kRadix4
+                                     : FftAlgorithm::kRadix2;
+  }
+  if (algorithm_ == FftAlgorithm::kRadix4) {
+    SAGE_CHECK(is_power_of_four(n),
+               "radix-4 FFT needs a power-of-four size, got ", n);
+    build_radix4();
+  } else {
+    build_radix2();
+  }
+}
+
+void FftPlan::build_radix2() {
+  int bits = 0;
+  while ((1u << bits) < n_) ++bits;
+
+  rev_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    rev_[i] = reverse_bits(static_cast<std::uint32_t>(i), bits);
+  }
+
+  // Twiddles for each butterfly stage, stored stage after stage:
+  // stage with half-length m/2 contributes m/2 factors w^k = e^(+-2*pi*i*k/m).
+  const double sign = (direction_ == FftDirection::kForward) ? -1.0 : 1.0;
+  twiddles_.reserve(n_ - 1);
+  for (std::size_t m = 2; m <= n_; m <<= 1) {
+    const double theta = sign * 2.0 * std::numbers::pi / static_cast<double>(m);
+    for (std::size_t k = 0; k < m / 2; ++k) {
+      const double angle = theta * static_cast<double>(k);
+      twiddles_.emplace_back(static_cast<float>(std::cos(angle)),
+                             static_cast<float>(std::sin(angle)));
+    }
+  }
+}
+
+void FftPlan::build_radix4() {
+  int digits = 0;
+  while ((1u << (2 * digits)) < n_) ++digits;
+
+  rev_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    rev_[i] = reverse_digits_base4(static_cast<std::uint32_t>(i), digits);
+  }
+
+  // Per stage (m = 4, 16, ..., n): for each j < m/4, the three factors
+  // w^j, w^(2j), w^(3j) with w = e^(+-2*pi*i/m), stored consecutively.
+  const double sign = (direction_ == FftDirection::kForward) ? -1.0 : 1.0;
+  for (std::size_t m = 4; m <= n_; m <<= 2) {
+    const double theta = sign * 2.0 * std::numbers::pi / static_cast<double>(m);
+    for (std::size_t j = 0; j < m / 4; ++j) {
+      for (int power = 1; power <= 3; ++power) {
+        const double angle = theta * static_cast<double>(j * power);
+        twiddles_.emplace_back(static_cast<float>(std::cos(angle)),
+                               static_cast<float>(std::sin(angle)));
+      }
+    }
+  }
+}
+
+void FftPlan::execute(std::span<Complex> data) const {
+  SAGE_CHECK(data.size() == n_, "FFT buffer size ", data.size(),
+             " does not match plan size ", n_);
+
+  Complex* x = data.data();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint32_t j = rev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  if (algorithm_ == FftAlgorithm::kRadix4) {
+    execute_radix4(x);
+  } else {
+    execute_radix2(x);
+  }
+
+  if (direction_ == FftDirection::kInverse) {
+    const float scale = 1.0f / static_cast<float>(n_);
+    for (std::size_t i = 0; i < n_; ++i) x[i] *= scale;
+  }
+}
+
+void FftPlan::execute_radix2(Complex* x) const {
+  const Complex* stage_tw = twiddles_.data();
+  for (std::size_t m = 2; m <= n_; m <<= 1) {
+    const std::size_t half = m / 2;
+    for (std::size_t base = 0; base < n_; base += m) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w = stage_tw[k];
+        const Complex t = w * x[base + k + half];
+        const Complex u = x[base + k];
+        x[base + k] = u + t;
+        x[base + k + half] = u - t;
+      }
+    }
+    stage_tw += half;
+  }
+}
+
+void FftPlan::execute_radix4(Complex* x) const {
+  // Forward uses W4 = -i (multiply by -i == (im, -re)); inverse uses +i.
+  const bool forward = direction_ == FftDirection::kForward;
+  const auto rotate = [forward](const Complex& v) {
+    return forward ? Complex(v.imag(), -v.real())
+                   : Complex(-v.imag(), v.real());
+  };
+
+  const Complex* stage_tw = twiddles_.data();
+  for (std::size_t m = 4; m <= n_; m <<= 2) {
+    const std::size_t quarter = m / 4;
+    for (std::size_t base = 0; base < n_; base += m) {
+      const Complex* tw = stage_tw;
+      for (std::size_t j = 0; j < quarter; ++j) {
+        const Complex y0 = x[base + j];
+        const Complex y1 = tw[0] * x[base + j + quarter];
+        const Complex y2 = tw[1] * x[base + j + 2 * quarter];
+        const Complex y3 = tw[2] * x[base + j + 3 * quarter];
+        tw += 3;
+
+        const Complex t0 = y0 + y2;
+        const Complex t1 = y0 - y2;
+        const Complex t2 = y1 + y3;
+        const Complex t3 = rotate(y1 - y3);
+
+        x[base + j] = t0 + t2;
+        x[base + j + quarter] = t1 + t3;
+        x[base + j + 2 * quarter] = t0 - t2;
+        x[base + j + 3 * quarter] = t1 - t3;
+      }
+    }
+    stage_tw += 3 * quarter;
+  }
+}
+
+void FftPlan::execute_rows(std::span<Complex> data, std::size_t rows) const {
+  SAGE_CHECK(data.size() == rows * n_, "row-FFT buffer size mismatch: ",
+             data.size(), " != ", rows, " * ", n_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    execute(data.subspan(r * n_, n_));
+  }
+}
+
+RfftPlan::RfftPlan(std::size_t n)
+    : n_(n), half_(n / 2 < 2 ? 2 : n / 2, FftDirection::kForward) {
+  SAGE_CHECK(is_power_of_two(n) && n >= 4,
+             "real FFT size must be a power of two >= 4, got ", n);
+  unpack_tw_.reserve(n_ / 2 + 1);
+  for (std::size_t k = 0; k <= n_ / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n_);
+    unpack_tw_.emplace_back(static_cast<float>(std::cos(angle)),
+                            static_cast<float>(std::sin(angle)));
+  }
+}
+
+void RfftPlan::execute(std::span<const float> in,
+                       std::span<Complex> out) const {
+  SAGE_CHECK(in.size() == n_, "real FFT input size ", in.size(),
+             " does not match plan size ", n_);
+  SAGE_CHECK(out.size() == bins(), "real FFT output must hold ", bins(),
+             " bins, got ", out.size());
+
+  // Pack adjacent real samples into complex pairs and transform at
+  // half size.
+  const std::size_t half = n_ / 2;
+  std::vector<Complex> z(half);
+  for (std::size_t k = 0; k < half; ++k) {
+    z[k] = Complex(in[2 * k], in[2 * k + 1]);
+  }
+  half_.execute(z);
+
+  // Unpack: X[k] = E[k] + w^k * O[k], where E/O are the even/odd-sample
+  // spectra recovered from Z's conjugate symmetry.
+  for (std::size_t k = 0; k <= half; ++k) {
+    const Complex zk = z[k % half];
+    const Complex zmk = std::conj(z[(half - k) % half]);
+    const Complex even = 0.5f * (zk + zmk);
+    const Complex diff = zk - zmk;
+    // odd = -i/2 * (zk - zmk)
+    const Complex odd(0.5f * diff.imag(), -0.5f * diff.real());
+    out[k] = even + unpack_tw_[k] * odd;
+  }
+}
+
+void fft(std::span<Complex> data) {
+  FftPlan plan(data.size(), FftDirection::kForward);
+  plan.execute(data);
+}
+
+void ifft(std::span<Complex> data) {
+  FftPlan plan(data.size(), FftDirection::kInverse);
+  plan.execute(data);
+}
+
+void fft2d(std::span<Complex> data, std::size_t rows, std::size_t cols) {
+  SAGE_CHECK(data.size() == rows * cols, "fft2d buffer size mismatch");
+  FftPlan row_plan(cols, FftDirection::kForward);
+  row_plan.execute_rows(data, rows);
+
+  std::vector<Complex> scratch(data.size());
+  transpose(std::span<const Complex>(data.data(), data.size()),
+            std::span<Complex>(scratch), rows, cols);
+
+  FftPlan col_plan(rows, FftDirection::kForward);
+  col_plan.execute_rows(std::span<Complex>(scratch), cols);
+
+  transpose(std::span<const Complex>(scratch), data, cols, rows);
+}
+
+}  // namespace sage::isspl

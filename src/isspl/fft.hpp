@@ -1,0 +1,85 @@
+// openSAGE -- ISSPL-style FFT.
+//
+// Stands in for the CSPI ISSPL vector library the paper's benchmarks
+// linked against: plan-based, single-precision complex, power-of-two
+// radix-2 with precomputed twiddles and bit-reversal table. Both the
+// hand-coded benchmark and the SAGE-generated one call these same leaf
+// kernels, exactly as both versions on the CSPI machine called ISSPL.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sage::isspl {
+
+using Complex = std::complex<float>;
+
+enum class FftDirection { kForward, kInverse };
+
+/// Butterfly radix. kAuto picks radix-4 for powers of four (fewer
+/// multiplications) and radix-2 otherwise.
+enum class FftAlgorithm { kAuto, kRadix2, kRadix4 };
+
+/// Precomputed transform of one size/direction. Reusable across calls and
+/// threads (execution is const).
+class FftPlan {
+ public:
+  /// `n` must be a power of two >= 2 (a power of four for kRadix4).
+  FftPlan(std::size_t n, FftDirection direction,
+          FftAlgorithm algorithm = FftAlgorithm::kAuto);
+
+  std::size_t size() const { return n_; }
+  FftDirection direction() const { return direction_; }
+  /// The radix actually selected (kAuto resolved).
+  FftAlgorithm algorithm() const { return algorithm_; }
+
+  /// In-place transform of one n-point line.
+  void execute(std::span<Complex> data) const;
+
+  /// In-place transform of `rows` contiguous n-point lines.
+  void execute_rows(std::span<Complex> data, std::size_t rows) const;
+
+ private:
+  void build_radix2();
+  void build_radix4();
+  void execute_radix2(Complex* x) const;
+  void execute_radix4(Complex* x) const;
+
+  std::size_t n_;
+  FftDirection direction_;
+  FftAlgorithm algorithm_;
+  std::vector<Complex> twiddles_;     // per-stage roots of unity
+  std::vector<std::uint32_t> rev_;    // bit/digit-reversal permutation
+};
+
+/// Real-input FFT via the packed half-size complex transform: n real
+/// samples in, n/2 + 1 spectrum bins (DC .. Nyquist) out -- the usual
+/// front half of a radar chain digitizing real IF samples.
+class RfftPlan {
+ public:
+  /// `n` must be a power of two >= 4.
+  explicit RfftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  std::size_t bins() const { return n_ / 2 + 1; }
+
+  /// out.size() must be bins().
+  void execute(std::span<const float> in, std::span<Complex> out) const;
+
+ private:
+  std::size_t n_;
+  FftPlan half_;
+  std::vector<Complex> unpack_tw_;  // e^(-2*pi*i*k/n), k = 0..n/2
+};
+
+/// One-shot helpers (plan construction amortized away for tests/examples).
+void fft(std::span<Complex> data);
+void ifft(std::span<Complex> data);
+
+/// Full 2D FFT of a rows x cols matrix (row-major, both powers of two):
+/// FFT along rows, transpose, FFT along (former) columns, transpose back.
+void fft2d(std::span<Complex> data, std::size_t rows, std::size_t cols);
+
+}  // namespace sage::isspl

@@ -1,0 +1,54 @@
+// openSAGE -- matrix (corner-turn) kernels.
+//
+// The distributed corner turn reorganizes a matrix from row-striped to
+// column-striped storage; locally that decomposes into block
+// gather/scatter plus dense transposes. These are the single-node leaf
+// kernels; the distributed versions live in sage::apps.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace sage::isspl {
+
+/// out[c * rows + r] = in[r * cols + c]; cache-blocked. `in` and `out`
+/// must not alias.
+template <typename T>
+void transpose(std::span<const T> in, std::span<T> out, std::size_t rows,
+               std::size_t cols);
+
+/// In-place transpose of a square n x n matrix.
+template <typename T>
+void transpose_square_inplace(std::span<T> data, std::size_t n);
+
+/// Packs the columns [col0, col0+ncols) of a rows x cols row-major matrix
+/// into a contiguous rows x ncols row-major block (the send-side step of a
+/// corner turn).
+template <typename T>
+void pack_column_block(std::span<const T> matrix, std::size_t rows,
+                       std::size_t cols, std::size_t col0, std::size_t ncols,
+                       std::span<T> block);
+
+/// Inverse of pack_column_block: scatters a rows x ncols block back into
+/// the columns [col0, col0+ncols) of the matrix.
+template <typename T>
+void unpack_column_block(std::span<const T> block, std::size_t rows,
+                         std::size_t cols, std::size_t col0, std::size_t ncols,
+                         std::span<T> matrix);
+
+extern template void transpose<std::complex<float>>(
+    std::span<const std::complex<float>>, std::span<std::complex<float>>,
+    std::size_t, std::size_t);
+extern template void transpose<float>(std::span<const float>, std::span<float>,
+                                      std::size_t, std::size_t);
+extern template void transpose_square_inplace<std::complex<float>>(
+    std::span<std::complex<float>>, std::size_t);
+extern template void pack_column_block<std::complex<float>>(
+    std::span<const std::complex<float>>, std::size_t, std::size_t,
+    std::size_t, std::size_t, std::span<std::complex<float>>);
+extern template void unpack_column_block<std::complex<float>>(
+    std::span<const std::complex<float>>, std::size_t, std::size_t,
+    std::size_t, std::size_t, std::span<std::complex<float>>);
+
+}  // namespace sage::isspl

@@ -1,0 +1,139 @@
+#include "isspl/vector_ops.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace sage::isspl {
+
+namespace {
+
+void check_same(std::size_t a, std::size_t b, const char* what) {
+  SAGE_CHECK(a == b, what, ": size mismatch (", a, " vs ", b, ")");
+}
+
+}  // namespace
+
+void vadd(std::span<const float> a, std::span<const float> b,
+          std::span<float> out) {
+  check_same(a.size(), b.size(), "vadd");
+  check_same(a.size(), out.size(), "vadd");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void vadd(std::span<const Complex> a, std::span<const Complex> b,
+          std::span<Complex> out) {
+  check_same(a.size(), b.size(), "vadd");
+  check_same(a.size(), out.size(), "vadd");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void vmul(std::span<const float> a, std::span<const float> b,
+          std::span<float> out) {
+  check_same(a.size(), b.size(), "vmul");
+  check_same(a.size(), out.size(), "vmul");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void vmul(std::span<const Complex> a, std::span<const Complex> b,
+          std::span<Complex> out) {
+  check_same(a.size(), b.size(), "vmul");
+  check_same(a.size(), out.size(), "vmul");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void vscale(std::span<float> x, float s) {
+  for (auto& v : x) v *= s;
+}
+
+void vscale(std::span<Complex> x, float s) {
+  for (auto& v : x) v *= s;
+}
+
+void vaxpy(std::span<const float> x, float a, std::span<float> y) {
+  check_same(x.size(), y.size(), "vaxpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void vmag(std::span<const Complex> x, std::span<float> out) {
+  check_same(x.size(), out.size(), "vmag");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::abs(x[i]);
+}
+
+void vmagsq(std::span<const Complex> x, std::span<float> out) {
+  check_same(x.size(), out.size(), "vmagsq");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::norm(x[i]);
+}
+
+float vsum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return static_cast<float>(acc);
+}
+
+float vdot(std::span<const float> a, std::span<const float> b) {
+  check_same(a.size(), b.size(), "vdot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+std::size_t vmax_index(std::span<const float> x) {
+  SAGE_CHECK(!x.empty(), "vmax_index: empty input");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<float> make_window(Window window, std::size_t n) {
+  SAGE_CHECK(n > 0, "make_window: zero length");
+  std::vector<float> w(n, 1.0f);
+  const double denom = (n > 1) ? static_cast<double>(n - 1) : 1.0;
+  constexpr double kTau = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    double v = 1.0;
+    switch (window) {
+      case Window::kRectangular:
+        v = 1.0;
+        break;
+      case Window::kHann:
+        v = 0.5 - 0.5 * std::cos(kTau * t);
+        break;
+      case Window::kHamming:
+        v = 0.54 - 0.46 * std::cos(kTau * t);
+        break;
+      case Window::kBlackman:
+        v = 0.42 - 0.5 * std::cos(kTau * t) + 0.08 * std::cos(2 * kTau * t);
+        break;
+    }
+    w[i] = static_cast<float>(v);
+  }
+  return w;
+}
+
+void apply_window(std::span<Complex> x, std::span<const float> w) {
+  check_same(x.size(), w.size(), "apply_window");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= w[i];
+}
+
+void fir(std::span<const float> in, std::span<const float> taps,
+         std::span<float> out) {
+  check_same(in.size(), out.size(), "fir");
+  SAGE_CHECK(!taps.empty(), "fir: empty taps");
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    double acc = 0.0;
+    const std::size_t kmax = std::min(taps.size(), i + 1);
+    for (std::size_t k = 0; k < kmax; ++k) {
+      acc += static_cast<double>(taps[k]) * in[i - k];
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace sage::isspl

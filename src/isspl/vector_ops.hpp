@@ -1,0 +1,63 @@
+// openSAGE -- ISSPL-style vector primitives and window functions.
+//
+// The shelf functions used by the example applications (range-doppler
+// radar chain, image pipeline) are built from these.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sage::isspl {
+
+using Complex = std::complex<float>;
+
+/// out[i] = a[i] + b[i]
+void vadd(std::span<const float> a, std::span<const float> b,
+          std::span<float> out);
+void vadd(std::span<const Complex> a, std::span<const Complex> b,
+          std::span<Complex> out);
+
+/// out[i] = a[i] * b[i]
+void vmul(std::span<const float> a, std::span<const float> b,
+          std::span<float> out);
+void vmul(std::span<const Complex> a, std::span<const Complex> b,
+          std::span<Complex> out);
+
+/// x[i] *= s
+void vscale(std::span<float> x, float s);
+void vscale(std::span<Complex> x, float s);
+
+/// y[i] += a * x[i]
+void vaxpy(std::span<const float> x, float a, std::span<float> y);
+
+/// out[i] = |x[i]|  (complex magnitude)
+void vmag(std::span<const Complex> x, std::span<float> out);
+
+/// out[i] = |x[i]|^2 (power; avoids the sqrt)
+void vmagsq(std::span<const Complex> x, std::span<float> out);
+
+/// Sum of elements.
+float vsum(std::span<const float> x);
+
+/// Dot product.
+float vdot(std::span<const float> a, std::span<const float> b);
+
+/// Index of the maximum element (first occurrence); x must be non-empty.
+std::size_t vmax_index(std::span<const float> x);
+
+enum class Window { kRectangular, kHann, kHamming, kBlackman };
+
+/// Generates window coefficients of length n.
+std::vector<float> make_window(Window window, std::size_t n);
+
+/// x[i] *= w[i] (applies a real window to complex samples).
+void apply_window(std::span<Complex> x, std::span<const float> w);
+
+/// Direct-form FIR filter: out[i] = sum_k taps[k] * in[i-k]
+/// (zero history before the first sample). out.size() == in.size().
+void fir(std::span<const float> in, std::span<const float> taps,
+         std::span<float> out);
+
+}  // namespace sage::isspl

@@ -1,0 +1,178 @@
+#include "model/hardware.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sage::model {
+
+ModelObject& add_hardware(ModelObject& root, std::string name,
+                          std::string fabric_preset) {
+  SAGE_CHECK_AS(ModelError, root.find_child("hardware", name) == nullptr,
+                "hardware '", name, "' already exists");
+  ModelObject& hw = root.add_child("hardware", std::move(name));
+  hw.set_property("fabric", std::move(fabric_preset));
+  return hw;
+}
+
+ModelObject& add_chassis(ModelObject& hardware, std::string name) {
+  SAGE_CHECK_AS(ModelError, hardware.type() == "hardware",
+                "chassis belongs to hardware");
+  return hardware.add_child("chassis", std::move(name));
+}
+
+ModelObject& add_board(ModelObject& parent, std::string name) {
+  SAGE_CHECK_AS(ModelError,
+                parent.type() == "hardware" || parent.type() == "chassis",
+                "boards belong to hardware or chassis, not ", parent.type());
+  return parent.add_child("board", std::move(name));
+}
+
+ModelObject& add_processor(ModelObject& board, std::string name, double mhz,
+                           std::size_t mem_bytes, double cpu_scale) {
+  SAGE_CHECK_AS(ModelError, board.type() == "board",
+                "processors belong to boards");
+  SAGE_CHECK_AS(ModelError, mhz > 0 && cpu_scale > 0,
+                "processor '", name, "' needs positive mhz and cpu_scale");
+  ModelObject& cpu = board.add_child("processor", std::move(name));
+  cpu.set_property("mhz", mhz);
+  cpu.set_property("mem_bytes", mem_bytes);
+  cpu.set_property("cpu_scale", cpu_scale);
+  return cpu;
+}
+
+ModelObject& add_link(ModelObject& hardware, std::string name, int board_a,
+                      int board_b, double bandwidth_Bps, double latency_s) {
+  SAGE_CHECK_AS(ModelError, hardware.type() == "hardware",
+                "links belong to hardware");
+  SAGE_CHECK_AS(ModelError, board_a != board_b,
+                "link '", name, "' must join two different boards");
+  SAGE_CHECK_AS(ModelError, bandwidth_Bps > 0 && latency_s >= 0,
+                "link '", name, "' needs positive bandwidth");
+  ModelObject& link = hardware.add_child("link", std::move(name));
+  link.set_property("board_a", board_a);
+  link.set_property("board_b", board_b);
+  link.set_property("bandwidth_Bps", bandwidth_Bps);
+  link.set_property("latency_s", latency_s);
+  return link;
+}
+
+ModelObject& add_cspi_platform(ModelObject& root, int nodes,
+                               double cpu_scale) {
+  SAGE_CHECK_AS(ModelError, nodes >= 1, "need at least one processor");
+  ModelObject& hw = add_hardware(root, "cspi", "cspi-myrinet-160");
+  ModelObject& chassis = add_chassis(hw, "vme21");
+  const int boards = (nodes + 3) / 4;
+  int remaining = nodes;
+  for (int b = 0; b < boards; ++b) {
+    ModelObject& board = add_board(chassis, "quad_ppc_" + std::to_string(b));
+    const int on_board = std::min(4, remaining);
+    for (int p = 0; p < on_board; ++p) {
+      // 200 MHz PowerPC 603e with 64 MB DRAM, per the paper's testbed.
+      add_processor(board, "ppc603e_" + std::to_string(b * 4 + p), 200.0,
+                    64ull << 20, cpu_scale);
+    }
+    remaining -= on_board;
+  }
+  return hw;
+}
+
+std::vector<ModelObject*> processors(const ModelObject& hardware) {
+  std::vector<ModelObject*> out;
+  for (ModelObject* board : hardware.descendants_of_type("board")) {
+    for (ModelObject* cpu : board->children_of_type("processor")) {
+      out.push_back(cpu);
+    }
+  }
+  return out;
+}
+
+int processor_rank(const ModelObject& hardware, std::string_view name) {
+  const auto cpus = processors(hardware);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    if (cpus[i]->name() == name) return static_cast<int>(i);
+  }
+  raise<ModelError>("no processor '", std::string(name), "' in hardware '",
+                    hardware.name(), "'");
+}
+
+int board_of_rank(const ModelObject& hardware, int rank) {
+  int index = 0;
+  int board_index = 0;
+  for (const ModelObject* board : hardware.descendants_of_type("board")) {
+    const int count =
+        static_cast<int>(board->children_of_type("processor").size());
+    if (rank < index + count) return board_index;
+    index += count;
+    ++board_index;
+  }
+  raise<ModelError>("rank ", rank, " out of range for hardware '",
+                    hardware.name(), "'");
+}
+
+namespace {
+
+net::FabricModel preset_by_name(const std::string& name) {
+  if (name == "cspi-myrinet-160") return net::myrinet_fabric();
+  if (name == "mercury-raceway") return net::raceway_fabric();
+  if (name == "sky-skychannel") return net::sky_fabric();
+  if (name == "sigi") return net::sigi_fabric();
+  if (name == "ideal") return net::ideal_fabric();
+  raise<ModelError>("unknown fabric preset '", name, "'");
+}
+
+}  // namespace
+
+net::FabricModel to_fabric_model(const ModelObject& hardware) {
+  SAGE_CHECK_AS(ModelError, hardware.type() == "hardware",
+                "to_fabric_model of non-hardware object");
+  net::FabricModel m =
+      preset_by_name(hardware.property("fabric").as_string());
+
+  auto override_double = [&](const char* key, double& field) {
+    if (hardware.has_property(key)) {
+      field = hardware.property(key).as_double();
+    }
+  };
+  override_double("send_overhead_s", m.send_overhead_s);
+  override_double("recv_overhead_s", m.recv_overhead_s);
+  override_double("intra_board_latency_s", m.intra_board_latency_s);
+  override_double("inter_board_latency_s", m.inter_board_latency_s);
+  override_double("intra_board_bandwidth_Bps", m.intra_board_bandwidth_Bps);
+  override_double("inter_board_bandwidth_Bps", m.inter_board_bandwidth_Bps);
+  override_double("vendor_bulk_overhead_factor",
+                  m.vendor_bulk_overhead_factor);
+  if (hardware.has_property("model_contention")) {
+    m.model_contention = hardware.property("model_contention").as_bool();
+  }
+
+  for (const ModelObject* link : hardware.children_of_type("link")) {
+    m.set_link(static_cast<int>(link->property("board_a").as_int()),
+               static_cast<int>(link->property("board_b").as_int()),
+               link->property("bandwidth_Bps").as_double(),
+               link->property("latency_s").as_double());
+  }
+
+  // Node-to-board layout comes from the model itself: use the first
+  // board's processor count (heterogeneous board sizes keep the preset's
+  // value only if no board exists).
+  const auto boards = hardware.descendants_of_type("board");
+  if (!boards.empty()) {
+    const int per_board =
+        static_cast<int>(boards.front()->children_of_type("processor").size());
+    if (per_board > 0) m.nodes_per_board = per_board;
+  }
+  return m;
+}
+
+double cpu_scale_of_rank(const ModelObject& hardware, int rank) {
+  const auto cpus = processors(hardware);
+  SAGE_CHECK_AS(ModelError,
+                rank >= 0 && rank < static_cast<int>(cpus.size()),
+                "rank ", rank, " out of range (", cpus.size(), " processors)");
+  return cpus[static_cast<std::size_t>(rank)]
+      ->property("cpu_scale")
+      .as_double();
+}
+
+}  // namespace sage::model

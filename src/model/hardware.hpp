@@ -1,0 +1,71 @@
+// openSAGE -- hardware model (the Designer's hardware editor).
+//
+// The hardware architecture is built hierarchically, processor up to
+// system, exactly as in the paper: processors sit on boards, boards in a
+// chassis, joined by a fabric. The model carries the parameters the
+// AToT cost model and the emulated interconnect need.
+//
+// Conventions:
+//   object type "hardware"  -- the system container; props: fabric
+//                              (preset name), plus optional overrides
+//                              (send_overhead_s, intra_board_latency_s,
+//                              inter_board_latency_s, *_bandwidth_Bps,
+//                              vendor_bulk_overhead_factor)
+//   object type "chassis"   -- optional grouping (e.g. "VME-21slot")
+//   object type "board"     -- carrier card; children are processors
+//   object type "processor" -- props: mhz (double), mem_bytes (int),
+//                              cpu_scale (double; modeled-vs-host CPU
+//                              time ratio for compute segments)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/object.hpp"
+#include "net/fabric_model.hpp"
+
+namespace sage::model {
+
+ModelObject& add_hardware(ModelObject& root, std::string name,
+                          std::string fabric_preset = "cspi-myrinet-160");
+
+ModelObject& add_chassis(ModelObject& hardware, std::string name);
+
+/// Adds a board to the hardware (or a chassis inside it).
+ModelObject& add_board(ModelObject& parent, std::string name);
+
+/// Adds one processor; `mhz` and `mem_bytes` feed the AToT cost model,
+/// `cpu_scale` feeds the virtual clock (see support/clock.hpp).
+ModelObject& add_processor(ModelObject& board, std::string name, double mhz,
+                           std::size_t mem_bytes, double cpu_scale = 1.0);
+
+/// Declares a dedicated link between two boards (by board index in
+/// layout order), overriding the fabric's default inter-board
+/// parameters for that pair -- e.g. a slow bridge between chassis.
+ModelObject& add_link(ModelObject& hardware, std::string name, int board_a,
+                      int board_b, double bandwidth_Bps, double latency_s);
+
+/// Convenience: a CSPI-like platform -- quad-PowerPC boards (the last
+/// one possibly partial) in one VME chassis with a Myrinet fabric,
+/// totalling exactly `nodes` processors.
+ModelObject& add_cspi_platform(ModelObject& root, int nodes,
+                               double cpu_scale = 1.0);
+
+/// All processors of the system in node-rank order (board by board).
+std::vector<ModelObject*> processors(const ModelObject& hardware);
+
+/// Rank of a processor within its hardware model; throws when absent.
+int processor_rank(const ModelObject& hardware, std::string_view name);
+
+/// Board index that hosts a given node rank.
+int board_of_rank(const ModelObject& hardware, int rank);
+
+/// Builds the interconnect cost model: starts from the named preset and
+/// applies any per-property overrides on the hardware object.
+net::FabricModel to_fabric_model(const ModelObject& hardware);
+
+/// The cpu_scale of a node rank (processors may differ; the emulated
+/// machine uses per-node scale when executing mapped functions).
+double cpu_scale_of_rank(const ModelObject& hardware, int rank);
+
+}  // namespace sage::model

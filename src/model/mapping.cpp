@@ -1,0 +1,103 @@
+#include "model/mapping.hpp"
+
+#include "model/hardware.hpp"
+#include "support/error.hpp"
+
+namespace sage::model {
+
+ModelObject& add_mapping(ModelObject& root, std::string name,
+                         std::string_view hardware_name) {
+  SAGE_CHECK_AS(ModelError, root.find_child("mapping", name) == nullptr,
+                "mapping '", name, "' already exists");
+  SAGE_CHECK_AS(ModelError,
+                root.find_child("hardware", hardware_name) != nullptr,
+                "mapping references unknown hardware '",
+                std::string(hardware_name), "'");
+  ModelObject& mapping = root.add_child("mapping", std::move(name));
+  mapping.set_property("hardware", std::string(hardware_name));
+  return mapping;
+}
+
+ModelObject& assign(ModelObject& mapping, std::string_view function_name,
+                    std::string_view processor_name) {
+  SAGE_CHECK_AS(ModelError, mapping.type() == "mapping",
+                "assign on non-mapping object");
+  const auto count =
+      mapping.children_of_type("assignment").size();
+  ModelObject& a = mapping.add_child(
+      "assignment",
+      std::string(function_name) + "#" + std::to_string(count));
+  a.set_property("function", std::string(function_name));
+  a.set_property("processor", std::string(processor_name));
+  return a;
+}
+
+void assign_ranks(const ModelObject& root, ModelObject& mapping,
+                  std::string_view function_name,
+                  const std::vector<int>& ranks) {
+  const ModelObject* hw =
+      root.find_child("hardware", mapping.property("hardware").as_string());
+  SAGE_CHECK_AS(ModelError, hw != nullptr,
+                "assign_ranks: mapping references missing hardware");
+  const auto cpus = processors(*hw);
+  for (int rank : ranks) {
+    SAGE_CHECK_AS(ModelError,
+                  rank >= 0 && rank < static_cast<int>(cpus.size()),
+                  "assign_ranks: rank ", rank, " out of range");
+    assign(mapping, function_name,
+           cpus[static_cast<std::size_t>(rank)]->name());
+  }
+}
+
+MappingView::MappingView(const ModelObject& root, const ModelObject& mapping) {
+  SAGE_CHECK_AS(ModelError, mapping.type() == "mapping",
+                "MappingView of non-mapping object");
+  hardware_name_ = mapping.property("hardware").as_string();
+  const ModelObject* hw = root.find_child("hardware", hardware_name_);
+  SAGE_CHECK_AS(ModelError, hw != nullptr, "mapping '", mapping.name(),
+                "' references missing hardware '", hardware_name_, "'");
+  node_count_ = static_cast<int>(processors(*hw).size());
+
+  for (const ModelObject* a : mapping.children_of_type("assignment")) {
+    const std::string& fn = a->property("function").as_string();
+    const std::string& cpu = a->property("processor").as_string();
+    const int rank = processor_rank(*hw, cpu);
+    rank_by_function_.try_emplace(fn, rank);  // first assignment wins
+    assignment_order_.emplace_back(fn, rank);
+  }
+}
+
+std::vector<int> MappingView::ranks_of(std::string_view function_name) const {
+  std::vector<int> out;
+  for (const auto& [fn, rank] : assignment_order_) {
+    if (fn == function_name) out.push_back(rank);
+  }
+  if (out.empty()) {
+    raise<ModelError>("function '", std::string(function_name),
+                      "' is not mapped");
+  }
+  return out;
+}
+
+int MappingView::rank_of(std::string_view function_name) const {
+  auto it = rank_by_function_.find(function_name);
+  if (it == rank_by_function_.end()) {
+    raise<ModelError>("function '", std::string(function_name),
+                      "' is not mapped");
+  }
+  return it->second;
+}
+
+bool MappingView::is_mapped(std::string_view function_name) const {
+  return rank_by_function_.find(function_name) != rank_by_function_.end();
+}
+
+std::vector<std::string> MappingView::functions_on(int rank) const {
+  std::vector<std::string> out;
+  for (const auto& [fn, r] : assignment_order_) {
+    if (r == rank) out.push_back(fn);
+  }
+  return out;
+}
+
+}  // namespace sage::model

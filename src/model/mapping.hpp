@@ -1,0 +1,60 @@
+// openSAGE -- mapping model: which processor runs each function.
+//
+// Produced either by hand through the Designer API or by AToT's genetic
+// mapper; consumed by the glue-code generator.
+//
+// Conventions:
+//   object type "mapping"    -- container; prop: hardware (name)
+//   object type "assignment" -- props: function (name), processor (name)
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/object.hpp"
+
+namespace sage::model {
+
+ModelObject& add_mapping(ModelObject& root, std::string name,
+                         std::string_view hardware_name);
+
+/// Appends an assignment of a function to a processor. A multi-threaded
+/// function may be assigned several times: thread t runs on the t-th
+/// assigned processor (cycling when threads exceed assignments).
+ModelObject& assign(ModelObject& mapping, std::string_view function_name,
+                    std::string_view processor_name);
+
+/// Convenience: assigns one function thread per rank in `ranks`.
+void assign_ranks(const ModelObject& root, ModelObject& mapping,
+                  std::string_view function_name,
+                  const std::vector<int>& ranks);
+
+/// Resolved view: function name -> node rank (via the hardware model).
+class MappingView {
+ public:
+  MappingView(const ModelObject& root, const ModelObject& mapping);
+
+  /// Node rank of a function's first assignment; throws when unmapped.
+  int rank_of(std::string_view function_name) const;
+  /// All assigned ranks in assignment order (thread t -> ranks[t % n]).
+  std::vector<int> ranks_of(std::string_view function_name) const;
+  bool is_mapped(std::string_view function_name) const;
+
+  /// Functions mapped to a given rank, in assignment order.
+  std::vector<std::string> functions_on(int rank) const;
+
+  /// Number of node ranks in the hardware model.
+  int node_count() const { return node_count_; }
+
+  const std::string& hardware_name() const { return hardware_name_; }
+
+ private:
+  std::map<std::string, int, std::less<>> rank_by_function_;
+  std::vector<std::pair<std::string, int>> assignment_order_;
+  int node_count_ = 0;
+  std::string hardware_name_;
+};
+
+}  // namespace sage::model

@@ -1,0 +1,62 @@
+#include "model/property.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sage::model {
+
+bool PropertyValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  raise<ModelError>("property is not a bool: ", to_string());
+}
+
+std::int64_t PropertyValue::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  raise<ModelError>("property is not an int: ", to_string());
+}
+
+double PropertyValue::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  raise<ModelError>("property is not a number: ", to_string());
+}
+
+const std::string& PropertyValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  raise<ModelError>("property is not a string: ", to_string());
+}
+
+const PropertyList& PropertyValue::as_list() const {
+  if (const auto* l = std::get_if<PropertyList>(&value_)) return *l;
+  raise<ModelError>("property is not a list: ", to_string());
+}
+
+std::string PropertyValue::to_string() const {
+  std::ostringstream os;
+  if (is_nil()) {
+    os << "nil";
+  } else if (is_bool()) {
+    os << (std::get<bool>(value_) ? "true" : "false");
+  } else if (is_int()) {
+    os << std::get<std::int64_t>(value_);
+  } else if (is_double()) {
+    os << std::get<double>(value_);
+  } else if (is_string()) {
+    os << '"' << support::escape(std::get<std::string>(value_)) << '"';
+  } else {
+    os << '(';
+    const auto& items = std::get<PropertyList>(value_);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) os << ' ';
+      os << items[i].to_string();
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+}  // namespace sage::model

@@ -1,0 +1,59 @@
+// openSAGE -- property values.
+//
+// Every attribute of every model object lives in a property bag of these
+// values (the DoME convention the paper's Alter language traverses).
+// Values are scalars, strings, or nested lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sage::model {
+
+class PropertyValue;
+
+using PropertyList = std::vector<PropertyValue>;
+
+class PropertyValue {
+ public:
+  PropertyValue() : value_(std::monostate{}) {}
+  PropertyValue(bool b) : value_(b) {}
+  PropertyValue(std::int64_t i) : value_(i) {}
+  PropertyValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  PropertyValue(std::size_t i) : value_(static_cast<std::int64_t>(i)) {}
+  PropertyValue(double d) : value_(d) {}
+  PropertyValue(const char* s) : value_(std::string(s)) {}
+  PropertyValue(std::string s) : value_(std::move(s)) {}
+  PropertyValue(PropertyList items) : value_(std::move(items)) {}
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_list() const { return std::holds_alternative<PropertyList>(value_); }
+
+  /// Typed accessors; throw sage::ModelError on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;          // accepts int too
+  const std::string& as_string() const;
+  const PropertyList& as_list() const;
+
+  bool operator==(const PropertyValue& other) const {
+    return value_ == other.value_;
+  }
+
+  /// Round-trippable textual form (used by model dumps and tests).
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               PropertyList>
+      value_;
+};
+
+}  // namespace sage::model

@@ -1,0 +1,198 @@
+#include "model/serialize.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sage::model {
+
+namespace {
+
+constexpr std::string_view kHeader = "# openSAGE model repository v1";
+
+void save_object(std::ostringstream& os, const ModelObject& obj, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  os << pad << "object " << obj.type() << " \""
+     << support::escape(obj.name()) << "\"\n";
+  for (const auto& [key, value] : obj.properties()) {
+    os << pad << "  prop " << key << " " << value.to_string() << "\n";
+  }
+  for (const auto& child : obj.children()) {
+    save_object(os, *child, depth + 1);
+  }
+}
+
+/// Recursive-descent parser for property literals (the to_string forms).
+class LiteralParser {
+ public:
+  explicit LiteralParser(std::string_view text) : text_(text) {}
+
+  PropertyValue parse() {
+    PropertyValue value = parse_value();
+    skip_ws();
+    SAGE_CHECK_AS(ModelError, pos_ == text_.size(),
+                  "trailing characters in property literal '",
+                  std::string(text_), "'");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+  }
+
+  PropertyValue parse_value() {
+    skip_ws();
+    SAGE_CHECK_AS(ModelError, pos_ < text_.size(), "empty property literal");
+    const char c = text_[pos_];
+    if (c == '(') return parse_list();
+    if (c == '"') return parse_string();
+    return parse_atom();
+  }
+
+  PropertyValue parse_list() {
+    ++pos_;  // '('
+    PropertyList items;
+    for (;;) {
+      skip_ws();
+      SAGE_CHECK_AS(ModelError, pos_ < text_.size(),
+                    "unterminated list in property literal");
+      if (text_[pos_] == ')') {
+        ++pos_;
+        return PropertyValue(std::move(items));
+      }
+      items.push_back(parse_value());
+    }
+  }
+
+  PropertyValue parse_string() {
+    ++pos_;  // opening quote
+    std::string raw;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        raw += text_[pos_];
+        ++pos_;
+      }
+      raw += text_[pos_];
+      ++pos_;
+    }
+    SAGE_CHECK_AS(ModelError, pos_ < text_.size(),
+                  "unterminated string in property literal");
+    ++pos_;  // closing quote
+    return PropertyValue(support::unescape(raw));
+  }
+
+  PropertyValue parse_atom() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ' && text_[pos_] != ')' &&
+           text_[pos_] != '(') {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token == "nil") return PropertyValue();
+    if (token == "true") return PropertyValue(true);
+    if (token == "false") return PropertyValue(false);
+    if (support::is_integer(token)) {
+      return PropertyValue(
+          static_cast<std::int64_t>(support::parse_int(token)));
+    }
+    return PropertyValue(support::parse_double(token));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string save_model(const ModelObject& root) {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  save_object(os, root, 0);
+  return os.str();
+}
+
+std::unique_ptr<ModelObject> load_model(std::string_view text) {
+  std::unique_ptr<ModelObject> root;
+  std::vector<ModelObject*> stack;  // stack[d] = open object at depth d
+  int line_number = 0;
+
+  for (const std::string& raw_line : support::split(text, '\n')) {
+    ++line_number;
+    // Measure indentation before trimming.
+    std::size_t indent = 0;
+    while (indent < raw_line.size() && raw_line[indent] == ' ') ++indent;
+    const std::string_view line = support::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    SAGE_CHECK_AS(ModelError, indent % 2 == 0, "line ", line_number,
+                  ": odd indentation");
+
+    if (support::starts_with(line, "object ")) {
+      const std::size_t depth = indent / 2;
+      SAGE_CHECK_AS(ModelError, depth <= stack.size(), "line ", line_number,
+                    ": object nested too deep for its parent");
+      std::string_view rest = line.substr(7);
+      const auto space = rest.find(' ');
+      SAGE_CHECK_AS(ModelError, space != std::string_view::npos, "line ",
+                    line_number, ": object needs a type and a name");
+      const std::string type(rest.substr(0, space));
+      std::string_view name_part = support::trim(rest.substr(space + 1));
+      SAGE_CHECK_AS(ModelError,
+                    name_part.size() >= 2 && name_part.front() == '"' &&
+                        name_part.back() == '"',
+                    "line ", line_number, ": object name must be quoted");
+      const std::string name =
+          support::unescape(name_part.substr(1, name_part.size() - 2));
+
+      stack.resize(depth);
+      if (depth == 0) {
+        SAGE_CHECK_AS(ModelError, root == nullptr, "line ", line_number,
+                      ": multiple root objects");
+        root = std::make_unique<ModelObject>(type, name);
+        stack.push_back(root.get());
+      } else {
+        SAGE_CHECK_AS(ModelError, !stack.empty() && root != nullptr, "line ",
+                      line_number, ": child object before any root");
+        ModelObject& child = stack.back()->add_child(type, name);
+        stack.push_back(&child);
+      }
+    } else if (support::starts_with(line, "prop ")) {
+      // A property belongs to the object opened at depth indent/2 - 1.
+      const std::size_t depth = indent / 2;
+      SAGE_CHECK_AS(ModelError, depth >= 1 && depth <= stack.size(), "line ",
+                    line_number, ": property outside any object");
+      ModelObject* owner = stack[depth - 1];
+      std::string_view rest = line.substr(5);
+      const auto space = rest.find(' ');
+      SAGE_CHECK_AS(ModelError, space != std::string_view::npos, "line ",
+                    line_number, ": prop needs a key and a value");
+      const std::string key(rest.substr(0, space));
+      try {
+        owner->set_property(
+            key, LiteralParser(support::trim(rest.substr(space + 1))).parse());
+      } catch (const ModelError& e) {
+        raise<ModelError>("line ", line_number, ": ", e.what());
+      }
+    } else {
+      raise<ModelError>("line ", line_number, ": unknown directive '",
+                        std::string(line.substr(0, line.find(' '))), "'");
+    }
+  }
+
+  SAGE_CHECK_AS(ModelError, root != nullptr,
+                "repository has no root object");
+  return root;
+}
+
+std::string save_workspace(const Workspace& workspace) {
+  return save_model(workspace.root());
+}
+
+std::unique_ptr<Workspace> load_workspace(std::string_view text) {
+  return std::make_unique<Workspace>(load_model(text));
+}
+
+}  // namespace sage::model

@@ -1,0 +1,41 @@
+// openSAGE -- model repository persistence.
+//
+// The original SAGE kept designs in a DoME repository; we persist the
+// object graph as an indented text format that round-trips every object,
+// name, and property:
+//
+//   # openSAGE model repository v1
+//   object sage-model "project"
+//     prop created "2000-05-01"
+//     object application "app"
+//       object function "src"
+//         prop kernel "matrix_source"
+//         prop threads 4
+//
+// Property literals use the PropertyValue::to_string forms: nil, true,
+// false, integers, reals, "strings" (escaped), and (lists ...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "model/object.hpp"
+#include "model/workspace.hpp"
+
+namespace sage::model {
+
+/// Serializes an object subtree.
+std::string save_model(const ModelObject& root);
+
+/// Parses a repository file; throws sage::ModelError on malformed input.
+std::unique_ptr<ModelObject> load_model(std::string_view text);
+
+/// Serializes a workspace's root.
+std::string save_workspace(const Workspace& workspace);
+
+/// Loads a workspace (the root object must have type "sage-model").
+/// Validation is the caller's choice (designs may be saved half-built).
+std::unique_ptr<Workspace> load_workspace(std::string_view text);
+
+}  // namespace sage::model

@@ -1,0 +1,139 @@
+#include "model/shelf.hpp"
+
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "support/error.hpp"
+
+namespace sage::model {
+
+void Shelf::put(std::unique_ptr<ModelObject> prototype) {
+  SAGE_CHECK_AS(ModelError, prototype != nullptr, "shelf: null prototype");
+  const std::string key = prototype->name();
+  SAGE_CHECK_AS(ModelError, items_.find(key) == items_.end(),
+                "shelf '", name_, "' already has a prototype '", key, "'");
+  items_.emplace(key, std::move(prototype));
+}
+
+bool Shelf::contains(std::string_view key) const {
+  return items_.find(key) != items_.end();
+}
+
+const ModelObject& Shelf::prototype(std::string_view key) const {
+  auto it = items_.find(key);
+  if (it == items_.end()) {
+    raise<ModelError>("shelf '", name_, "' has no prototype '",
+                      std::string(key), "'");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Shelf::keys() const {
+  std::vector<std::string> out;
+  out.reserve(items_.size());
+  for (const auto& [key, value] : items_) out.push_back(key);
+  return out;
+}
+
+ModelObject& Shelf::instantiate(std::string_view key, ModelObject& parent,
+                                std::string instance_name) const {
+  const ModelObject& proto = prototype(key);
+  return parent.adopt(proto.clone(std::move(instance_name)));
+}
+
+namespace {
+
+/// Builds a free-standing function prototype (not attached to an
+/// application, so no name-uniqueness checks apply yet).
+std::unique_ptr<ModelObject> make_function_proto(
+    const std::string& name, const std::string& kernel,
+    const std::vector<std::tuple<std::string, PortDirection, Striping>>&
+        ports) {
+  auto fn = std::make_unique<ModelObject>("function", name);
+  fn->set_property("kernel", kernel);
+  fn->set_property("threads", 1);
+  fn->set_property("work_flops", 0.0);
+  fn->set_property("role", "compute");
+  for (const auto& [port_name, direction, striping] : ports) {
+    ModelObject& port = fn->add_child("port", port_name);
+    port.set_property("direction", to_string(direction));
+    port.set_property("striping", to_string(striping));
+    port.set_property("stripe_dim", 0);
+    port.set_property("datatype", "cfloat");
+    // Placeholder dims; instantiating designs must overwrite.
+    port.set_property("dims", PropertyList{PropertyValue(0), PropertyValue(0)});
+  }
+  return fn;
+}
+
+}  // namespace
+
+Shelf standard_software_shelf() {
+  Shelf shelf("isspl-software");
+  using PD = PortDirection;
+  using St = Striping;
+
+  auto src = make_function_proto("matrix_source", "matrix_source",
+                                 {{"out", PD::kOut, St::kStriped}});
+  src->set_property("role", "source");
+  shelf.put(std::move(src));
+
+  auto sink = make_function_proto("matrix_sink", "matrix_sink",
+                                  {{"in", PD::kIn, St::kStriped}});
+  sink->set_property("role", "sink");
+  shelf.put(std::move(sink));
+
+  shelf.put(make_function_proto("fft_rows", "isspl.fft_rows",
+                                {{"in", PD::kIn, St::kStriped},
+                                 {"out", PD::kOut, St::kStriped}}));
+  shelf.put(make_function_proto("corner_turn", "isspl.corner_turn_local",
+                                {{"in", PD::kIn, St::kStriped},
+                                 {"out", PD::kOut, St::kStriped}}));
+  shelf.put(make_function_proto("magnitude", "isspl.magnitude",
+                                {{"in", PD::kIn, St::kStriped},
+                                 {"out", PD::kOut, St::kStriped}}));
+  shelf.put(make_function_proto("window_rows", "isspl.window_rows",
+                                {{"in", PD::kIn, St::kStriped},
+                                 {"out", PD::kOut, St::kStriped}}));
+  shelf.put(make_function_proto("threshold", "isspl.threshold",
+                                {{"in", PD::kIn, St::kStriped},
+                                 {"out", PD::kOut, St::kStriped}}));
+  shelf.put(make_function_proto("fir_rows", "isspl.fir_rows",
+                                {{"in", PD::kIn, St::kStriped},
+                                 {"out", PD::kOut, St::kStriped}}));
+  return shelf;
+}
+
+Shelf standard_hardware_shelf() {
+  Shelf shelf("cots-hardware");
+
+  auto quad = std::make_unique<ModelObject>("board", "quad_ppc603e");
+  for (int p = 0; p < 4; ++p) {
+    ModelObject& cpu =
+        quad->add_child("processor", "ppc603e_" + std::to_string(p));
+    cpu.set_property("mhz", 200.0);
+    cpu.set_property("mem_bytes", std::int64_t{64} << 20);
+    cpu.set_property("cpu_scale", 1.0);
+  }
+  shelf.put(std::move(quad));
+
+  auto dual = std::make_unique<ModelObject>("board", "dual_ppc750");
+  for (int p = 0; p < 2; ++p) {
+    ModelObject& cpu =
+        dual->add_child("processor", "ppc750_" + std::to_string(p));
+    cpu.set_property("mhz", 400.0);
+    cpu.set_property("mem_bytes", std::int64_t{128} << 20);
+    cpu.set_property("cpu_scale", 0.5);
+  }
+  shelf.put(std::move(dual));
+
+  auto ws = std::make_unique<ModelObject>("board", "workstation");
+  ModelObject& cpu = ws->add_child("processor", "host_cpu");
+  cpu.set_property("mhz", 1000.0);
+  cpu.set_property("mem_bytes", std::int64_t{1} << 30);
+  cpu.set_property("cpu_scale", 1.0);
+  shelf.put(std::move(ws));
+
+  return shelf;
+}
+
+}  // namespace sage::model

@@ -1,0 +1,58 @@
+// openSAGE -- shelves: libraries of reusable design blocks.
+//
+// "All primitive and hierarchical blocks are stored on software and
+// hardware shelves for later reuse." A shelf holds prototype subtrees
+// (functions with their ports, boards with their processors); designs
+// instantiate clones of them. The standard software shelf carries the
+// ISSPL-backed blocks the benchmark applications use.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/object.hpp"
+
+namespace sage::model {
+
+class Shelf {
+ public:
+  explicit Shelf(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a prototype; its name is the shelf key. Throws on
+  /// duplicates.
+  void put(std::unique_ptr<ModelObject> prototype);
+
+  bool contains(std::string_view key) const;
+  const ModelObject& prototype(std::string_view key) const;
+  std::vector<std::string> keys() const;
+
+  /// Clones a prototype into `parent` under a new instance name.
+  ModelObject& instantiate(std::string_view key, ModelObject& parent,
+                           std::string instance_name) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<ModelObject>, std::less<>> items_;
+};
+
+/// The standard software shelf: ISSPL-backed function prototypes used by
+/// the benchmark applications and examples. Prototypes (kernel names in
+/// parentheses) include:
+///   matrix_source (matrix_source), matrix_sink (matrix_sink),
+///   fft_rows (isspl.fft_rows), corner_turn (isspl.corner_turn_local),
+///   magnitude (isspl.magnitude), window_rows (isspl.window_rows),
+///   threshold (isspl.threshold), fir_rows (isspl.fir_rows)
+/// Each prototype carries placeholder dims of 0x0 which instantiating
+/// designs overwrite.
+Shelf standard_software_shelf();
+
+/// The standard hardware shelf: board prototypes (quad 200 MHz PowerPC
+/// 603e, dual PowerPC, workstation).
+Shelf standard_hardware_shelf();
+
+}  // namespace sage::model

@@ -1,0 +1,240 @@
+#include "model/workspace.hpp"
+
+#include <sstream>
+
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/mapping.hpp"
+#include "support/error.hpp"
+
+namespace sage::model {
+
+std::string Issue::to_string() const {
+  std::ostringstream os;
+  os << (severity == Severity::kError ? "error" : "warning") << " @ " << where
+     << ": " << message;
+  return os.str();
+}
+
+Workspace::Workspace(std::string name)
+    : root_(std::make_unique<ModelObject>("sage-model", std::move(name))) {
+  add_standard_datatypes(*root_);
+}
+
+Workspace::Workspace(std::unique_ptr<ModelObject> root)
+    : root_(std::move(root)) {
+  SAGE_CHECK_AS(ModelError, root_ != nullptr, "workspace needs a root");
+  SAGE_CHECK_AS(ModelError, root_->type() == "sage-model",
+                "workspace root must have type 'sage-model', got '",
+                root_->type(), "'");
+  add_standard_datatypes(*root_);  // no-op when already present
+}
+
+std::unique_ptr<Workspace> Workspace::clone() const {
+  return std::make_unique<Workspace>(root_->clone(root_->name()));
+}
+
+ModelObject& Workspace::only_child(const char* type) const {
+  const auto matches = root_->children_of_type(type);
+  SAGE_CHECK_AS(ModelError, matches.size() == 1, "workspace has ",
+                matches.size(), " objects of type '", type,
+                "' where exactly one was requested");
+  return *matches.front();
+}
+
+ModelObject& Workspace::application() { return only_child("application"); }
+ModelObject& Workspace::hardware() { return only_child("hardware"); }
+ModelObject& Workspace::mapping() { return only_child("mapping"); }
+const ModelObject& Workspace::application() const {
+  return only_child("application");
+}
+const ModelObject& Workspace::hardware() const { return only_child("hardware"); }
+const ModelObject& Workspace::mapping() const { return only_child("mapping"); }
+
+namespace {
+
+void check_ports_and_arcs(const ModelObject& root, const ModelObject& app,
+                          std::vector<Issue>& issues) {
+  auto error = [&](const ModelObject& obj, std::string message) {
+    issues.push_back({Issue::Severity::kError, obj.path(), std::move(message)});
+  };
+  auto warning = [&](const ModelObject& obj, std::string message) {
+    issues.push_back(
+        {Issue::Severity::kWarning, obj.path(), std::move(message)});
+  };
+
+  // Per-port checks.
+  for (const ModelObject* fn : functions(app)) {
+    const int threads =
+        static_cast<int>(fn->property_or("threads", 1).as_int());
+    for (const ModelObject* port : fn->children_of_type("port")) {
+      PortView view;
+      try {
+        view = port_view(*port);
+      } catch (const ModelError& e) {
+        error(*port, e.what());
+        continue;
+      }
+      try {
+        datatype_bytes(root, view.datatype);
+      } catch (const ModelError&) {
+        error(*port, "undefined datatype '" + view.datatype + "'");
+      }
+      for (std::size_t d : view.dims) {
+        if (d == 0) error(*port, "zero-length dimension");
+      }
+      if (view.striping == Striping::kStriped && !view.dims.empty()) {
+        const std::size_t dim =
+            view.dims[static_cast<std::size_t>(view.stripe_dim)];
+        if (threads > 0 && dim % static_cast<std::size_t>(threads) != 0) {
+          warning(*port, "striped dimension " + std::to_string(dim) +
+                             " does not divide evenly over " +
+                             std::to_string(threads) + " threads");
+        }
+      }
+    }
+  }
+
+  // Arc checks + fan-in counting.
+  std::map<const ModelObject*, int> producers;  // per in-port
+  std::map<const ModelObject*, int> consumers;  // per out-port
+  for (const ModelObject* arc : arcs(app)) {
+    ArcView view;
+    try {
+      view = arc_view(app, *arc);
+    } catch (const ModelError& e) {
+      issues.push_back({Issue::Severity::kError, arc->path(), e.what()});
+      continue;
+    }
+    const PortView src = port_view(*view.src_port);
+    const PortView dst = port_view(*view.dst_port);
+    if (src.datatype != dst.datatype) {
+      error(*arc, "datatype mismatch: " + src.datatype + " -> " +
+                      dst.datatype);
+    }
+    if (src.total_elems() != dst.total_elems()) {
+      error(*arc, "size mismatch: " + std::to_string(src.total_elems()) +
+                      " elements -> " + std::to_string(dst.total_elems()));
+    }
+    ++producers[view.dst_port];
+    ++consumers[view.src_port];
+  }
+
+  for (const ModelObject* fn : functions(app)) {
+    const std::string role = fn->property_or("role", "compute").as_string();
+    int in_ports = 0;
+    int out_ports = 0;
+    for (const ModelObject* port : fn->children_of_type("port")) {
+      const std::string dir = port->property("direction").as_string();
+      if (dir == "in") {
+        ++in_ports;
+        const int n = producers[port];
+        if (n == 0) error(*port, "in-port has no producer arc");
+        if (n > 1) {
+          error(*port, "in-port has " + std::to_string(n) + " producers");
+        }
+      } else {
+        ++out_ports;
+        if (consumers[port] == 0) {
+          warning(*port, "out-port has no consumer arc");
+        }
+      }
+    }
+    if (role == "source" && in_ports > 0) {
+      error(*fn, "source function has in-ports");
+    }
+    if (role == "sink" && out_ports > 0) {
+      error(*fn, "sink function has out-ports");
+    }
+  }
+
+  // Cycle check.
+  try {
+    topological_order(app);
+  } catch (const ModelError& e) {
+    issues.push_back({Issue::Severity::kError, app.path(), e.what()});
+  }
+}
+
+void check_mapping(const ModelObject& root, const ModelObject& app,
+                   const ModelObject& mapping_obj,
+                   std::vector<Issue>& issues) {
+  const ModelObject* hw = root.find_child(
+      "hardware", mapping_obj.property("hardware").as_string());
+  if (hw == nullptr) {
+    issues.push_back({Issue::Severity::kError, mapping_obj.path(),
+                      "mapping references missing hardware"});
+    return;
+  }
+  for (const ModelObject* a : mapping_obj.children_of_type("assignment")) {
+    const std::string& fn_name = a->property("function").as_string();
+    const std::string& cpu = a->property("processor").as_string();
+    bool found_fn = true;
+    try {
+      find_function(app, fn_name);
+    } catch (const ModelError&) {
+      found_fn = false;
+    }
+    if (!found_fn) {
+      issues.push_back({Issue::Severity::kError, a->path(),
+                        "assignment of unknown function '" + fn_name + "'"});
+    }
+    try {
+      processor_rank(*hw, cpu);
+    } catch (const ModelError&) {
+      issues.push_back({Issue::Severity::kError, a->path(),
+                        "assignment to unknown processor '" + cpu + "'"});
+    }
+  }
+  MappingView view(root, mapping_obj);
+  for (const ModelObject* fn : functions(app)) {
+    if (!view.is_mapped(fn->name())) {
+      issues.push_back({Issue::Severity::kError, fn->path(),
+                        "function is not mapped to any processor"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Issue> Workspace::validate() const {
+  std::vector<Issue> issues;
+
+  const auto apps = root_->children_of_type("application");
+  if (apps.empty()) {
+    issues.push_back({Issue::Severity::kError, root_->path(),
+                      "workspace has no application model"});
+    return issues;
+  }
+
+  for (const ModelObject* app : apps) {
+    check_ports_and_arcs(*root_, *app, issues);
+  }
+
+  const auto mappings = root_->children_of_type("mapping");
+  for (const ModelObject* mapping_obj : mappings) {
+    // A mapping applies to the single application; multi-app workspaces
+    // validate mappings against the first one carrying all functions.
+    check_mapping(*root_, *apps.front(), *mapping_obj, issues);
+  }
+
+  return issues;
+}
+
+void Workspace::validate_or_throw() const {
+  const auto issues = validate();
+  std::ostringstream os;
+  int errors = 0;
+  for (const Issue& issue : issues) {
+    if (issue.severity == Issue::Severity::kError) {
+      ++errors;
+      os << "\n  " << issue.to_string();
+    }
+  }
+  if (errors > 0) {
+    raise<ModelError>("design validation failed with ", errors,
+                      " error(s):", os.str());
+  }
+}
+
+}  // namespace sage::model

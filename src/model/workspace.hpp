@@ -1,0 +1,70 @@
+// openSAGE -- the design workspace: one root object holding the
+// co-designed application, data-type, hardware, and mapping models, plus
+// whole-design validation (the checks the Designer applies before
+// handing a design to AToT or the glue-code generator).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/object.hpp"
+
+namespace sage::model {
+
+/// One validation finding.
+struct Issue {
+  enum class Severity { kWarning, kError };
+  Severity severity = Severity::kError;
+  std::string where;    // object path
+  std::string message;
+
+  std::string to_string() const;
+};
+
+class Workspace {
+ public:
+  explicit Workspace(std::string name = "project");
+
+  /// Wraps an existing root (e.g. loaded from a repository file); the
+  /// root must have type "sage-model".
+  explicit Workspace(std::unique_ptr<ModelObject> root);
+
+  ModelObject& root() { return *root_; }
+  const ModelObject& root() const { return *root_; }
+
+  /// The single application/hardware/mapping (throws when absent or
+  /// ambiguous -- multi-design workspaces address children explicitly).
+  ModelObject& application();
+  ModelObject& hardware();
+  ModelObject& mapping();
+  const ModelObject& application() const;
+  const ModelObject& hardware() const;
+  const ModelObject& mapping() const;
+
+  /// Full-design validation. Checks:
+  ///  - every arc endpoint resolves, out->in, matching datatypes,
+  ///    matching total element counts;
+  ///  - every port datatype is defined;
+  ///  - stripe dimensions are in range and striped dims divide evenly by
+  ///    the function's thread count (warning otherwise);
+  ///  - the data-flow graph is acyclic;
+  ///  - every function is mapped to an existing processor;
+  ///  - in-ports have exactly one producer, out-ports at least one
+  ///    consumer (warning for dangling out-ports);
+  ///  - sources have no in-ports, sinks no out-ports.
+  std::vector<Issue> validate() const;
+
+  /// Throws sage::ModelError listing all errors when validation fails.
+  void validate_or_throw() const;
+
+  /// Deep copy of the whole design (fresh object identities) -- the
+  /// starting point for what-if edits during architecture trades.
+  std::unique_ptr<Workspace> clone() const;
+
+ private:
+  std::unique_ptr<ModelObject> root_;
+  ModelObject& only_child(const char* type) const;
+};
+
+}  // namespace sage::model

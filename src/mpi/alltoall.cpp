@@ -1,0 +1,111 @@
+#include "mpi/alltoall.hpp"
+
+#include <cstring>
+
+namespace sage::mpi {
+
+namespace {
+
+constexpr int kOpAlltoall = 6;
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void copy_own_block(std::span<const std::byte> in, std::span<std::byte> out,
+                    std::size_t block, int rank) {
+  std::memcpy(out.data() + static_cast<std::size_t>(rank) * block,
+              in.data() + static_cast<std::size_t>(rank) * block, block);
+}
+
+void alltoall_ring(Communicator& comm, std::span<const std::byte> in,
+                   std::span<std::byte> out, std::size_t block, int tag) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  copy_own_block(in, out, block, rank);
+  for (int step = 1; step < n; ++step) {
+    const int dst = (rank + step) % n;
+    const int src = (rank - step + n) % n;
+    comm.raw_send(dst, tag,
+                  in.subspan(static_cast<std::size_t>(dst) * block, block));
+    comm.raw_recv(out.subspan(static_cast<std::size_t>(src) * block, block),
+                  src, tag);
+  }
+}
+
+void alltoall_pairwise(Communicator& comm, std::span<const std::byte> in,
+                       std::span<std::byte> out, std::size_t block, int tag) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  copy_own_block(in, out, block, rank);
+  for (int step = 1; step < n; ++step) {
+    const int partner = rank ^ step;
+    comm.raw_send(partner, tag,
+                  in.subspan(static_cast<std::size_t>(partner) * block, block));
+    comm.raw_recv(
+        out.subspan(static_cast<std::size_t>(partner) * block, block), partner,
+        tag);
+  }
+}
+
+void alltoall_vendor(Communicator& comm, std::span<const std::byte> in,
+                     std::span<std::byte> out, std::size_t block, int tag) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  copy_own_block(in, out, block, rank);
+  // Vendor bulk path: all sends are posted up front through the
+  // DMA-aggregated channel, then receives are drained in arrival order.
+  for (int step = 1; step < n; ++step) {
+    const int dst = (rank + step) % n;
+    comm.raw_send(dst, tag,
+                  in.subspan(static_cast<std::size_t>(dst) * block, block),
+                  /*vendor_bulk=*/true);
+  }
+  for (int step = 1; step < n; ++step) {
+    const int src = (rank - step + n) % n;
+    comm.raw_recv(out.subspan(static_cast<std::size_t>(src) * block, block),
+                  src, tag);
+  }
+}
+
+}  // namespace
+
+std::string to_string(AlltoallAlgorithm algorithm) {
+  switch (algorithm) {
+    case AlltoallAlgorithm::kPairwise: return "pairwise";
+    case AlltoallAlgorithm::kRing: return "ring";
+    case AlltoallAlgorithm::kVendorDirect: return "vendor-direct";
+  }
+  return "?";
+}
+
+void alltoall_bytes(Communicator& comm, std::span<const std::byte> in,
+                    std::span<std::byte> out, std::size_t block,
+                    AlltoallAlgorithm algorithm) {
+  const auto n = static_cast<std::size_t>(comm.size());
+  SAGE_CHECK_AS(CommError, in.size() == n * block,
+                "alltoall: input must hold size()*block bytes, got ",
+                in.size(), " want ", n * block);
+  SAGE_CHECK_AS(CommError, out.size() == n * block,
+                "alltoall: output must hold size()*block bytes, got ",
+                out.size(), " want ", n * block);
+
+  const int seq = comm.next_collective_seq();
+  const int tag = comm.collective_tag(kOpAlltoall, seq);
+
+  switch (algorithm) {
+    case AlltoallAlgorithm::kPairwise:
+      if (is_power_of_two(comm.size())) {
+        alltoall_pairwise(comm, in, out, block, tag);
+      } else {
+        alltoall_ring(comm, in, out, block, tag);
+      }
+      break;
+    case AlltoallAlgorithm::kRing:
+      alltoall_ring(comm, in, out, block, tag);
+      break;
+    case AlltoallAlgorithm::kVendorDirect:
+      alltoall_vendor(comm, in, out, block, tag);
+      break;
+  }
+}
+
+}  // namespace sage::mpi

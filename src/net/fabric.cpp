@@ -1,0 +1,128 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace sage::net {
+
+Fabric::Fabric(int node_count, FabricModel model)
+    : node_count_(node_count), model_(std::move(model)), boxes_(node_count) {
+  SAGE_CHECK_AS(CommError, node_count > 0, "fabric needs at least one node");
+}
+
+support::VirtualSeconds Fabric::send(int src, int dst, int tag,
+                                     std::span<const std::byte> bytes,
+                                     support::VirtualSeconds now_vt,
+                                     SendOptions options) {
+  SAGE_CHECK_AS(CommError, src >= 0 && src < node_count_, "bad src rank ", src);
+  SAGE_CHECK_AS(CommError, dst >= 0 && dst < node_count_, "bad dst rank ", dst);
+
+  const double overhead_factor =
+      options.vendor_bulk ? model_.vendor_bulk_overhead_factor : 1.0;
+  const double send_cost = model_.send_overhead_s * overhead_factor;
+  const double recv_cost = model_.recv_overhead_s * overhead_factor;
+  const support::VirtualSeconds sender_after = now_vt + send_cost;
+
+  Parcel parcel;
+  parcel.src = src;
+  parcel.tag = tag;
+  parcel.payload.assign(bytes.begin(), bytes.end());
+
+  if (model_.model_contention && !model_.same_board(src, dst)) {
+    // The board-pair channel serializes transfers: the bytes move when
+    // both the sender has issued them and the link has drained. Links
+    // are granted in send-call order (host order), a conservative
+    // approximation of virtual-time arbitration.
+    const int board_a = src / model_.nodes_per_board;
+    const int board_b = dst / model_.nodes_per_board;
+    const auto key = std::minmax(board_a, board_b);
+    const double serialization =
+        static_cast<double>(bytes.size()) / model_.bandwidth_Bps(src, dst);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    double& link_free = link_free_[{key.first, key.second}];
+    const double start = std::max(sender_after, link_free);
+    link_free = start + serialization;
+    parcel.arrival_vt =
+        start + serialization + model_.latency_s(src, dst) + recv_cost;
+    ++total_messages_;
+    total_bytes_ += bytes.size();
+  } else {
+    parcel.arrival_vt = sender_after +
+                        model_.transfer_seconds(src, dst, bytes.size()) +
+                        recv_cost;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++total_messages_;
+    total_bytes_ += bytes.size();
+  }
+
+  {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(parcel));
+    box.cv.notify_all();
+  }
+  return sender_after;
+}
+
+Message Fabric::recv(int dst, int src, int tag, double timeout_wall_s) {
+  SAGE_CHECK_AS(CommError, dst >= 0 && dst < node_count_, "bad dst rank ", dst);
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout_wall_s));
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Parcel& p) { return match_(p, src, tag); });
+    if (it != box.queue.end()) {
+      Message out;
+      out.src = it->src;
+      out.tag = it->tag;
+      out.payload = std::move(it->payload);
+      out.arrival_vt = it->arrival_vt;
+      box.queue.erase(it);
+      return out;
+    }
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      raise<CommError>("recv timeout on rank ", dst, " waiting for src=", src,
+                       " tag=", tag, " after ", timeout_wall_s,
+                       "s wall time (likely emulated-network deadlock)");
+    }
+  }
+}
+
+std::optional<Message> Fabric::try_recv(int dst, int src, int tag) {
+  SAGE_CHECK_AS(CommError, dst >= 0 && dst < node_count_, "bad dst rank ", dst);
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                         [&](const Parcel& p) { return match_(p, src, tag); });
+  if (it == box.queue.end()) return std::nullopt;
+  Message out;
+  out.src = it->src;
+  out.tag = it->tag;
+  out.payload = std::move(it->payload);
+  out.arrival_vt = it->arrival_vt;
+  box.queue.erase(it);
+  return out;
+}
+
+std::size_t Fabric::pending(int dst) const {
+  const Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  return box.queue.size();
+}
+
+std::uint64_t Fabric::total_messages() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return total_messages_;
+}
+
+std::uint64_t Fabric::total_bytes() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return total_bytes_;
+}
+
+}  // namespace sage::net

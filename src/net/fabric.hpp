@@ -1,0 +1,112 @@
+// openSAGE -- the emulated fabric: N mailboxes, tag-matched delivery,
+// virtual-time stamps on every message.
+//
+// Each emulated node owns one mailbox. send() copies the payload (the
+// emulated nodes have private memories; nothing is shared by reference
+// across node boundaries) and stamps it with the sender's virtual time
+// plus the send overhead. recv() blocks on the mailbox until a matching
+// message arrives and returns the timestamp at which the message is
+// available at the receiver under the fabric cost model.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/fabric_model.hpp"
+#include "support/clock.hpp"
+
+namespace sage::net {
+
+/// Matches any source rank / any tag in recv().
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A delivered message, payload already copied into receiver-owned memory.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  /// Virtual time at which the payload is fully available at the receiver.
+  support::VirtualSeconds arrival_vt = 0.0;
+};
+
+/// Delivery options for modeling differently-tuned transfer paths.
+struct SendOptions {
+  /// True for the vendor bulk path (DMA-aggregated, reduced overhead).
+  bool vendor_bulk = false;
+};
+
+class Fabric {
+ public:
+  Fabric(int node_count, FabricModel model);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int node_count() const { return node_count_; }
+  const FabricModel& model() const { return model_; }
+
+  /// Copies `bytes` into a message for `dst`. `now_vt` is the sender's
+  /// virtual time when the send is issued. Returns the sender's virtual
+  /// time after the send call (send-side overhead added).
+  support::VirtualSeconds send(int src, int dst, int tag,
+                               std::span<const std::byte> bytes,
+                               support::VirtualSeconds now_vt,
+                               SendOptions options = {});
+
+  /// Blocks until a message matching (src, tag) is available for `dst`
+  /// (kAnySource / kAnyTag act as wildcards). Throws sage::CommError if
+  /// `timeout_wall_s` of host wall time elapses first, which turns
+  /// emulated-network deadlocks into test failures instead of hangs.
+  Message recv(int dst, int src = kAnySource, int tag = kAnyTag,
+               double timeout_wall_s = 60.0);
+
+  /// Non-blocking variant; returns std::nullopt when no match is queued.
+  std::optional<Message> try_recv(int dst, int src = kAnySource,
+                                  int tag = kAnyTag);
+
+  /// Number of messages currently queued for `dst` (diagnostics).
+  std::size_t pending(int dst) const;
+
+  /// Total messages and bytes ever accepted (diagnostics / benches).
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct Parcel {
+    int src;
+    int tag;
+    std::vector<std::byte> payload;
+    support::VirtualSeconds arrival_vt;
+  };
+
+  struct Mailbox {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Parcel> queue;
+  };
+
+  bool match_(const Parcel& p, int src, int tag) const {
+    return (src == kAnySource || p.src == src) &&
+           (tag == kAnyTag || p.tag == tag);
+  }
+
+  int node_count_;
+  FabricModel model_;
+  std::vector<Mailbox> boxes_;
+  mutable std::mutex stats_mu_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  // Contention model: per board-pair channel, the virtual time at which
+  // the link becomes free (guarded by stats_mu_).
+  std::map<std::pair<int, int>, double> link_free_;
+};
+
+}  // namespace sage::net

@@ -1,0 +1,65 @@
+#include "net/fabric_model.hpp"
+
+namespace sage::net {
+
+FabricModel myrinet_fabric() {
+  FabricModel m;
+  m.name = "cspi-myrinet-160";
+  return m;
+}
+
+FabricModel raceway_fabric() {
+  FabricModel m;
+  m.name = "mercury-raceway";
+  // RACEway: 267 MB/s links, crossbar with very low latency, 6 nodes/board.
+  m.send_overhead_s = 4e-6;
+  m.recv_overhead_s = 4e-6;
+  m.intra_board_latency_s = 1e-6;
+  m.inter_board_latency_s = 6e-6;
+  m.intra_board_bandwidth_Bps = 267.0 * 1024 * 1024;
+  m.inter_board_bandwidth_Bps = 267.0 * 1024 * 1024;
+  m.nodes_per_board = 6;
+  return m;
+}
+
+FabricModel sky_fabric() {
+  FabricModel m;
+  m.name = "sky-skychannel";
+  // SKYchannel: 320 MB/s packet bus, higher software overhead.
+  m.send_overhead_s = 8e-6;
+  m.recv_overhead_s = 8e-6;
+  m.intra_board_latency_s = 2e-6;
+  m.inter_board_latency_s = 12e-6;
+  m.intra_board_bandwidth_Bps = 320.0 * 1024 * 1024;
+  m.inter_board_bandwidth_Bps = 320.0 * 1024 * 1024;
+  m.nodes_per_board = 4;
+  return m;
+}
+
+FabricModel sigi_fabric() {
+  FabricModel m;
+  m.name = "sigi";
+  m.send_overhead_s = 6e-6;
+  m.recv_overhead_s = 6e-6;
+  m.intra_board_latency_s = 3e-6;
+  m.inter_board_latency_s = 15e-6;
+  m.intra_board_bandwidth_Bps = 120.0 * 1024 * 1024;
+  m.inter_board_bandwidth_Bps = 120.0 * 1024 * 1024;
+  m.nodes_per_board = 2;
+  return m;
+}
+
+FabricModel ideal_fabric() {
+  FabricModel m;
+  m.name = "ideal";
+  m.send_overhead_s = 0;
+  m.recv_overhead_s = 0;
+  m.intra_board_latency_s = 0;
+  m.inter_board_latency_s = 0;
+  m.intra_board_bandwidth_Bps = 1e18;
+  m.inter_board_bandwidth_Bps = 1e18;
+  m.vendor_bulk_overhead_factor = 1.0;
+  return m;
+}
+
+}  // namespace sage::net

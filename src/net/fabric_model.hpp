@@ -1,0 +1,114 @@
+// openSAGE -- interconnect cost model.
+//
+// Models a COTS multicomputer fabric in the LogGP style: a message of n
+// bytes from src to dst costs
+//
+//     send_overhead + latency(src,dst) + n / bandwidth(src,dst)
+//
+// in virtual time. The default parameters describe the paper's CSPI
+// testbed: two quad-PowerPC boards in one VME chassis joined by a
+// 160 MB/s Myrinet fabric, which serves both intra-board and inter-board
+// traffic. Other vendor platforms from the MITRE cross-vendor study are
+// modeled as presets (see sage::core::platforms).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sage::net {
+
+/// Static description of one fabric. All rates are bytes/second, all
+/// times seconds.
+struct FabricModel {
+  std::string name = "myrinet-160";
+
+  /// Per-message software overhead on the sending side (o in LogGP).
+  double send_overhead_s = 5e-6;
+  /// Per-message software overhead on the receiving side.
+  double recv_overhead_s = 5e-6;
+
+  /// Wire latency within one board (backplane / shared memory bridge).
+  double intra_board_latency_s = 2e-6;
+  /// Wire latency across boards (through the fabric switch).
+  double inter_board_latency_s = 10e-6;
+
+  /// Sustained point-to-point bandwidth within a board.
+  double intra_board_bandwidth_Bps = 160.0 * 1024 * 1024;
+  /// Sustained point-to-point bandwidth across boards.
+  double inter_board_bandwidth_Bps = 160.0 * 1024 * 1024;
+
+  /// Overhead discount applied by the "vendor-tuned" bulk path, modeling
+  /// DMA aggregation in a vendor MPI_Alltoall (0 = free, 1 = no discount).
+  double vendor_bulk_overhead_factor = 0.25;
+
+  /// Nodes per board; node i lives on board i / nodes_per_board.
+  int nodes_per_board = 4;
+
+  /// When true, each inter-board link (board-pair channel) serializes
+  /// its transfers: a message may have to wait for the link to drain
+  /// before its bytes move. Off by default (pure LogGP, no contention).
+  bool model_contention = false;
+
+  /// Per-board-pair overrides for heterogeneous fabrics (e.g. one slow
+  /// bridge between chassis). Keyed by (min board, max board).
+  struct LinkParams {
+    double bandwidth_Bps = 0.0;
+    double latency_s = 0.0;
+  };
+  std::map<std::pair<int, int>, LinkParams> link_overrides;
+
+  /// Adds (or replaces) an override for the given board pair.
+  void set_link(int board_a, int board_b, double bandwidth_Bps,
+                double latency_s) {
+    const auto key = board_a < board_b ? std::make_pair(board_a, board_b)
+                                       : std::make_pair(board_b, board_a);
+    link_overrides[key] = LinkParams{bandwidth_Bps, latency_s};
+  }
+
+  const LinkParams* link_override(int src, int dst) const {
+    const int a = src / nodes_per_board;
+    const int b = dst / nodes_per_board;
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    const auto it = link_overrides.find(key);
+    return it == link_overrides.end() ? nullptr : &it->second;
+  }
+
+  bool same_board(int a, int b) const {
+    return a / nodes_per_board == b / nodes_per_board;
+  }
+
+  double latency_s(int src, int dst) const {
+    if (same_board(src, dst)) return intra_board_latency_s;
+    if (const LinkParams* link = link_override(src, dst)) {
+      return link->latency_s;
+    }
+    return inter_board_latency_s;
+  }
+
+  double bandwidth_Bps(int src, int dst) const {
+    if (same_board(src, dst)) return intra_board_bandwidth_Bps;
+    if (const LinkParams* link = link_override(src, dst)) {
+      return link->bandwidth_Bps;
+    }
+    return inter_board_bandwidth_Bps;
+  }
+
+  /// Virtual-time cost charged to the *receiver's* timeline for a message
+  /// (latency + serialization). Sender separately pays send_overhead_s.
+  double transfer_seconds(int src, int dst, std::size_t bytes) const {
+    return latency_s(src, dst) +
+           static_cast<double>(bytes) / bandwidth_Bps(src, dst);
+  }
+};
+
+/// Built-in fabric presets used by benches and tests.
+FabricModel myrinet_fabric();            // CSPI-like (the paper's testbed)
+FabricModel raceway_fabric();            // Mercury RACEway-like
+FabricModel sky_fabric();                // SKY SKYchannel-like
+FabricModel sigi_fabric();               // SIGI-like
+FabricModel ideal_fabric();              // zero-cost (unit tests)
+
+}  // namespace sage::net

@@ -1,0 +1,73 @@
+#include "net/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace sage::net {
+
+support::VirtualSeconds MachineReport::makespan() const {
+  support::VirtualSeconds worst = 0.0;
+  for (const NodeReport& n : nodes) {
+    if (n.final_vt > worst) worst = n.final_vt;
+  }
+  return worst;
+}
+
+Machine::Machine(int node_count, FabricModel fabric_model, double cpu_scale)
+    : node_count_(node_count),
+      scales_(static_cast<std::size_t>(std::max(node_count, 0)), cpu_scale),
+      fabric_(std::make_unique<Fabric>(node_count, std::move(fabric_model))) {
+  SAGE_CHECK_AS(CommError, node_count > 0, "machine needs at least one node");
+  SAGE_CHECK_AS(CommError, cpu_scale > 0, "cpu_scale must be positive");
+}
+
+Machine::Machine(FabricModel fabric_model, std::vector<double> per_node_scales)
+    : node_count_(static_cast<int>(per_node_scales.size())),
+      scales_(std::move(per_node_scales)),
+      fabric_(std::make_unique<Fabric>(node_count_, std::move(fabric_model))) {
+  SAGE_CHECK_AS(CommError, node_count_ > 0, "machine needs at least one node");
+  for (double s : scales_) {
+    SAGE_CHECK_AS(CommError, s > 0, "cpu_scale must be positive");
+  }
+}
+
+MachineReport Machine::run(const NodeProgram& program) {
+  std::vector<std::unique_ptr<NodeContext>> contexts;
+  contexts.reserve(static_cast<std::size_t>(node_count_));
+  for (int r = 0; r < node_count_; ++r) {
+    contexts.push_back(std::make_unique<NodeContext>(
+        r, node_count_, *fabric_, scales_[static_cast<std::size_t>(r)]));
+  }
+
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(node_count_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(node_count_));
+  for (int r = 0; r < node_count_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        program(*contexts[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  MachineReport report;
+  report.nodes.reserve(static_cast<std::size_t>(node_count_));
+  for (int r = 0; r < node_count_; ++r) {
+    report.nodes.push_back(
+        {r, contexts[static_cast<std::size_t>(r)]->now()});
+  }
+  return report;
+}
+
+}  // namespace sage::net

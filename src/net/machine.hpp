@@ -1,0 +1,90 @@
+// openSAGE -- the emulated multicomputer.
+//
+// Machine::run spawns one host thread per emulated node, hands each a
+// NodeContext (rank, fabric handle, virtual clock, CPU scale factor), and
+// joins them. Exceptions thrown on node threads are captured and rethrown
+// on the caller after all nodes stop. The per-node final virtual times are
+// collected so harnesses can report modeled makespans.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "support/clock.hpp"
+
+namespace sage::net {
+
+/// Everything a node program needs: identity, its clock, and the wires.
+class NodeContext {
+ public:
+  NodeContext(int rank, int size, Fabric& fabric, double cpu_scale)
+      : rank_(rank), size_(size), fabric_(fabric), cpu_scale_(cpu_scale) {}
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  Fabric& fabric() { return fabric_; }
+  const FabricModel& fabric_model() const { return fabric_.model(); }
+
+  support::VirtualClock& clock() { return clock_; }
+  support::VirtualSeconds now() const { return clock_.now(); }
+
+  /// Ratio modeled-CPU-time : host-CPU-time for compute segments. A value
+  /// of 4.0 models a CPU four times slower than the host core.
+  double cpu_scale() const { return cpu_scale_; }
+
+  /// Measures a compute segment and advances the virtual clock.
+  template <typename Fn>
+  auto compute(Fn&& fn) -> decltype(fn()) {
+    support::ComputeScope scope(clock_, cpu_scale_);
+    return fn();
+  }
+
+ private:
+  int rank_;
+  int size_;
+  Fabric& fabric_;
+  double cpu_scale_;
+  support::VirtualClock clock_;
+};
+
+/// Per-node results of a Machine::run.
+struct NodeReport {
+  int rank = 0;
+  support::VirtualSeconds final_vt = 0.0;
+};
+
+struct MachineReport {
+  std::vector<NodeReport> nodes;
+
+  /// Modeled makespan: the latest node finish time.
+  support::VirtualSeconds makespan() const;
+};
+
+/// The emulated platform: node count + fabric + CPU speed model.
+class Machine {
+ public:
+  Machine(int node_count, FabricModel fabric_model, double cpu_scale = 1.0);
+  /// Heterogeneous machine: one CPU scale per node.
+  Machine(FabricModel fabric_model, std::vector<double> per_node_scales);
+
+  int node_count() const { return node_count_; }
+  Fabric& fabric() { return *fabric_; }
+  double cpu_scale(int rank = 0) const {
+    return scales_[static_cast<std::size_t>(rank)];
+  }
+
+  using NodeProgram = std::function<void(NodeContext&)>;
+
+  /// Runs `program` on every node concurrently; rethrows the first node
+  /// exception after all threads join.
+  MachineReport run(const NodeProgram& program);
+
+ private:
+  int node_count_;
+  std::vector<double> scales_;  // one per node
+  std::unique_ptr<Fabric> fabric_;
+};
+
+}  // namespace sage::net

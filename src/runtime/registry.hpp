@@ -1,0 +1,115 @@
+// openSAGE -- the function registry: binding glue-code kernel names to
+// native leaf behaviours.
+//
+// "The entire software development environment integrates COTS-supplied
+// components (compilers and run-time system, and libraries), along with
+// custom, user-supplied software": functions in the model reference
+// kernels by name; the runtime resolves those names against this
+// registry when the function table loads, exactly as the generated glue
+// code linked against the ISSPL function libraries.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/striping.hpp"
+
+namespace sage::runtime {
+
+/// A thread-local view of one port's data for a single invocation.
+struct PortSlice {
+  std::string name;
+  std::span<std::byte> data;            // thread-local storage
+  std::size_t elem_bytes = 0;
+  std::vector<std::size_t> local_dims;  // dims of this thread's slice
+  std::vector<std::size_t> global_dims;
+  std::vector<Run> runs;                // global runs backing the slice
+
+  std::size_t local_elems() const { return data.size() / elem_bytes; }
+
+  /// Global element index corresponding to a local element index.
+  std::size_t global_of_local(std::size_t local_index) const;
+
+  template <typename T>
+  std::span<T> as() {
+    return {reinterpret_cast<T*>(data.data()), data.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> as() const {
+    return {reinterpret_cast<const T*>(data.data()), data.size() / sizeof(T)};
+  }
+};
+
+/// Everything a kernel invocation sees.
+class KernelContext {
+ public:
+  KernelContext(int thread, int num_threads, int iteration)
+      : thread_(thread), num_threads_(num_threads), iteration_(iteration) {}
+
+  int thread() const { return thread_; }
+  int num_threads() const { return num_threads_; }
+  int iteration() const { return iteration_; }
+
+  const PortSlice& in(std::string_view port) const;
+  PortSlice& out(std::string_view port);
+  bool has_in(std::string_view port) const;
+  bool has_out(std::string_view port) const;
+
+  /// Function parameter (from the model, via the glue config).
+  double param_or(std::string_view key, double fallback) const;
+
+  /// Records a scalar result (sinks publish checksums this way); the
+  /// engine aggregates per function across threads and iterations.
+  void set_result(double value) { result_ = value; has_result_ = true; }
+  bool has_result() const { return has_result_; }
+  double result() const { return result_; }
+
+  // Populated by the engine before the call:
+  std::vector<PortSlice> inputs;
+  std::vector<PortSlice> outputs;
+  std::map<std::string, double, std::less<>> params;
+
+ private:
+  int thread_;
+  int num_threads_;
+  int iteration_;
+  double result_ = 0.0;
+  bool has_result_ = false;
+};
+
+using Kernel = std::function<void(KernelContext&)>;
+
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+
+  void add(std::string name, Kernel kernel);
+  bool contains(std::string_view name) const;
+  const Kernel& lookup(std::string_view name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Kernel, std::less<>> kernels_;
+};
+
+/// Registry preloaded with the standard shelf kernels:
+///   matrix_source, matrix_sink, identity,
+///   isspl.fft_rows, isspl.ifft_rows, isspl.corner_turn_local,
+///   isspl.magnitude, isspl.window_rows, isspl.threshold, isspl.fir_rows,
+///   isspl.scale
+FunctionRegistry standard_registry();
+
+/// The deterministic test signal shared by SAGE-modeled and hand-coded
+/// benchmark versions (so outputs are directly comparable).
+std::complex<float> test_pattern(std::size_t global_index, int iteration);
+
+/// Order-insensitive checksum of a complex block (sum of re + im).
+double block_checksum(std::span<const std::complex<float>> data);
+
+}  // namespace sage::runtime

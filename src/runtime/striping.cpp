@@ -1,0 +1,163 @@
+#include "runtime/striping.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sage::runtime {
+
+std::size_t StripeSpec::total_elems() const {
+  std::size_t total = 1;
+  for (std::size_t d : dims) total *= d;
+  return total;
+}
+
+std::size_t StripeSpec::elems_per_thread() const {
+  if (striping == model::Striping::kReplicated) return total_elems();
+  return total_elems() / static_cast<std::size_t>(threads);
+}
+
+std::vector<std::size_t> StripeSpec::local_dims() const {
+  std::vector<std::size_t> out = dims;
+  if (striping == model::Striping::kStriped) {
+    out[static_cast<std::size_t>(stripe_dim)] /=
+        static_cast<std::size_t>(threads);
+  }
+  return out;
+}
+
+void StripeSpec::validate() const {
+  SAGE_CHECK_AS(RuntimeError, !dims.empty(), "stripe spec has no dims");
+  SAGE_CHECK_AS(RuntimeError, threads >= 1, "stripe spec needs >= 1 thread");
+  for (std::size_t d : dims) {
+    SAGE_CHECK_AS(RuntimeError, d > 0, "stripe spec has a zero dimension");
+  }
+  if (striping == model::Striping::kStriped) {
+    SAGE_CHECK_AS(RuntimeError,
+                  stripe_dim >= 0 &&
+                      stripe_dim < static_cast<int>(dims.size()),
+                  "stripe_dim ", stripe_dim, " out of range");
+    const std::size_t dim = dims[static_cast<std::size_t>(stripe_dim)];
+    SAGE_CHECK_AS(RuntimeError,
+                  dim % static_cast<std::size_t>(threads) == 0,
+                  "striped dimension ", dim, " does not divide over ",
+                  threads, " threads");
+  }
+}
+
+std::vector<Run> slice_runs(const StripeSpec& spec, int thread) {
+  spec.validate();
+  SAGE_CHECK_AS(RuntimeError, thread >= 0 && thread < spec.threads,
+                "thread ", thread, " out of range (", spec.threads,
+                " threads)");
+
+  if (spec.striping == model::Striping::kReplicated) {
+    return {Run{0, spec.total_elems()}};
+  }
+
+  const auto k = static_cast<std::size_t>(spec.stripe_dim);
+  std::size_t outer = 1;
+  for (std::size_t i = 0; i < k; ++i) outer *= spec.dims[i];
+  std::size_t inner = 1;
+  for (std::size_t i = k + 1; i < spec.dims.size(); ++i) inner *= spec.dims[i];
+
+  const std::size_t chunk =
+      spec.dims[k] / static_cast<std::size_t>(spec.threads);
+  const std::size_t stride = spec.dims[k] * inner;  // per outer index
+  const std::size_t run_len = chunk * inner;
+  const std::size_t base = static_cast<std::size_t>(thread) * chunk * inner;
+
+  std::vector<Run> runs;
+  runs.reserve(outer);
+  for (std::size_t o = 0; o < outer; ++o) {
+    runs.push_back(Run{o * stride + base, run_len});
+  }
+  return runs;
+}
+
+std::size_t ThreadPairTransfer::total_elems() const {
+  std::size_t total = 0;
+  for (const Segment& s : segments) total += s.length;
+  return total;
+}
+
+namespace {
+
+/// Intersects two sorted run lists, producing segments with thread-local
+/// offsets on both sides (cumulative position within each run list).
+std::vector<Segment> intersect_runs(const std::vector<Run>& src,
+                                    const std::vector<Run>& dst) {
+  std::vector<Segment> segments;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t src_local = 0;  // local offset of src[i] start
+  std::size_t dst_local = 0;
+  while (i < src.size() && j < dst.size()) {
+    const std::size_t src_begin = src[i].global_offset;
+    const std::size_t src_end = src_begin + src[i].length;
+    const std::size_t dst_begin = dst[j].global_offset;
+    const std::size_t dst_end = dst_begin + dst[j].length;
+
+    const std::size_t lo = std::max(src_begin, dst_begin);
+    const std::size_t hi = std::min(src_end, dst_end);
+    if (lo < hi) {
+      Segment seg;
+      seg.src_offset = src_local + (lo - src_begin);
+      seg.dst_offset = dst_local + (lo - dst_begin);
+      seg.length = hi - lo;
+      // Merge with the previous segment when contiguous on both sides.
+      if (!segments.empty()) {
+        Segment& prev = segments.back();
+        if (prev.src_offset + prev.length == seg.src_offset &&
+            prev.dst_offset + prev.length == seg.dst_offset) {
+          prev.length += seg.length;
+        } else {
+          segments.push_back(seg);
+        }
+      } else {
+        segments.push_back(seg);
+      }
+    }
+
+    if (src_end <= dst_end) {
+      src_local += src[i].length;
+      ++i;
+    }
+    if (dst_end <= src_end) {
+      dst_local += dst[j].length;
+      ++j;
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+std::vector<ThreadPairTransfer> build_transfer_plan(const StripeSpec& src,
+                                                    const StripeSpec& dst) {
+  src.validate();
+  dst.validate();
+  SAGE_CHECK_AS(RuntimeError, src.total_elems() == dst.total_elems(),
+                "transfer plan: element count mismatch (", src.total_elems(),
+                " vs ", dst.total_elems(), ")");
+
+  // A replicated source means every producer thread holds identical data;
+  // only thread 0 actually feeds the buffer.
+  const int effective_src_threads =
+      (src.striping == model::Striping::kReplicated) ? 1 : src.threads;
+
+  std::vector<ThreadPairTransfer> plan;
+  for (int s = 0; s < effective_src_threads; ++s) {
+    const std::vector<Run> src_runs = slice_runs(src, s);
+    for (int d = 0; d < dst.threads; ++d) {
+      const std::vector<Run> dst_runs = slice_runs(dst, d);
+      std::vector<Segment> segments = intersect_runs(src_runs, dst_runs);
+      if (!segments.empty()) {
+        plan.push_back(ThreadPairTransfer{s, d, std::move(segments)});
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace sage::runtime

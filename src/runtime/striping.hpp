@@ -1,0 +1,80 @@
+// openSAGE -- the striping engine.
+//
+// "Striped ports represent data-flow communications in which the data is
+// sliced or divided evenly among the threads of the host function." The
+// runtime turns the striping declarations of a logical buffer's two
+// endpoints into an explicit transfer plan: for every (producer thread,
+// consumer thread) pair, the list of (src offset, dst offset, length)
+// segments to move. Offsets are thread-local element offsets; the plan is
+// precomputed once at load time and reused every iteration.
+//
+// A striped port slices dimension `stripe_dim` of the port's dims evenly
+// over the function's threads; the thread-local layout enumerates the
+// slice's elements in increasing global offset (so a dim-0 stripe is one
+// contiguous run, a dim-1 stripe of a 2D array is `rows` runs of
+// `cols/threads` elements -- exactly the packed column block a corner
+// turn operates on). A replicated port gives every thread the whole
+// array.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/app.hpp"
+
+namespace sage::runtime {
+
+/// A contiguous run of elements within the global index space.
+struct Run {
+  std::size_t global_offset = 0;
+  std::size_t length = 0;
+
+  bool operator==(const Run&) const = default;
+};
+
+/// One side of a logical buffer: how the global array is split over the
+/// endpoint function's threads.
+struct StripeSpec {
+  std::vector<std::size_t> dims;
+  model::Striping striping = model::Striping::kStriped;
+  int stripe_dim = 0;
+  int threads = 1;
+
+  std::size_t total_elems() const;
+  /// Elements owned by one thread (== total for replicated ports).
+  std::size_t elems_per_thread() const;
+  /// Thread-local dims: dims with the striped dimension divided.
+  std::vector<std::size_t> local_dims() const;
+  /// Throws sage::RuntimeError unless the striped dimension divides
+  /// evenly by the thread count.
+  void validate() const;
+};
+
+/// The runs of the global index space owned by `thread`, in increasing
+/// global offset (which is also the thread-local storage order).
+std::vector<Run> slice_runs(const StripeSpec& spec, int thread);
+
+/// One copy/transfer segment between two thread-local buffers.
+struct Segment {
+  std::size_t src_offset = 0;  // elements, into the producer thread's slice
+  std::size_t dst_offset = 0;  // elements, into the consumer thread's slice
+  std::size_t length = 0;
+
+  bool operator==(const Segment&) const = default;
+};
+
+/// All segments a (src thread, dst thread) pair must move.
+struct ThreadPairTransfer {
+  int src_thread = 0;
+  int dst_thread = 0;
+  std::vector<Segment> segments;
+
+  std::size_t total_elems() const;
+};
+
+/// The full transfer plan of a logical buffer. Empty pairs are omitted.
+/// Both specs must describe the same total element count.
+std::vector<ThreadPairTransfer> build_transfer_plan(const StripeSpec& src,
+                                                    const StripeSpec& dst);
+
+}  // namespace sage::runtime

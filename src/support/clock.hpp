@@ -1,0 +1,83 @@
+// openSAGE -- virtual time.
+//
+// The emulated multicomputer runs one thread per node on a host that may
+// have fewer physical cores than emulated nodes. Wall-clock timing would
+// therefore serialize and hide all scaling behaviour. Instead each node
+// carries a VirtualClock:
+//
+//   * compute segments advance it by measured *thread CPU time*
+//     (CLOCK_THREAD_CPUTIME_ID), optionally scaled to the modeled CPU;
+//   * communication advances it by the fabric cost model (see sage::net);
+//   * a receive joins timelines: vt = max(vt_local, vt_sender + transfer).
+//
+// All results reported by the benchmark harness are virtual seconds.
+#pragma once
+
+#include <cstdint>
+
+namespace sage::support {
+
+/// Seconds of modeled execution time.
+using VirtualSeconds = double;
+
+/// Returns this thread's consumed CPU time in seconds.
+double thread_cpu_seconds();
+
+/// Monotonic wall-clock seconds (logging / host-side measurement only).
+double wall_seconds();
+
+/// Per-node modeled clock. Not thread-safe by itself: each node thread owns
+/// exactly one VirtualClock; cross-thread joins happen via message
+/// timestamps (see Fabric), never by sharing the clock object.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current modeled time in seconds since node start.
+  VirtualSeconds now() const { return now_; }
+
+  /// Advance by a modeled duration (communication, modeled waits).
+  void advance(VirtualSeconds dt) {
+    if (dt > 0) now_ += dt;
+  }
+
+  /// Join with a remote timeline, e.g. on message receive.
+  void join(VirtualSeconds other) {
+    if (other > now_) now_ = other;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  VirtualSeconds now_ = 0.0;
+};
+
+/// RAII measurement of a compute segment: on destruction adds the elapsed
+/// thread CPU time, multiplied by `scale`, to the clock. `scale` > 1 models
+/// a slower CPU than the host (e.g. a 200 MHz PowerPC 603e).
+class ComputeScope {
+ public:
+  explicit ComputeScope(VirtualClock& clock, double scale = 1.0)
+      : clock_(clock), scale_(scale), start_(thread_cpu_seconds()) {}
+
+  ComputeScope(const ComputeScope&) = delete;
+  ComputeScope& operator=(const ComputeScope&) = delete;
+
+  ~ComputeScope() { stop(); }
+
+  /// Stops measurement early; subsequent destruction is a no-op.
+  void stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      clock_.advance((thread_cpu_seconds() - start_) * scale_);
+    }
+  }
+
+ private:
+  VirtualClock& clock_;
+  double scale_;
+  double start_;
+  bool stopped_ = false;
+};
+
+}  // namespace sage::support

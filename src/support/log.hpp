@@ -1,0 +1,55 @@
+// openSAGE -- leveled logging to stderr.
+//
+// Intentionally tiny: the Visualizer (sage::viz) is the structured
+// observability layer; this logger only covers diagnostics and harness
+// progress lines. Level is process-global and settable from the
+// SAGE_LOG_LEVEL environment variable (error|warn|info|debug).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sage::support {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one line ("[sage][level] message") if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+template <typename... Parts>
+void log_parts(LogLevel level, const Parts&... parts) {
+  if (level > log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_line(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  detail::log_parts(LogLevel::kError, parts...);
+}
+
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  detail::log_parts(LogLevel::kWarn, parts...);
+}
+
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  detail::log_parts(LogLevel::kInfo, parts...);
+}
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  detail::log_parts(LogLevel::kDebug, parts...);
+}
+
+}  // namespace sage::support

@@ -1,0 +1,50 @@
+// openSAGE -- small string utilities shared by the Alter reader, the
+// glue-config parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage::support {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// True if `s` parses fully as a decimal integer (optional sign).
+bool is_integer(std::string_view s);
+
+/// Parses an integer, throwing sage::Error on malformed input.
+long long parse_int(std::string_view s);
+
+/// Parses a double, throwing sage::Error on malformed input.
+double parse_double(std::string_view s);
+
+/// Escapes for embedding in a double-quoted literal ('"', '\', newline).
+std::string escape(std::string_view s);
+
+/// Inverse of escape().
+std::string unescape(std::string_view s);
+
+/// Human-readable engineering formatting of seconds ("12.3 ms").
+std::string format_seconds(double seconds);
+
+/// Human-readable byte count ("8.0 MiB").
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace sage::support

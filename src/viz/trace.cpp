@@ -1,0 +1,123 @@
+#include "viz/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sage::viz {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFunctionStart: return "function_start";
+    case EventKind::kFunctionEnd: return "function_end";
+    case EventKind::kSend: return "send";
+    case EventKind::kReceive: return "receive";
+    case EventKind::kBufferCopy: return "buffer_copy";
+    case EventKind::kIterationStart: return "iteration_start";
+    case EventKind::kIterationEnd: return "iteration_end";
+    case EventKind::kMarker: return "marker";
+  }
+  return "?";
+}
+
+Trace Trace::merge(const std::vector<const EventBuffer*>& buffers) {
+  Trace trace;
+  std::size_t total = 0;
+  for (const EventBuffer* buffer : buffers) total += buffer->events().size();
+  trace.events_.reserve(total);
+  for (const EventBuffer* buffer : buffers) {
+    trace.events_.insert(trace.events_.end(), buffer->events().begin(),
+                         buffer->events().end());
+  }
+  std::stable_sort(trace.events_.begin(), trace.events_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.start_vt < b.start_vt;
+                   });
+  return trace;
+}
+
+std::vector<Event> Trace::events_of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    const double us = e.start_vt * 1e6;
+    const double dur = (e.end_vt - e.start_vt) * 1e6;
+    os << "\n{\"name\":\"" << support::escape(e.label) << "\",\"cat\":\""
+       << to_string(e.kind) << "\",\"ph\":\"X\",\"ts\":" << us
+       << ",\"dur\":" << dur << ",\"pid\":0,\"tid\":" << e.node
+       << ",\"args\":{\"iteration\":" << e.iteration
+       << ",\"thread\":" << e.thread << ",\"bytes\":" << e.bytes << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+namespace {
+
+EventKind kind_from_string(std::string_view s) {
+  for (const EventKind kind :
+       {EventKind::kFunctionStart, EventKind::kFunctionEnd, EventKind::kSend,
+        EventKind::kReceive, EventKind::kBufferCopy,
+        EventKind::kIterationStart, EventKind::kIterationEnd,
+        EventKind::kMarker}) {
+    if (s == to_string(kind)) return kind;
+  }
+  raise("unknown trace event kind '", std::string(s), "'");
+}
+
+}  // namespace
+
+Trace Trace::from_csv(std::string_view csv) {
+  Trace trace;
+  int line_number = 0;
+  for (const std::string& line : support::split(csv, '\n')) {
+    ++line_number;
+    const std::string_view trimmed = support::trim(line);
+    if (trimmed.empty() || support::starts_with(trimmed, "kind,")) continue;
+    const auto fields = support::split(trimmed, ',');
+    SAGE_CHECK(fields.size() == 9, "trace CSV line ", line_number,
+               ": expected 9 fields, got ", fields.size());
+    Event e;
+    e.kind = kind_from_string(fields[0]);
+    e.node = static_cast<int>(support::parse_int(fields[1]));
+    e.function_id = static_cast<int>(support::parse_int(fields[2]));
+    e.thread = static_cast<int>(support::parse_int(fields[3]));
+    e.iteration = static_cast<int>(support::parse_int(fields[4]));
+    e.start_vt = support::parse_double(fields[5]);
+    e.end_vt = support::parse_double(fields[6]);
+    e.bytes = static_cast<std::uint64_t>(support::parse_int(fields[7]));
+    e.label = fields[8];
+    trace.events_.push_back(std::move(e));
+  }
+  std::stable_sort(trace.events_.begin(), trace.events_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.start_vt < b.start_vt;
+                   });
+  return trace;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "kind,node,function_id,thread,iteration,start_vt,end_vt,bytes,label\n";
+  for (const Event& e : events_) {
+    os << to_string(e.kind) << ',' << e.node << ',' << e.function_id << ','
+       << e.thread << ',' << e.iteration << ',' << e.start_vt << ','
+       << e.end_vt << ',' << e.bytes << ',' << e.label << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sage::viz

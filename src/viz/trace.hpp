@@ -1,0 +1,93 @@
+// openSAGE -- Visualizer substrate: instrumentation probes and traces.
+//
+// The generated glue code places probes around function execution and
+// message transfers; the Visualizer consumes the merged trace to draw
+// timelines and find bottlenecks and latency violations. Event times are
+// virtual seconds (see support/clock.hpp).
+//
+// Threading model: each emulated node owns one EventBuffer and appends
+// to it without locking; TraceCollector::merge is called after the run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/clock.hpp"
+
+namespace sage::viz {
+
+enum class EventKind : std::uint8_t {
+  kFunctionStart,
+  kFunctionEnd,
+  kSend,
+  kReceive,
+  kBufferCopy,
+  kIterationStart,
+  kIterationEnd,
+  kMarker,
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kMarker;
+  int node = 0;
+  int function_id = -1;   // function-table id (-1: none)
+  int thread = 0;         // thread within the function
+  int iteration = 0;
+  support::VirtualSeconds start_vt = 0.0;
+  support::VirtualSeconds end_vt = 0.0;  // == start_vt for instant events
+  std::uint64_t bytes = 0;               // transfers / copies
+  std::string label;                     // function or buffer name
+};
+
+/// Per-node append-only event log.
+class EventBuffer {
+ public:
+  explicit EventBuffer(int node) : node_(node) {}
+
+  int node() const { return node_; }
+
+  void record(Event event) {
+    event.node = node_;
+    events_.push_back(std::move(event));
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  int node_;
+  std::vector<Event> events_;
+};
+
+/// Merged, time-ordered trace of one run.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Merges buffers and sorts by start time (stable across equal times).
+  static Trace merge(const std::vector<const EventBuffer*>& buffers);
+
+  const std::vector<Event>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  std::vector<Event> events_of_kind(EventKind kind) const;
+
+  /// Chrome trace-event JSON (open in a trace viewer).
+  std::string to_chrome_json() const;
+
+  /// Flat CSV: kind,node,function_id,thread,iteration,start,end,bytes,label
+  std::string to_csv() const;
+
+  /// Parses to_csv output back into a trace (offline analysis); throws
+  /// sage::Error on malformed input. Labels must not contain commas.
+  static Trace from_csv(std::string_view csv);
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace sage::viz

@@ -1,0 +1,369 @@
+// Alter language tests: the reader, evaluator semantics (closures,
+// scoping, special forms), core builtins, model-traversal builtins, and
+// the emit-stream interface.
+#include <gtest/gtest.h>
+
+#include "alter/interp.hpp"
+#include "alter/reader.hpp"
+#include "model/app.hpp"
+#include "model/serialize.hpp"
+#include "model/workspace.hpp"
+#include "support/error.hpp"
+
+namespace sage::alter {
+namespace {
+
+Value run(Interpreter& interp, const std::string& src) {
+  return interp.eval_string(src);
+}
+
+Value run(const std::string& src) {
+  Interpreter interp;
+  return interp.eval_string(src);
+}
+
+// --- reader -------------------------------------------------------------------
+
+TEST(ReaderTest, Atoms) {
+  EXPECT_TRUE(read_one("nil").is_nil());
+  EXPECT_EQ(read_one("#t").as_bool(), true);
+  EXPECT_EQ(read_one("false").as_bool(), false);
+  EXPECT_EQ(read_one("42").as_int(), 42);
+  EXPECT_EQ(read_one("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(read_one("2.5").as_real(), 2.5);
+  EXPECT_DOUBLE_EQ(read_one("-1e3").as_real(), -1000.0);
+  EXPECT_EQ(read_one("foo-bar").as_symbol().name, "foo-bar");
+  EXPECT_EQ(read_one("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(ReaderTest, ListsAndQuote) {
+  const Value v = read_one("(a (b 1) \"s\")");
+  ASSERT_TRUE(v.is_list());
+  ASSERT_EQ(v.as_list().size(), 3u);
+  EXPECT_EQ(v.as_list()[1].as_list()[1].as_int(), 1);
+
+  const Value q = read_one("'(1 2)");
+  EXPECT_EQ(q.as_list()[0].as_symbol().name, "quote");
+}
+
+TEST(ReaderTest, CommentsSkipped) {
+  const ValueList program = read_program("; header\n1 ; trailing\n2\n");
+  ASSERT_EQ(program.size(), 2u);
+  EXPECT_EQ(program[1].as_int(), 2);
+}
+
+TEST(ReaderTest, Errors) {
+  EXPECT_THROW(read_one("(unclosed"), AlterError);
+  EXPECT_THROW(read_one(")"), AlterError);
+  EXPECT_THROW(read_one("\"unterminated"), AlterError);
+  EXPECT_THROW(read_one("1 2"), AlterError);  // trailing input
+  EXPECT_THROW(read_one("\"bad \\x\""), AlterError);
+}
+
+// --- evaluator -----------------------------------------------------------------
+
+TEST(EvalTest, ArithmeticAndComparison) {
+  EXPECT_EQ(run("(+ 1 2 3)").as_int(), 6);
+  EXPECT_EQ(run("(- 10 3 2)").as_int(), 5);
+  EXPECT_EQ(run("(- 5)").as_int(), -5);
+  EXPECT_EQ(run("(* 2 3 4)").as_int(), 24);
+  EXPECT_EQ(run("(/ 12 4)").as_int(), 3);
+  EXPECT_DOUBLE_EQ(run("(/ 1.0 4)").as_real(), 0.25);
+  EXPECT_EQ(run("(mod 10 3)").as_int(), 1);
+  EXPECT_TRUE(run("(< 1 2 3)").as_bool());
+  EXPECT_FALSE(run("(< 1 3 2)").as_bool());
+  EXPECT_TRUE(run("(= 2 2.0)").as_bool());
+  EXPECT_EQ(run("(max 1 7 3)").as_int(), 7);
+  EXPECT_EQ(run("(floor 2.9)").as_int(), 2);
+  EXPECT_THROW(run("(/ 1 0)"), AlterError);
+}
+
+TEST(EvalTest, DefineSetAndScope) {
+  Interpreter interp;
+  run(interp, "(define x 10)");
+  EXPECT_EQ(run(interp, "x").as_int(), 10);
+  run(interp, "(set! x 20)");
+  EXPECT_EQ(run(interp, "x").as_int(), 20);
+  EXPECT_THROW(run(interp, "(set! undefined-var 1)"), AlterError);
+  EXPECT_THROW(run(interp, "undefined-var"), AlterError);
+}
+
+TEST(EvalTest, LambdasAndClosures) {
+  Interpreter interp;
+  run(interp, "(define (make-adder n) (lambda (x) (+ x n)))");
+  run(interp, "(define add5 (make-adder 5))");
+  EXPECT_EQ(run(interp, "(add5 3)").as_int(), 8);
+  // The closure captured its own n.
+  run(interp, "(define add1 (make-adder 1))");
+  EXPECT_EQ(run(interp, "(add5 0)").as_int(), 5);
+  EXPECT_EQ(run(interp, "(add1 0)").as_int(), 1);
+}
+
+TEST(EvalTest, RestParameters) {
+  Interpreter interp;
+  run(interp, "(define (count-args a &rest more) (list a (length more)))");
+  const Value v = run(interp, "(count-args 1 2 3 4)");
+  EXPECT_EQ(v.as_list()[0].as_int(), 1);
+  EXPECT_EQ(v.as_list()[1].as_int(), 3);
+  EXPECT_THROW(run(interp, "(count-args)"), AlterError);  // too few
+}
+
+TEST(EvalTest, WrongArityReported) {
+  Interpreter interp;
+  run(interp, "(define (f a b) (+ a b))");
+  EXPECT_THROW(run(interp, "(f 1)"), AlterError);
+  EXPECT_THROW(run(interp, "(f 1 2 3)"), AlterError);
+}
+
+TEST(EvalTest, ConditionalsAndLogic) {
+  EXPECT_EQ(run("(if #t 1 2)").as_int(), 1);
+  EXPECT_EQ(run("(if #f 1 2)").as_int(), 2);
+  EXPECT_TRUE(run("(if #f 1)").is_nil());
+  EXPECT_EQ(run("(cond (#f 1) (#t 2) (else 3))").as_int(), 2);
+  EXPECT_EQ(run("(cond (#f 1) (else 3))").as_int(), 3);
+  EXPECT_EQ(run("(and 1 2 3)").as_int(), 3);
+  EXPECT_FALSE(run("(and 1 #f 3)").truthy());
+  EXPECT_EQ(run("(or #f 7)").as_int(), 7);
+  EXPECT_EQ(run("(when #t 1 2)").as_int(), 2);
+  EXPECT_TRUE(run("(unless #t 1)").is_nil());
+  // 0 and "" are truthy (Scheme-style).
+  EXPECT_EQ(run("(if 0 1 2)").as_int(), 1);
+}
+
+TEST(EvalTest, LetAndLetStar) {
+  EXPECT_EQ(run("(let ((a 1) (b 2)) (+ a b))").as_int(), 3);
+  EXPECT_EQ(run("(let* ((a 1) (b (+ a 1))) b)").as_int(), 2);
+  // Plain let does not see sibling bindings.
+  Interpreter interp;
+  run(interp, "(define a 100)");
+  EXPECT_EQ(run(interp, "(let ((a 1) (b a)) b)").as_int(), 100);
+}
+
+TEST(EvalTest, LoopsAccumulate) {
+  Interpreter interp;
+  EXPECT_EQ(run(interp,
+                "(define total 0)"
+                "(define i 0)"
+                "(while (< i 5) (set! total (+ total i)) (set! i (+ i 1)))"
+                "total")
+                .as_int(),
+            10);
+  EXPECT_EQ(run(interp,
+                "(define acc 0)"
+                "(dotimes (k 4) (set! acc (+ acc k)))"
+                "acc")
+                .as_int(),
+            6);
+  EXPECT_EQ(run(interp,
+                "(define acc2 0)"
+                "(dolist (x (list 5 6 7)) (set! acc2 (+ acc2 x)))"
+                "acc2")
+                .as_int(),
+            18);
+}
+
+TEST(EvalTest, RunawayRecursionCaught) {
+  Interpreter interp;
+  run(interp, "(define (loop x) (loop x))");
+  EXPECT_THROW(run(interp, "(loop 1)"), AlterError);
+}
+
+// --- core builtins ---------------------------------------------------------------
+
+TEST(BuiltinTest, ListOperations) {
+  EXPECT_EQ(run("(length (list 1 2 3))").as_int(), 3);
+  EXPECT_EQ(run("(first (list 9 8))").as_int(), 9);
+  EXPECT_EQ(run("(last (list 9 8))").as_int(), 8);
+  EXPECT_EQ(run("(nth 1 (list 4 5 6))").as_int(), 5);
+  EXPECT_EQ(run("(length (rest (list 1 2 3)))").as_int(), 2);
+  EXPECT_EQ(run("(first (cons 0 (list 1)))").as_int(), 0);
+  EXPECT_EQ(run("(length (append (list 1) (list 2 3)))").as_int(), 3);
+  EXPECT_EQ(run("(first (reverse (list 1 2 3)))").as_int(), 3);
+  EXPECT_EQ(run("(length (range 5))").as_int(), 5);
+  EXPECT_EQ(run("(first (range 3 6))").as_int(), 3);
+  EXPECT_TRUE(run("(member? 2 (list 1 2))").as_bool());
+  EXPECT_TRUE(run("(null? (list))").as_bool());
+  EXPECT_FALSE(run("(null? (list 1))").as_bool());
+  EXPECT_THROW(run("(nth 5 (list 1))"), AlterError);
+}
+
+TEST(BuiltinTest, HigherOrderFunctions) {
+  EXPECT_EQ(run("(nth 1 (map (lambda (x) (* x x)) (list 1 2 3)))").as_int(),
+            4);
+  EXPECT_EQ(run("(length (filter (lambda (x) (> x 1)) (list 0 1 2 3)))")
+                .as_int(),
+            2);
+  EXPECT_EQ(run("(reduce + 0 (list 1 2 3 4))").as_int(), 10);
+  EXPECT_EQ(run("(apply + (list 1 2 3))").as_int(), 6);
+  EXPECT_EQ(run("(first (sort-by (lambda (x) (- x)) (list 1 3 2)))").as_int(),
+            3);
+}
+
+TEST(BuiltinTest, AssocFindsPairs) {
+  Interpreter interp;
+  run(interp, "(define table (list (list \"a\" 1) (list \"b\" 2)))");
+  EXPECT_EQ(run(interp, "(nth 1 (assoc \"b\" table))").as_int(), 2);
+  EXPECT_TRUE(run(interp, "(null? (assoc \"z\" table))").as_bool());
+}
+
+TEST(BuiltinTest, StringOperations) {
+  EXPECT_EQ(run("(string-append \"a\" 1 \"b\")").as_string(), "a1b");
+  EXPECT_EQ(run("(substring \"hello\" 1 3)").as_string(), "el");
+  EXPECT_EQ(run("(string-upcase \"aBc\")").as_string(), "ABC");
+  EXPECT_EQ(run("(string-downcase \"aBc\")").as_string(), "abc");
+  EXPECT_EQ(run("(number->string 42)").as_string(), "42");
+  EXPECT_EQ(run("(string->number \"3.5\")").as_real(), 3.5);
+  EXPECT_EQ(run("(string->number \"12\")").as_int(), 12);
+  EXPECT_EQ(run("(symbol->string 'abc)").as_string(), "abc");
+  EXPECT_EQ(run("(length \"four\")").as_int(), 4);
+}
+
+TEST(BuiltinTest, StringSplitJoinReplace) {
+  EXPECT_EQ(run("(length (string-split \"a,b,,c\" \",\"))").as_int(), 4);
+  EXPECT_EQ(run("(nth 1 (string-split \"a,b\" \",\"))").as_string(), "b");
+  EXPECT_EQ(run("(string-join (list 1 2 3) \"-\")").as_string(), "1-2-3");
+  EXPECT_EQ(run("(string-join (list) \",\")").as_string(), "");
+  EXPECT_TRUE(run("(string-contains? \"ell\" \"hello\")").as_bool());
+  EXPECT_FALSE(run("(string-contains? \"z\" \"hello\")").as_bool());
+  EXPECT_EQ(run("(string-replace \"ab\" \"X\" \"abcabd\")").as_string(),
+            "XcXd");
+  EXPECT_THROW(run("(string-replace \"\" \"x\" \"s\")"), AlterError);
+}
+
+TEST(BuiltinTest, Format) {
+  EXPECT_EQ(run("(format \"x=~a y=~s~%\" 5 \"q\")").as_string(),
+            "x=5 y=\"q\"\n");
+  EXPECT_EQ(run("(format \"~~\")").as_string(), "~");
+  EXPECT_THROW(run("(format \"~a\")"), AlterError);  // missing arg
+  EXPECT_THROW(run("(format \"~z\" 1)"), AlterError);
+}
+
+TEST(BuiltinTest, ErrorsAndAsserts) {
+  EXPECT_THROW(run("(error \"bad \" 42)"), AlterError);
+  EXPECT_TRUE(run("(assert #t)").as_bool());
+  EXPECT_THROW(run("(assert (= 1 2) \"math broke\")"), AlterError);
+}
+
+TEST(BuiltinTest, PrintGoesToLog) {
+  Interpreter interp;
+  run(interp, "(print \"hello\" 42)");
+  EXPECT_EQ(interp.print_log(), "hello 42\n");
+}
+
+// --- emit streams -----------------------------------------------------------------
+
+TEST(EmitTest, StreamsAccumulateByName) {
+  Interpreter interp;
+  run(interp,
+      "(set-output \"a.txt\")"
+      "(emit-line \"alpha\")"
+      "(set-output \"b.txt\")"
+      "(emit \"beta\")"
+      "(set-output \"a.txt\")"
+      "(emit-line \"gamma\")");
+  EXPECT_EQ(interp.outputs().at("a.txt"), "alpha\ngamma\n");
+  EXPECT_EQ(interp.outputs().at("b.txt"), "beta");
+  EXPECT_EQ(run(interp, "(current-output)").as_string(), "a.txt");
+}
+
+// --- model builtins ----------------------------------------------------------------
+
+class ModelBuiltinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workspace_ = std::make_unique<model::Workspace>("t");
+    model::ModelObject& app =
+        model::add_application(workspace_->root(), "app");
+    model::ModelObject& fn = model::add_function(app, "f1", "identity", 2);
+    fn.set_property("param_gain", 1.5);
+    model::add_port(fn, "out", model::PortDirection::kOut,
+                    model::Striping::kStriped, "cfloat", {4, 4}, 0);
+    interp_.attach_model(workspace_->root());
+  }
+
+  std::unique_ptr<model::Workspace> workspace_;
+  Interpreter interp_;
+};
+
+TEST_F(ModelBuiltinTest, TraversalBasics) {
+  EXPECT_EQ(run(interp_, "(object-type (model-root))").as_string(),
+            "sage-model");
+  EXPECT_EQ(run(interp_, "(object-name (model-root))").as_string(), "t");
+  EXPECT_EQ(run(interp_,
+                "(length (children-of-type (model-root) \"application\"))")
+                .as_int(),
+            1);
+  EXPECT_EQ(
+      run(interp_,
+          "(object-name (first (descendants-of-type (model-root) "
+          "\"function\")))")
+          .as_string(),
+      "f1");
+  EXPECT_TRUE(run(interp_, "(null? (parent (model-root)))").as_bool());
+  EXPECT_EQ(run(interp_,
+                "(object-type (parent (first (descendants-of-type "
+                "(model-root) \"port\"))))")
+                .as_string(),
+            "function");
+}
+
+TEST_F(ModelBuiltinTest, PropertiesThroughAlter) {
+  const std::string fn_expr =
+      "(first (descendants-of-type (model-root) \"function\"))";
+  EXPECT_EQ(run(interp_, "(get-property " + fn_expr + " \"threads\")").as_int(),
+            2);
+  EXPECT_TRUE(
+      run(interp_, "(has-property? " + fn_expr + " \"kernel\")").as_bool());
+  EXPECT_EQ(run(interp_, "(get-property-or " + fn_expr + " \"nope\" 9)")
+                .as_int(),
+            9);
+  run(interp_, "(set-property! " + fn_expr + " \"threads\" 8)");
+  EXPECT_EQ(run(interp_, "(get-property " + fn_expr + " \"threads\")").as_int(),
+            8);
+  EXPECT_THROW(run(interp_, "(get-property " + fn_expr + " \"nope\")"),
+               AlterError);
+  // Property lists convert both ways.
+  const std::string port_expr =
+      "(first (descendants-of-type (model-root) \"port\"))";
+  EXPECT_EQ(
+      run(interp_, "(nth 1 (get-property " + port_expr + " \"dims\"))").as_int(),
+      4);
+}
+
+TEST_F(ModelBuiltinTest, AppHelpers) {
+  const std::string app_expr =
+      "(first (children-of-type (model-root) \"application\"))";
+  EXPECT_EQ(run(interp_, "(length (app-functions " + app_expr + "))").as_int(),
+            1);
+  EXPECT_EQ(run(interp_,
+                "(length (function-ports (find-function " + app_expr +
+                    " \"f1\")))")
+                .as_int(),
+            1);
+  EXPECT_EQ(run(interp_, "(datatype-bytes (model-root) \"cfloat\")").as_int(),
+            8);
+  EXPECT_EQ(run(interp_,
+                "(length (filter (lambda (k) (string-prefix? \"param_\" k)) "
+                "(property-names (find-function " + app_expr +
+                    " \"f1\"))))")
+                .as_int(),
+            1);
+}
+
+TEST_F(ModelBuiltinTest, SaveModelProducesRepositoryText) {
+  const Value text = run(interp_, "(save-model (model-root))");
+  ASSERT_TRUE(text.is_string());
+  EXPECT_NE(text.as_string().find("openSAGE model repository"),
+            std::string::npos);
+  // Round-trips through the loader.
+  const auto loaded = model::load_model(text.as_string());
+  EXPECT_EQ(loaded->dump(), workspace_->root().dump());
+}
+
+TEST(ModelBuiltinErrorTest, NoModelAttached) {
+  Interpreter interp;
+  EXPECT_THROW(interp.eval_string("(model-root)"), AlterError);
+}
+
+}  // namespace
+}  // namespace sage::alter

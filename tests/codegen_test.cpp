@@ -1,0 +1,224 @@
+// Glue-code generator tests: the Alter generator's output against the
+// model it traverses, custom generator programs, and failure modes.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hpp"
+#include "codegen/generator.hpp"
+#include "codegen/generator_program.hpp"
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/mapping.hpp"
+#include "support/error.hpp"
+
+namespace sage::codegen {
+namespace {
+
+TEST(CodegenTest, FunctionTableOrderedTopologically) {
+  auto ws = apps::make_fft2d_workspace(64, 4);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  const auto& fns = artifacts.config.functions;
+  ASSERT_EQ(fns.size(), 5u);
+  // IDs 0..N-1 in dependency order, as the paper describes.
+  EXPECT_EQ(fns[0].name, "src");
+  EXPECT_EQ(fns[1].name, "fft_rows");
+  EXPECT_EQ(fns[2].name, "corner_turn");
+  EXPECT_EQ(fns[3].name, "fft_cols");
+  EXPECT_EQ(fns[4].name, "sink");
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    EXPECT_EQ(fns[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(CodegenTest, ThreadPlacementsFollowMapping) {
+  auto ws = apps::make_cornerturn_workspace(64, 4);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  for (const auto& fn : artifacts.config.functions) {
+    ASSERT_EQ(fn.threads, 4);
+    EXPECT_EQ(fn.thread_nodes, (std::vector<int>{0, 1, 2, 3})) << fn.name;
+  }
+}
+
+TEST(CodegenTest, PortsCarryStripingAndTypes) {
+  auto ws = apps::make_fft2d_workspace(64, 4);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  const auto& ct = artifacts.config.functions[2];
+  EXPECT_EQ(ct.kernel, "isspl.corner_turn_local");
+  const auto& in = ct.port("in");
+  EXPECT_EQ(in.striping, model::Striping::kStriped);
+  EXPECT_EQ(in.stripe_dim, 1);
+  EXPECT_EQ(in.elem_bytes, 8u);
+  EXPECT_EQ(in.dims, (std::vector<std::size_t>{64, 64}));
+}
+
+TEST(CodegenTest, BuffersMatchArcs) {
+  auto ws = apps::make_fft2d_workspace(64, 4);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  ASSERT_EQ(artifacts.config.buffers.size(), 4u);
+  EXPECT_EQ(artifacts.config.buffers[0].src_function, 0);
+  EXPECT_EQ(artifacts.config.buffers[0].dst_function, 1);
+  EXPECT_EQ(artifacts.config.buffers[3].dst_function, 4);
+}
+
+TEST(CodegenTest, SchedulesCoverEveryNode) {
+  auto ws = apps::make_fft2d_workspace(64, 8);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  ASSERT_EQ(artifacts.config.schedule.size(), 8u);
+  for (const auto& [rank, order] : artifacts.config.schedule) {
+    EXPECT_EQ(order.size(), 5u) << "node " << rank;
+    // Dependency order within the node.
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(order.back(), 4);
+  }
+}
+
+TEST(CodegenTest, ModelParamsFlowThrough) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  model::ModelObject& ct =
+      model::find_function(ws->application(), "corner_turn");
+  ct.set_property("param_gain", 3.5);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  EXPECT_DOUBLE_EQ(artifacts.config.functions[1].params.at("gain"), 3.5);
+}
+
+TEST(CodegenTest, IterationsDefaultFromModelAndOverride) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  ws->application().set_property("iterations", 7);
+  EXPECT_EQ(generate_glue(*ws).config.iterations_default, 7);
+
+  GenerateOptions options;
+  options.iterations_default = 11;
+  EXPECT_EQ(generate_glue(*ws, options).config.iterations_default, 11);
+}
+
+TEST(CodegenTest, GeneratedCSourceMentionsEveryFunction) {
+  auto ws = apps::make_fft2d_workspace(64, 4);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  const std::string& c = artifacts.glue_source_text();
+  for (const char* name :
+       {"src", "fft_rows", "corner_turn", "fft_cols", "sink"}) {
+    EXPECT_NE(c.find("\"" + std::string(name) + "\""), std::string::npos)
+        << name;
+  }
+  EXPECT_NE(c.find("SAGE_STRIPED"), std::string::npos);
+  EXPECT_NE(c.find("sage_function_count = 5"), std::string::npos);
+}
+
+TEST(CodegenTest, InvalidDesignRefusesToGenerate) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  // Break the design: sink expects a different size.
+  model::ModelObject& sink = model::find_function(ws->application(), "sink");
+  model::find_port(sink, "in").set_property(
+      "dims",
+      model::PropertyList{model::PropertyValue(32), model::PropertyValue(64)});
+  EXPECT_THROW(generate_glue(*ws), ModelError);
+}
+
+TEST(CodegenTest, CustomAlterProgramRuns) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  GenerateOptions options;
+  // A custom generator must still produce a parseable glue.cfg; this one
+  // reuses the standard program then adds a custom report stream.
+  options.program = glue_generator_source() +
+                    "\n(set-output \"report.txt\")"
+                    "(emit-line \"functions: \" (length (app-functions "
+                    "(first (children-of-type (model-root) "
+                    "\"application\")))))";
+  const GeneratedArtifacts artifacts = generate_glue(*ws, options);
+  EXPECT_EQ(artifacts.outputs.at("report.txt"), "functions: 3\n");
+  EXPECT_EQ(artifacts.config.functions.size(), 3u);
+}
+
+TEST(CodegenTest, ProgramWithoutGlueCfgFails) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  GenerateOptions options;
+  options.program = "(set-output \"other\") (emit \"nothing useful\")";
+  EXPECT_THROW(generate_glue(*ws, options), ConfigError);
+}
+
+TEST(CodegenTest, BrokenAlterProgramSurfacesAlterError) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  GenerateOptions options;
+  options.program = "(this-builtin-does-not-exist)";
+  EXPECT_THROW(generate_glue(*ws, options), AlterError);
+}
+
+TEST(CodegenTest, ProbeFlagsBecomeProbeEntries) {
+  auto ws = apps::make_fft2d_workspace(64, 2);
+  model::find_function(ws->application(), "fft_rows")
+      .set_property("probe", true);
+  model::find_function(ws->application(), "corner_turn")
+      .set_property("probe", true);
+  const GeneratedArtifacts artifacts = generate_glue(*ws);
+  EXPECT_EQ(artifacts.config.probes, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(artifacts.config.probed(1));
+  EXPECT_FALSE(artifacts.config.probed(0));
+
+  // Default: no flags, everything instrumented.
+  auto plain = apps::make_fft2d_workspace(64, 2);
+  EXPECT_TRUE(generate_glue(*plain).config.probes.empty());
+  EXPECT_TRUE(generate_glue(*plain).config.probed(0));
+}
+
+TEST(CodegenTest, GoldenGlueConfigForTinyDesign) {
+  // Format-stability guard: the exact text the generator emits for a
+  // minimal corner-turn design. Update deliberately when the format
+  // versions; accidental drift breaks deployed glue files.
+  auto ws = apps::make_cornerturn_workspace(8, 2);
+  const std::string expected =
+      "# SAGE glue configuration (generated by the Alter glue-code generator)\n"
+      "sage-glue 1\n"
+      "application distributed_corner_turn\n"
+      "hardware cspi\n"
+      "nodes 2\n"
+      "iterations-default 1\n"
+      "\n"
+      "# function table\n"
+      "function 0 name=src kernel=matrix_source threads=2 role=source\n"
+      "thread 0 0 node=0\n"
+      "thread 0 1 node=1\n"
+      "port 0 name=out dir=out striping=striped stripe_dim=0 elem_bytes=8 "
+      "dims=8x8\n"
+      "function 1 name=corner_turn kernel=isspl.corner_turn_local threads=2 "
+      "role=compute\n"
+      "thread 1 0 node=0\n"
+      "thread 1 1 node=1\n"
+      "port 1 name=in dir=in striping=striped stripe_dim=1 elem_bytes=8 "
+      "dims=8x8\n"
+      "port 1 name=out dir=out striping=striped stripe_dim=0 elem_bytes=8 "
+      "dims=8x8\n"
+      "function 2 name=sink kernel=matrix_sink threads=2 role=sink\n"
+      "thread 2 0 node=0\n"
+      "thread 2 1 node=1\n"
+      "port 2 name=in dir=in striping=striped stripe_dim=0 elem_bytes=8 "
+      "dims=8x8\n"
+      "\n"
+      "# logical buffers (one per data-flow arc)\n"
+      "buffer 0 src=0.out dst=1.in\n"
+      "buffer 1 src=1.out dst=2.in\n"
+      "\n"
+      "# per-node schedules (dependency order restricted to the node)\n"
+      "schedule 0 0,1,2\n"
+      "schedule 1 0,1,2\n";
+  EXPECT_EQ(generate_glue(*ws).glue_config_text(), expected);
+}
+
+TEST(CodegenTest, GeneratorIsDeterministic) {
+  auto ws1 = apps::make_fft2d_workspace(64, 4);
+  auto ws2 = apps::make_fft2d_workspace(64, 4);
+  EXPECT_EQ(generate_glue(*ws1).glue_config_text(),
+            generate_glue(*ws2).glue_config_text());
+}
+
+TEST(CodegenTest, UnmappedFunctionFailsInsideAlter) {
+  // Remove the mapping assignments; the workspace then fails validation
+  // before Alter even runs.
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  model::ModelObject& mapping = ws->mapping();
+  while (!mapping.children_of_type("assignment").empty()) {
+    mapping.remove_child(*mapping.children_of_type("assignment").front());
+  }
+  EXPECT_THROW(generate_glue(*ws), ModelError);
+}
+
+}  // namespace
+}  // namespace sage::codegen

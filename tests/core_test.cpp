@@ -1,0 +1,110 @@
+// Core-facade tests: Project lifecycle (generation caching,
+// invalidation, registry swap), vendor platform presets, and workspace
+// cloning.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hpp"
+#include "core/platforms.hpp"
+#include "core/project.hpp"
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "support/error.hpp"
+
+namespace sage::core {
+namespace {
+
+TEST(ProjectTest, GenerationIsCachedUntilInvalidated) {
+  Project project(apps::make_cornerturn_workspace(64, 2));
+  EXPECT_EQ(project.generate().config.iterations_default, 1);
+
+  // Edit the model: the cached artifacts must NOT pick it up...
+  project.workspace().application().set_property("iterations", 9);
+  EXPECT_EQ(project.generate().config.iterations_default, 1);
+
+  // ...until invalidated (or forced).
+  project.invalidate();
+  EXPECT_EQ(project.generate().config.iterations_default, 9);
+
+  project.workspace().application().set_property("iterations", 4);
+  EXPECT_EQ(project.generate(/*force=*/true).config.iterations_default, 4);
+}
+
+TEST(ProjectTest, ExecuteUsesHardwareModelParameters) {
+  // Two projects differing only in cpu_scale: the slower platform's
+  // modeled latency must be larger.
+  auto fast_ws = apps::make_cornerturn_workspace(256, 2);
+  auto slow_ws = apps::make_cornerturn_workspace(256, 2);
+  for (model::ModelObject* cpu :
+       model::processors(slow_ws->hardware())) {
+    cpu->set_property("cpu_scale", 8.0);
+  }
+  Project fast(std::move(fast_ws));
+  Project slow(std::move(slow_ws));
+  ExecuteOptions options;
+  options.collect_trace = false;
+  options.iterations = 3;
+  fast.execute(options);  // warm-up both
+  slow.execute(options);
+  const double fast_latency = fast.execute(options).mean_latency();
+  const double slow_latency = slow.execute(options).mean_latency();
+  EXPECT_GT(slow_latency, fast_latency * 2.0);
+}
+
+TEST(ProjectTest, MissingKernelSurfacesAtExecute) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  model::find_function(ws->application(), "corner_turn")
+      .set_property("kernel", "no.such.kernel");
+  Project project(std::move(ws));
+  EXPECT_THROW(project.execute(), RuntimeError);
+}
+
+TEST(PlatformTest, PresetsResolve) {
+  EXPECT_EQ(vendor_platforms().size(), 4u);
+  EXPECT_EQ(vendor_platform("mercury").fabric_preset, "mercury-raceway");
+  EXPECT_THROW(vendor_platform("cray"), ModelError);
+}
+
+TEST(PlatformTest, AddVendorPlatformBuildsExactNodeCount) {
+  model::Workspace ws("t");
+  model::ModelObject& hw = add_vendor_platform(ws.root(), "mercury", 8);
+  EXPECT_EQ(model::processors(hw).size(), 8u);
+  // Mercury boards carry 6 CPUs: 6 + 2.
+  const auto boards = hw.descendants_of_type("board");
+  ASSERT_EQ(boards.size(), 2u);
+  EXPECT_EQ(boards[0]->children_of_type("processor").size(), 6u);
+  EXPECT_EQ(boards[1]->children_of_type("processor").size(), 2u);
+  const net::FabricModel fabric = model::to_fabric_model(hw);
+  EXPECT_EQ(fabric.name, "mercury-raceway");
+  EXPECT_EQ(fabric.nodes_per_board, 6);
+}
+
+TEST(PlatformTest, RetargetKeepsLayoutChangesParameters) {
+  auto ws = apps::make_fft2d_workspace(64, 4);  // CSPI by default
+  retarget_hardware(ws->hardware(), "sigi");
+  EXPECT_EQ(ws->hardware().property("fabric").as_string(), "sigi");
+  EXPECT_DOUBLE_EQ(model::processors(ws->hardware())[0]
+                       ->property("cpu_scale")
+                       .as_double(),
+                   1.2);
+  // The mapping still validates (processor names unchanged).
+  EXPECT_NO_THROW(ws->validate_or_throw());
+}
+
+TEST(WorkspaceCloneTest, DeepCopyIsIndependent) {
+  auto original = apps::make_cornerturn_workspace(64, 2);
+  auto copy = original->clone();
+  EXPECT_EQ(copy->root().dump(), original->root().dump());
+
+  // Edits to the copy don't leak back.
+  model::find_function(copy->application(), "corner_turn")
+      .set_property("threads", 1);
+  EXPECT_EQ(model::find_function(original->application(), "corner_turn")
+                .property("threads")
+                .as_int(),
+            2);
+  // Both still drive the full pipeline independently.
+  EXPECT_NO_THROW(original->validate_or_throw());
+}
+
+}  // namespace
+}  // namespace sage::core

@@ -1,0 +1,400 @@
+// Model tests: the object/property graph, the Designer editors
+// (application, hardware, mapping), shelves, and workspace validation.
+#include <gtest/gtest.h>
+
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/mapping.hpp"
+#include "model/object.hpp"
+#include "model/shelf.hpp"
+#include "model/workspace.hpp"
+#include "support/error.hpp"
+
+namespace sage::model {
+namespace {
+
+// --- object / properties ----------------------------------------------------
+
+TEST(ObjectTest, PropertiesRoundTrip) {
+  ModelObject obj("function", "f");
+  obj.set_property("threads", 4);
+  obj.set_property("speed", 2.5);
+  obj.set_property("kernel", "fft");
+  obj.set_property("flag", true);
+  obj.set_property("dims", PropertyList{PropertyValue(8), PropertyValue(16)});
+
+  EXPECT_EQ(obj.property("threads").as_int(), 4);
+  EXPECT_DOUBLE_EQ(obj.property("speed").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(obj.property("threads").as_double(), 4.0);  // int->double
+  EXPECT_EQ(obj.property("kernel").as_string(), "fft");
+  EXPECT_TRUE(obj.property("flag").as_bool());
+  EXPECT_EQ(obj.property("dims").as_list()[1].as_int(), 16);
+  EXPECT_THROW(obj.property("missing"), ModelError);
+  EXPECT_EQ(obj.property_or("missing", 7).as_int(), 7);
+  EXPECT_THROW(obj.property("kernel").as_int(), ModelError);
+}
+
+TEST(ObjectTest, PropertyValueToString) {
+  EXPECT_EQ(PropertyValue().to_string(), "nil");
+  EXPECT_EQ(PropertyValue(true).to_string(), "true");
+  EXPECT_EQ(PropertyValue(42).to_string(), "42");
+  EXPECT_EQ(PropertyValue("a\"b").to_string(), "\"a\\\"b\"");
+  EXPECT_EQ(
+      PropertyValue(PropertyList{PropertyValue(1), PropertyValue(2)}).to_string(),
+      "(1 2)");
+}
+
+TEST(ObjectTest, HierarchyAndLookup) {
+  ModelObject root("root", "r");
+  ModelObject& a = root.add_child("block", "a");
+  ModelObject& f1 = a.add_child("function", "f1");
+  root.add_child("function", "f2");
+
+  EXPECT_EQ(f1.parent(), &a);
+  EXPECT_EQ(f1.path(), "r/a/f1");
+  EXPECT_EQ(root.find_child("a"), &a);
+  EXPECT_EQ(root.find_child("function", "f2")->name(), "f2");
+  EXPECT_EQ(root.find_child("nope"), nullptr);
+  EXPECT_EQ(root.children_of_type("function").size(), 1u);
+  EXPECT_EQ(root.descendants_of_type("function").size(), 2u);
+
+  int count = 0;
+  root.visit([&](ModelObject&) { ++count; });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(ObjectTest, CloneIsDeepWithFreshIdentity) {
+  ModelObject proto("function", "proto");
+  proto.set_property("threads", 2);
+  proto.add_child("port", "in").set_property("direction", "in");
+
+  auto copy = proto.clone("instance");
+  EXPECT_EQ(copy->name(), "instance");
+  EXPECT_NE(copy->id(), proto.id());
+  EXPECT_EQ(copy->property("threads").as_int(), 2);
+  ASSERT_NE(copy->find_child("in"), nullptr);
+  EXPECT_NE(copy->find_child("in")->id(), proto.find_child("in")->id());
+
+  // Mutating the clone leaves the prototype untouched.
+  copy->set_property("threads", 8);
+  EXPECT_EQ(proto.property("threads").as_int(), 2);
+}
+
+TEST(ObjectTest, RemoveChild) {
+  ModelObject root("root", "r");
+  ModelObject& a = root.add_child("x", "a");
+  root.remove_child(a);
+  EXPECT_EQ(root.children().size(), 0u);
+  ModelObject other("x", "b");
+  EXPECT_THROW(root.remove_child(other), ModelError);
+}
+
+// --- application editor ----------------------------------------------------------
+
+std::unique_ptr<Workspace> small_design() {
+  auto ws = std::make_unique<Workspace>("t");
+  ModelObject& root = ws->root();
+  add_cspi_platform(root, 2);
+  ModelObject& app = add_application(root, "app");
+  ModelObject& src = add_function(app, "src", "matrix_source", 2);
+  src.set_property("role", "source");
+  add_port(src, "out", PortDirection::kOut, Striping::kStriped, "cfloat",
+           {8, 8}, 0);
+  ModelObject& sink = add_function(app, "sink", "matrix_sink", 2);
+  sink.set_property("role", "sink");
+  add_port(sink, "in", PortDirection::kIn, Striping::kStriped, "cfloat",
+           {8, 8}, 0);
+  connect(app, "src.out", "sink.in");
+  ModelObject& mapping = add_mapping(root, "mapping", "cspi");
+  assign_ranks(root, mapping, "src", {0, 1});
+  assign_ranks(root, mapping, "sink", {0, 1});
+  return ws;
+}
+
+TEST(AppTest, BuildersProduceValidDesign) {
+  auto ws = small_design();
+  EXPECT_NO_THROW(ws->validate_or_throw());
+  EXPECT_EQ(functions(ws->application()).size(), 2u);
+  EXPECT_EQ(arcs(ws->application()).size(), 1u);
+}
+
+TEST(AppTest, PortViewParsesProperties) {
+  auto ws = small_design();
+  const ModelObject& src = find_function(ws->application(), "src");
+  const PortView view = port_view(find_port(src, "out"));
+  EXPECT_EQ(view.direction, PortDirection::kOut);
+  EXPECT_EQ(view.striping, Striping::kStriped);
+  EXPECT_EQ(view.total_elems(), 64u);
+  EXPECT_EQ(view.datatype, "cfloat");
+}
+
+TEST(AppTest, ConnectValidatesEndpointsAndDirections) {
+  auto ws = small_design();
+  ModelObject& app = ws->application();
+  EXPECT_THROW(connect(app, "nope.out", "sink.in"), ModelError);
+  EXPECT_THROW(connect(app, "src.nope", "sink.in"), ModelError);
+  EXPECT_THROW(connect(app, "sink.in", "src.out"), ModelError);  // reversed
+  EXPECT_THROW(connect(app, "malformed", "sink.in"), ModelError);
+}
+
+TEST(AppTest, DuplicateNamesRejected) {
+  auto ws = small_design();
+  ModelObject& app = ws->application();
+  EXPECT_THROW(add_function(app, "src", "k", 1), ModelError);
+  ModelObject& src = find_function(app, "src");
+  EXPECT_THROW(add_port(src, "out", PortDirection::kOut, Striping::kStriped,
+                        "cfloat", {4}, 0),
+               ModelError);
+}
+
+TEST(AppTest, FunctionsInsideBlocksAreFound) {
+  Workspace ws("t");
+  ModelObject& app = add_application(ws.root(), "app");
+  ModelObject& block = add_block(app, "stage1");
+  add_function(block, "inner", "identity", 1);
+  EXPECT_EQ(functions(app).size(), 1u);
+  EXPECT_EQ(find_function(app, "inner").parent()->name(), "stage1");
+  // Name uniqueness applies across blocks.
+  EXPECT_THROW(add_function(app, "inner", "identity", 1), ModelError);
+}
+
+TEST(AppTest, TopologicalOrderRespectsArcs) {
+  Workspace ws("t");
+  ModelObject& app = add_application(ws.root(), "app");
+  for (const char* name : {"c", "b", "a"}) {
+    ModelObject& fn = add_function(app, name, "identity", 1);
+    add_port(fn, "in", PortDirection::kIn, Striping::kStriped, "cfloat", {4},
+             0);
+    add_port(fn, "out", PortDirection::kOut, Striping::kStriped, "cfloat",
+             {4}, 0);
+  }
+  connect(app, "a.out", "b.in");
+  connect(app, "b.out", "c.in");
+  const auto order = topological_order(app);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0]->name(), "a");
+  EXPECT_EQ(order[1]->name(), "b");
+  EXPECT_EQ(order[2]->name(), "c");
+}
+
+TEST(AppTest, CycleDetected) {
+  Workspace ws("t");
+  ModelObject& app = add_application(ws.root(), "app");
+  for (const char* name : {"a", "b"}) {
+    ModelObject& fn = add_function(app, name, "identity", 1);
+    add_port(fn, "in", PortDirection::kIn, Striping::kStriped, "cfloat", {4},
+             0);
+    add_port(fn, "out", PortDirection::kOut, Striping::kStriped, "cfloat",
+             {4}, 0);
+  }
+  connect(app, "a.out", "b.in");
+  connect(app, "b.out", "a.in");
+  EXPECT_THROW(topological_order(app), ModelError);
+}
+
+TEST(AppTest, DatatypeLookup) {
+  Workspace ws("t");
+  EXPECT_EQ(datatype_bytes(ws.root(), "cfloat"), 8u);
+  EXPECT_EQ(datatype_bytes(ws.root(), "float"), 4u);
+  EXPECT_EQ(datatype_bytes(ws.root(), "byte"), 1u);
+  EXPECT_THROW(datatype_bytes(ws.root(), "quad"), ModelError);
+
+  ModelObject& dts = *ws.root().find_child("datatypes", "datatypes");
+  add_datatype(dts, "cdouble", "complex<double>", 16);
+  EXPECT_EQ(datatype_bytes(ws.root(), "cdouble"), 16u);
+  EXPECT_THROW(add_datatype(dts, "cdouble", "x", 16), ModelError);
+}
+
+// --- hardware editor -------------------------------------------------------------
+
+TEST(HardwareTest, CspiPlatformShape) {
+  Workspace ws("t");
+  ModelObject& hw = add_cspi_platform(ws.root(), 6);
+  const auto cpus = processors(hw);
+  ASSERT_EQ(cpus.size(), 6u);
+  EXPECT_EQ(board_of_rank(hw, 0), 0);
+  EXPECT_EQ(board_of_rank(hw, 3), 0);
+  EXPECT_EQ(board_of_rank(hw, 4), 1);
+  EXPECT_THROW(board_of_rank(hw, 6), ModelError);
+  EXPECT_EQ(processor_rank(hw, "ppc603e_5"), 5);
+  EXPECT_THROW(processor_rank(hw, "nope"), ModelError);
+  EXPECT_DOUBLE_EQ(cpus[0]->property("mhz").as_double(), 200.0);
+}
+
+TEST(HardwareTest, FabricModelFromPresetWithOverrides) {
+  Workspace ws("t");
+  ModelObject& hw = add_cspi_platform(ws.root(), 8);
+  net::FabricModel m = to_fabric_model(hw);
+  EXPECT_EQ(m.nodes_per_board, 4);
+  EXPECT_NEAR(m.inter_board_bandwidth_Bps, 160.0 * 1024 * 1024, 1.0);
+
+  hw.set_property("inter_board_bandwidth_Bps", 1e9);
+  m = to_fabric_model(hw);
+  EXPECT_DOUBLE_EQ(m.inter_board_bandwidth_Bps, 1e9);
+}
+
+TEST(HardwareTest, LinkOverridesApplyPerBoardPair) {
+  Workspace ws("t");
+  ModelObject& hw = add_cspi_platform(ws.root(), 12);  // 3 boards
+  add_link(hw, "slow_bridge", 0, 2, 10.0 * 1024 * 1024, 50e-6);
+
+  const net::FabricModel m = to_fabric_model(hw);
+  // Boards 0<->2 use the slow bridge (nodes 0..3 vs 8..11).
+  EXPECT_DOUBLE_EQ(m.bandwidth_Bps(0, 8), 10.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(m.latency_s(11, 3), 50e-6);  // symmetric
+  // Boards 0<->1 keep the default fabric.
+  EXPECT_DOUBLE_EQ(m.bandwidth_Bps(0, 4), 160.0 * 1024 * 1024);
+  // Intra-board traffic untouched.
+  EXPECT_DOUBLE_EQ(m.bandwidth_Bps(8, 9), 160.0 * 1024 * 1024);
+}
+
+TEST(HardwareTest, LinkGuards) {
+  Workspace ws("t");
+  ModelObject& hw = add_cspi_platform(ws.root(), 8);
+  EXPECT_THROW(add_link(hw, "self", 1, 1, 1e6, 0), ModelError);
+  EXPECT_THROW(add_link(hw, "nobw", 0, 1, 0, 0), ModelError);
+}
+
+TEST(HardwareTest, UnknownFabricPresetRejected) {
+  Workspace ws("t");
+  ModelObject& hw = add_hardware(ws.root(), "custom", "warp-drive");
+  add_processor(add_board(hw, "b"), "p", 100, 1 << 20);
+  EXPECT_THROW(to_fabric_model(hw), ModelError);
+}
+
+// --- mapping ----------------------------------------------------------------------
+
+TEST(MappingTest, MultiAssignmentGivesPerThreadRanks) {
+  auto ws = small_design();
+  const MappingView view(ws->root(), ws->mapping());
+  EXPECT_EQ(view.rank_of("src"), 0);
+  EXPECT_EQ(view.ranks_of("src"), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(view.is_mapped("sink"));
+  EXPECT_FALSE(view.is_mapped("ghost"));
+  EXPECT_THROW(view.ranks_of("ghost"), ModelError);
+  EXPECT_EQ(view.node_count(), 2);
+  EXPECT_EQ(view.functions_on(1), (std::vector<std::string>{"src", "sink"}));
+}
+
+TEST(MappingTest, MappingToUnknownHardwareRejected) {
+  Workspace ws("t");
+  add_application(ws.root(), "app");
+  EXPECT_THROW(add_mapping(ws.root(), "m", "ghost-hw"), ModelError);
+}
+
+// --- workspace validation -----------------------------------------------------------
+
+TEST(ValidationTest, CleanDesignHasNoErrors) {
+  auto ws = small_design();
+  for (const Issue& issue : ws->validate()) {
+    EXPECT_NE(issue.severity, Issue::Severity::kError) << issue.to_string();
+  }
+}
+
+TEST(ValidationTest, DanglingInPortIsAnError) {
+  auto ws = small_design();
+  ModelObject& sink = find_function(ws->application(), "sink");
+  add_port(sink, "in2", PortDirection::kIn, Striping::kStriped, "cfloat",
+           {8, 8}, 0);
+  EXPECT_THROW(ws->validate_or_throw(), ModelError);
+}
+
+TEST(ValidationTest, DatatypeMismatchIsAnError) {
+  auto ws = small_design();
+  ModelObject& sink = find_function(ws->application(), "sink");
+  find_port(sink, "in").set_property("datatype", "float");
+  EXPECT_THROW(ws->validate_or_throw(), ModelError);
+}
+
+TEST(ValidationTest, SizeMismatchIsAnError) {
+  auto ws = small_design();
+  ModelObject& sink = find_function(ws->application(), "sink");
+  find_port(sink, "in").set_property(
+      "dims", PropertyList{PropertyValue(8), PropertyValue(16)});
+  EXPECT_THROW(ws->validate_or_throw(), ModelError);
+}
+
+TEST(ValidationTest, UnmappedFunctionIsAnError) {
+  auto ws = small_design();
+  ModelObject& app = ws->application();
+  ModelObject& extra = add_function(app, "extra", "identity", 1);
+  add_port(extra, "in", PortDirection::kIn, Striping::kStriped, "cfloat",
+           {8, 8}, 0);
+  add_port(extra, "out", PortDirection::kOut, Striping::kStriped, "cfloat",
+           {8, 8}, 0);
+  // Leave it unmapped and unconnected.
+  EXPECT_THROW(ws->validate_or_throw(), ModelError);
+}
+
+TEST(ValidationTest, SourceWithInPortIsAnError) {
+  auto ws = small_design();
+  ModelObject& src = find_function(ws->application(), "src");
+  add_port(src, "in", PortDirection::kIn, Striping::kStriped, "cfloat",
+           {8, 8}, 0);
+  const auto issues = ws->validate();
+  bool found = false;
+  for (const Issue& issue : issues) {
+    if (issue.message.find("source function has in-ports") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidationTest, UnevenStripingIsAWarning) {
+  auto ws = small_design();
+  ModelObject& src = find_function(ws->application(), "src");
+  src.set_property("threads", 3);  // 8 rows over 3 threads
+  ModelObject& sink = find_function(ws->application(), "sink");
+  sink.set_property("threads", 3);
+  bool warned = false;
+  for (const Issue& issue : ws->validate()) {
+    if (issue.severity == Issue::Severity::kWarning &&
+        issue.message.find("does not divide evenly") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+// --- shelves -------------------------------------------------------------------------
+
+TEST(ShelfTest, StandardShelvesHaveExpectedPrototypes) {
+  const Shelf software = standard_software_shelf();
+  EXPECT_TRUE(software.contains("fft_rows"));
+  EXPECT_TRUE(software.contains("corner_turn"));
+  EXPECT_TRUE(software.contains("matrix_source"));
+  EXPECT_FALSE(software.contains("warp"));
+  EXPECT_THROW(software.prototype("warp"), ModelError);
+
+  const Shelf hardware_shelf = standard_hardware_shelf();
+  EXPECT_TRUE(hardware_shelf.contains("quad_ppc603e"));
+  EXPECT_EQ(hardware_shelf.prototype("quad_ppc603e")
+                .children_of_type("processor")
+                .size(),
+            4u);
+}
+
+TEST(ShelfTest, InstantiationClonesIntoDesign) {
+  Workspace ws("t");
+  ModelObject& app = add_application(ws.root(), "app");
+  const Shelf software = standard_software_shelf();
+  ModelObject& fft = software.instantiate("fft_rows", app, "my_fft");
+  EXPECT_EQ(fft.name(), "my_fft");
+  EXPECT_EQ(fft.property("kernel").as_string(), "isspl.fft_rows");
+  ASSERT_NE(fft.find_child("in"), nullptr);
+  // Instance edits don't touch the shelf prototype.
+  fft.set_property("threads", 8);
+  EXPECT_EQ(software.prototype("fft_rows").property("threads").as_int(), 1);
+}
+
+TEST(ShelfTest, DuplicatePrototypeRejected) {
+  Shelf shelf("s");
+  shelf.put(std::make_unique<ModelObject>("function", "f"));
+  EXPECT_THROW(shelf.put(std::make_unique<ModelObject>("function", "f")),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace sage::model

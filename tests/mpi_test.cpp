@@ -1,0 +1,371 @@
+// minimpi tests: point-to-point semantics and every collective,
+// parameterized over node counts (including non-powers of two).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpi/alltoall.hpp"
+#include "mpi/comm.hpp"
+#include "net/machine.hpp"
+#include "support/error.hpp"
+
+namespace sage::mpi {
+namespace {
+
+/// Runs `body(comm)` on every rank of a fresh machine.
+void on_machine(int nodes, const std::function<void(Communicator&)>& body) {
+  net::Machine machine(nodes, net::ideal_fabric());
+  machine.run([&](net::NodeContext& node) {
+    Communicator comm(node);
+    body(comm);
+  });
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(PointToPointTest, TypedSendRecv) {
+  on_machine(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{1, 2, 3};
+      comm.send<int>(data, 1, 5);
+    } else {
+      std::vector<int> data(3);
+      const Status status = comm.recv<int>(data, 0, 5);
+      EXPECT_EQ(data[2], 3);
+      EXPECT_EQ(status.source, 0);
+      EXPECT_EQ(status.tag, 5);
+      EXPECT_EQ(status.bytes, 12u);
+    }
+  });
+}
+
+TEST(PointToPointTest, SendRecvValueAndAnySource) {
+  on_machine(3, [](Communicator& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<double>(comm.rank() * 1.5, 0, 1);
+    } else {
+      double total = 0.0;
+      for (int i = 0; i < 2; ++i) {
+        total += comm.recv_value<double>(kAnySource, 1);
+      }
+      EXPECT_DOUBLE_EQ(total, 1.5 + 3.0);
+    }
+  });
+}
+
+TEST(PointToPointTest, SendrecvExchangesWithoutDeadlock) {
+  on_machine(2, [](Communicator& comm) {
+    const int peer = 1 - comm.rank();
+    int mine = comm.rank() + 10;
+    int theirs = -1;
+    comm.sendrecv_bytes(
+        std::as_bytes(std::span<const int>(&mine, 1)), peer, 2,
+        std::as_writable_bytes(std::span<int>(&theirs, 1)), peer, 2);
+    EXPECT_EQ(theirs, peer + 10);
+  });
+}
+
+TEST(PointToPointTest, IrecvCompletesOnWait) {
+  on_machine(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const int v = 99;
+      comm.isend_bytes(std::as_bytes(std::span<const int>(&v, 1)), 1, 3);
+    } else {
+      int v = 0;
+      Request req =
+          comm.irecv_bytes(std::as_writable_bytes(std::span<int>(&v, 1)), 0, 3);
+      EXPECT_FALSE(req.done());
+      const Status status = req.wait();
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(v, 99);
+      EXPECT_EQ(status.bytes, sizeof(int));
+    }
+  });
+}
+
+TEST(PointToPointTest, OversizedMessageRejected) {
+  on_machine(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{1, 2, 3, 4};
+      comm.send<int>(data, 1, 1);
+    } else {
+      std::vector<int> small(2);
+      EXPECT_THROW(comm.recv<int>(small, 0, 1), CommError);
+    }
+  });
+}
+
+TEST(PointToPointTest, UserTagRangeEnforced) {
+  on_machine(1, [](Communicator& comm) {
+    std::byte b{};
+    EXPECT_THROW(comm.send_bytes({&b, 1}, 0, kMaxUserTag), CommError);
+    EXPECT_THROW(comm.send_bytes({&b, 1}, 0, -2), CommError);
+  });
+}
+
+TEST_P(CollectiveTest, Barrier) {
+  on_machine(GetParam(), [](Communicator& comm) {
+    for (int i = 0; i < 3; ++i) comm.barrier();
+  });
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<int> data(4, comm.rank() == root ? root + 100 : -1);
+      comm.bcast<int>(data, root);
+      for (int v : data) EXPECT_EQ(v, root + 100);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceSumToRoot) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    const std::vector<int> mine{comm.rank(), 2 * comm.rank()};
+    std::vector<int> out(2, 0);
+    comm.reduce<int>(mine, out, std::plus<int>(), 0);
+    if (comm.rank() == 0) {
+      const int total = n * (n - 1) / 2;
+      EXPECT_EQ(out[0], total);
+      EXPECT_EQ(out[1], 2 * total);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceMax) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    const std::vector<int> mine{comm.rank()};
+    std::vector<int> out(1);
+    comm.allreduce<int>(mine, out,
+                        [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(out[0], n - 1);
+  });
+}
+
+TEST_P(CollectiveTest, GatherCollectsInRankOrder) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    const std::vector<int> mine{comm.rank() * 10, comm.rank() * 10 + 1};
+    std::vector<int> all(comm.rank() == 0 ? 2 * static_cast<std::size_t>(n)
+                                          : 0);
+    comm.gather<int>(mine, all, 0);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r * 10);
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10 + 1);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ScatterDistributesBlocks) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    std::vector<int> all;
+    if (comm.rank() == 0) {
+      all.resize(static_cast<std::size_t>(n));
+      std::iota(all.begin(), all.end(), 0);
+    }
+    std::vector<int> mine(1, -1);
+    comm.scatter<int>(all, mine, 0);
+    EXPECT_EQ(mine[0], comm.rank());
+  });
+}
+
+TEST_P(CollectiveTest, GathervVariableBlocks) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    // Rank r contributes r+1 ints (rank 0 contributes 1, etc.).
+    std::vector<std::size_t> counts;
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts.push_back(static_cast<std::size_t>(r + 1) * sizeof(int));
+      total += static_cast<std::size_t>(r + 1);
+    }
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1),
+                          comm.rank());
+    std::vector<int> all(comm.rank() == 0 ? total : 0);
+    comm.gatherv_bytes(std::as_bytes(std::span<const int>(mine)),
+                       std::as_writable_bytes(std::span<int>(all)), counts, 0);
+    if (comm.rank() == 0) {
+      std::size_t idx = 0;
+      for (int r = 0; r < n; ++r) {
+        for (int i = 0; i <= r; ++i) {
+          EXPECT_EQ(all[idx++], r);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ScattervVariableBlocks) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    std::vector<std::size_t> counts;
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts.push_back(static_cast<std::size_t>(r + 1) * sizeof(int));
+      total += static_cast<std::size_t>(r + 1);
+    }
+    std::vector<int> all;
+    if (comm.rank() == 0) {
+      for (int r = 0; r < n; ++r) {
+        for (int i = 0; i <= r; ++i) all.push_back(r * 7);
+      }
+    }
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1), -1);
+    comm.scatterv_bytes(std::as_bytes(std::span<const int>(all)),
+                        std::as_writable_bytes(std::span<int>(mine)), counts,
+                        0);
+    for (int v : mine) EXPECT_EQ(v, comm.rank() * 7);
+  });
+}
+
+TEST(GathervTest, MismatchedCountsRejected) {
+  on_machine(2, [](Communicator& comm) {
+    std::vector<std::size_t> counts{4};  // wrong length
+    std::vector<int> mine(1), all(2);
+    EXPECT_THROW(
+        comm.gatherv_bytes(std::as_bytes(std::span<const int>(mine)),
+                           std::as_writable_bytes(std::span<int>(all)),
+                           counts, 0),
+        CommError);
+  });
+}
+
+TEST_P(CollectiveTest, AllgatherEveryoneSeesEverything) {
+  const int n = GetParam();
+  on_machine(n, [n](Communicator& comm) {
+    const std::vector<int> mine{comm.rank() + 1};
+    std::vector<int> all(static_cast<std::size_t>(n));
+    comm.allgather<int>(mine, all);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 1);
+    }
+  });
+}
+
+struct AlltoallCase {
+  int nodes;
+  AlltoallAlgorithm algorithm;
+};
+
+class AlltoallTest : public ::testing::TestWithParam<AlltoallCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    NodeAlgorithms, AlltoallTest,
+    ::testing::Values(AlltoallCase{1, AlltoallAlgorithm::kPairwise},
+                      AlltoallCase{2, AlltoallAlgorithm::kPairwise},
+                      AlltoallCase{4, AlltoallAlgorithm::kPairwise},
+                      AlltoallCase{8, AlltoallAlgorithm::kPairwise},
+                      AlltoallCase{3, AlltoallAlgorithm::kPairwise},  // ring fallback
+                      AlltoallCase{2, AlltoallAlgorithm::kRing},
+                      AlltoallCase{5, AlltoallAlgorithm::kRing},
+                      AlltoallCase{8, AlltoallAlgorithm::kRing},
+                      AlltoallCase{2, AlltoallAlgorithm::kVendorDirect},
+                      AlltoallCase{6, AlltoallAlgorithm::kVendorDirect},
+                      AlltoallCase{8, AlltoallAlgorithm::kVendorDirect}),
+    [](const ::testing::TestParamInfo<AlltoallCase>& info) {
+      std::string name = to_string(info.param.algorithm) + "_" +
+                         std::to_string(info.param.nodes) + "n";
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(AlltoallTest, ExchangesPersonalizedBlocks) {
+  const auto [nodes, algorithm] = GetParam();
+  constexpr std::size_t kBlock = 3;
+  on_machine(nodes, [nodes = nodes, algorithm = algorithm](Communicator& comm) {
+    // Block for rank r carries value rank*100 + r.
+    std::vector<int> send(kBlock * static_cast<std::size_t>(nodes));
+    for (int r = 0; r < nodes; ++r) {
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        send[static_cast<std::size_t>(r) * kBlock + i] = comm.rank() * 100 + r;
+      }
+    }
+    std::vector<int> recv(send.size(), -1);
+    alltoall<int>(comm, send, recv, kBlock, algorithm);
+    for (int r = 0; r < nodes; ++r) {
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(r) * kBlock + i],
+                  r * 100 + comm.rank());
+      }
+    }
+  });
+}
+
+TEST(AlltoallTest, SizeMismatchRejected) {
+  on_machine(2, [](Communicator& comm) {
+    std::vector<int> send(4), recv(2);
+    EXPECT_THROW(alltoall<int>(comm, send, recv, 2), CommError);
+  });
+}
+
+TEST(SplitTest, RowColumnCommunicators) {
+  // 2x2 grid: split by row color, then by column color.
+  on_machine(4, [](Communicator& comm) {
+    const int row = comm.rank() / 2;
+    const int col = comm.rank() % 2;
+    auto row_comm = comm.split(row, col);
+    ASSERT_NE(row_comm, nullptr);
+    EXPECT_EQ(row_comm->size(), 2);
+    EXPECT_EQ(row_comm->rank(), col);
+
+    // Collectives work inside the sub-communicator.
+    std::vector<int> mine{comm.rank()};
+    std::vector<int> sum(1);
+    row_comm->allreduce<int>(mine, sum, std::plus<int>());
+    EXPECT_EQ(sum[0], row == 0 ? 0 + 1 : 2 + 3);
+  });
+}
+
+TEST(SplitTest, SplitOfSplitStillCommunicates) {
+  // 2x2x2 decomposition: split world into halves, halves into pairs.
+  on_machine(8, [](Communicator& comm) {
+    auto half = comm.split(comm.rank() / 4, comm.rank() % 4);
+    ASSERT_NE(half, nullptr);
+    ASSERT_EQ(half->size(), 4);
+    auto pair = half->split(half->rank() / 2, half->rank() % 2);
+    ASSERT_NE(pair, nullptr);
+    ASSERT_EQ(pair->size(), 2);
+
+    std::vector<int> mine{comm.rank()};
+    std::vector<int> sum(1);
+    pair->allreduce<int>(mine, sum, std::plus<int>());
+    // Pairs are (0,1),(2,3),(4,5),(6,7) in world ranks.
+    const int base = (comm.rank() / 2) * 2;
+    EXPECT_EQ(sum[0], base + base + 1);
+  });
+}
+
+TEST(SplitTest, NegativeColorYieldsNull) {
+  on_machine(3, [](Communicator& comm) {
+    auto sub = comm.split(comm.rank() == 0 ? -1 : 0, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(sub, nullptr);
+    } else {
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->size(), 2);
+    }
+  });
+}
+
+TEST(VirtualTimeTest, CollectiveAdvancesAllClocks) {
+  net::Machine machine(4, net::myrinet_fabric());
+  machine.run([](net::NodeContext& node) {
+    Communicator comm(node);
+    comm.barrier();
+    EXPECT_GT(node.now(), 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace sage::mpi

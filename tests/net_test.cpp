@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/fabric.hpp"
+#include "net/fabric_model.hpp"
+#include "net/machine.hpp"
+#include "support/error.hpp"
+
+namespace sage::net {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// --- fabric model -----------------------------------------------------------
+
+TEST(FabricModelTest, BoardTopology) {
+  FabricModel m = myrinet_fabric();
+  ASSERT_EQ(m.nodes_per_board, 4);
+  EXPECT_TRUE(m.same_board(0, 3));
+  EXPECT_FALSE(m.same_board(3, 4));
+  EXPECT_LT(m.latency_s(0, 1), m.latency_s(0, 4));
+}
+
+TEST(FabricModelTest, TransferCostScalesWithBytes) {
+  FabricModel m = myrinet_fabric();
+  const double small = m.transfer_seconds(0, 5, 1024);
+  const double large = m.transfer_seconds(0, 5, 1024 * 1024);
+  EXPECT_GT(large, small);
+  // 160 MB/s: 1 MiB takes ~6.25 ms + latency.
+  EXPECT_NEAR(large, 1024.0 * 1024 / (160.0 * 1024 * 1024) + 10e-6, 1e-6);
+}
+
+TEST(FabricModelTest, PresetsDiffer) {
+  EXPECT_GT(raceway_fabric().intra_board_bandwidth_Bps,
+            myrinet_fabric().intra_board_bandwidth_Bps);
+  EXPECT_LT(ideal_fabric().transfer_seconds(0, 9, 1 << 20), 1e-9);
+}
+
+// --- fabric ------------------------------------------------------------------
+
+TEST(FabricTest, DeliversPayloadByTag) {
+  Fabric fabric(2, ideal_fabric());
+  fabric.send(0, 1, 7, bytes_of("hello"), 0.0);
+  fabric.send(0, 1, 8, bytes_of("world"), 0.0);
+  // Receive out of order by tag.
+  Message m8 = fabric.recv(1, 0, 8);
+  Message m7 = fabric.recv(1, 0, 7);
+  EXPECT_EQ(string_of(m8.payload), "world");
+  EXPECT_EQ(string_of(m7.payload), "hello");
+}
+
+TEST(FabricTest, WildcardsMatchAnything) {
+  Fabric fabric(3, ideal_fabric());
+  fabric.send(2, 1, 5, bytes_of("x"), 0.0);
+  Message m = fabric.recv(1, kAnySource, kAnyTag);
+  EXPECT_EQ(m.src, 2);
+  EXPECT_EQ(m.tag, 5);
+}
+
+TEST(FabricTest, FifoPerSourceAndTag) {
+  Fabric fabric(2, ideal_fabric());
+  fabric.send(0, 1, 3, bytes_of("first"), 0.0);
+  fabric.send(0, 1, 3, bytes_of("second"), 0.0);
+  EXPECT_EQ(string_of(fabric.recv(1, 0, 3).payload), "first");
+  EXPECT_EQ(string_of(fabric.recv(1, 0, 3).payload), "second");
+}
+
+TEST(FabricTest, ArrivalTimeIncludesTransferCost) {
+  FabricModel model = myrinet_fabric();
+  Fabric fabric(8, model);
+  const double sent_vt = 1.0;
+  fabric.send(0, 5, 1, bytes_of(std::string(1024, 'a')), sent_vt);
+  Message m = fabric.recv(5, 0, 1);
+  const double expected = sent_vt + model.send_overhead_s +
+                          model.transfer_seconds(0, 5, 1024) +
+                          model.recv_overhead_s;
+  EXPECT_NEAR(m.arrival_vt, expected, 1e-12);
+}
+
+TEST(FabricTest, VendorBulkReducesOverhead) {
+  FabricModel model = myrinet_fabric();
+  Fabric fabric(8, model);
+  fabric.send(0, 5, 1, bytes_of("x"), 0.0, {.vendor_bulk = false});
+  fabric.send(0, 5, 2, bytes_of("x"), 0.0, {.vendor_bulk = true});
+  const double normal = fabric.recv(5, 0, 1).arrival_vt;
+  const double bulk = fabric.recv(5, 0, 2).arrival_vt;
+  EXPECT_LT(bulk, normal);
+}
+
+TEST(FabricTest, TryRecvDoesNotBlock) {
+  Fabric fabric(2, ideal_fabric());
+  EXPECT_FALSE(fabric.try_recv(0).has_value());
+  fabric.send(1, 0, 1, bytes_of("y"), 0.0);
+  auto m = fabric.try_recv(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(string_of(m->payload), "y");
+}
+
+TEST(FabricTest, RecvTimesOutIntoCommError) {
+  Fabric fabric(2, ideal_fabric());
+  EXPECT_THROW(fabric.recv(0, kAnySource, kAnyTag, /*timeout_wall_s=*/0.05),
+               CommError);
+}
+
+TEST(FabricTest, StatsAccumulate) {
+  Fabric fabric(2, ideal_fabric());
+  fabric.send(0, 1, 1, bytes_of("abcd"), 0.0);
+  fabric.send(1, 0, 1, bytes_of("ef"), 0.0);
+  EXPECT_EQ(fabric.total_messages(), 2u);
+  EXPECT_EQ(fabric.total_bytes(), 6u);
+  EXPECT_EQ(fabric.pending(1), 1u);
+}
+
+TEST(FabricTest, BadRanksRejected) {
+  Fabric fabric(2, ideal_fabric());
+  EXPECT_THROW(fabric.send(0, 5, 1, bytes_of("x"), 0.0), CommError);
+  EXPECT_THROW(fabric.recv(-1), CommError);
+}
+
+// --- machine ------------------------------------------------------------------
+
+TEST(MachineTest, RunsProgramOnEveryNode) {
+  Machine machine(4, ideal_fabric());
+  std::vector<int> visited(4, 0);
+  machine.run([&](NodeContext& node) {
+    visited[static_cast<std::size_t>(node.rank())] = 1;
+    EXPECT_EQ(node.size(), 4);
+  });
+  for (int v : visited) EXPECT_EQ(v, 1);
+}
+
+TEST(MachineTest, NodeExceptionPropagates) {
+  Machine machine(3, ideal_fabric());
+  EXPECT_THROW(machine.run([&](NodeContext& node) {
+                 if (node.rank() == 2) raise<CommError>("boom");
+               }),
+               CommError);
+}
+
+TEST(MachineTest, VirtualTimePropagatesThroughMessages) {
+  // Rank 0 computes 10ms (modeled), sends to rank 1; rank 1's clock must
+  // land at least at 10ms + transfer.
+  Machine machine(2, myrinet_fabric());
+  std::vector<double> finish(2, 0.0);
+  machine.run([&](NodeContext& node) {
+    if (node.rank() == 0) {
+      node.clock().advance(0.010);
+      std::byte token{};
+      const auto after = node.fabric().send(
+          0, 1, 1, std::span<const std::byte>(&token, 1), node.now());
+      node.clock().join(after);
+    } else {
+      Message m = node.fabric().recv(1, 0, 1);
+      node.clock().join(m.arrival_vt);
+    }
+    finish[static_cast<std::size_t>(node.rank())] = node.now();
+  });
+  EXPECT_GT(finish[1], 0.010);
+  EXPECT_GT(machine.run([](NodeContext&) {}).makespan(), -1.0);  // no throw
+}
+
+TEST(MachineTest, MakespanIsMaxOfNodeTimes) {
+  Machine machine(3, ideal_fabric());
+  const MachineReport report = machine.run([](NodeContext& node) {
+    node.clock().advance(0.001 * (node.rank() + 1));
+  });
+  EXPECT_NEAR(report.makespan(), 0.003, 1e-12);
+}
+
+TEST(MachineTest, HeterogeneousScales) {
+  Machine machine(ideal_fabric(), {1.0, 4.0});
+  EXPECT_EQ(machine.node_count(), 2);
+  EXPECT_DOUBLE_EQ(machine.cpu_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(machine.cpu_scale(1), 4.0);
+  machine.run([&](NodeContext& node) {
+    EXPECT_DOUBLE_EQ(node.cpu_scale(), node.rank() == 0 ? 1.0 : 4.0);
+  });
+}
+
+TEST(FabricTest, ContentionSerializesSharedLinks) {
+  FabricModel model = myrinet_fabric();
+  model.model_contention = true;
+  Fabric fabric(8, model);
+  const std::size_t bytes = 1 << 20;
+  const std::vector<std::byte> payload(bytes);
+
+  // Two inter-board messages issued at vt=0 on the same board pair:
+  // the second must queue behind the first.
+  fabric.send(0, 4, 1, payload, 0.0);
+  fabric.send(1, 5, 1, payload, 0.0);
+  const double first = fabric.recv(4, 0, 1).arrival_vt;
+  const double second = fabric.recv(5, 1, 1).arrival_vt;
+  const double serialization = bytes / model.inter_board_bandwidth_Bps;
+  EXPECT_GT(second, first + serialization * 0.9);
+
+  // Intra-board traffic does not touch the link.
+  fabric.send(0, 1, 2, payload, 0.0);
+  fabric.send(2, 3, 2, payload, 0.0);
+  const double intra_a = fabric.recv(1, 0, 2).arrival_vt;
+  const double intra_b = fabric.recv(3, 2, 2).arrival_vt;
+  EXPECT_NEAR(intra_a, intra_b, 1e-9);
+}
+
+TEST(FabricTest, ContentionOffKeepsTransfersIndependent) {
+  Fabric fabric(8, myrinet_fabric());  // contention off by default
+  const std::vector<std::byte> payload(1 << 20);
+  fabric.send(0, 4, 1, payload, 0.0);
+  fabric.send(1, 5, 1, payload, 0.0);
+  const double first = fabric.recv(4, 0, 1).arrival_vt;
+  const double second = fabric.recv(5, 1, 1).arrival_vt;
+  EXPECT_NEAR(first, second, 1e-9);
+}
+
+TEST(MachineTest, RejectsBadConfig) {
+  EXPECT_THROW(Machine(0, ideal_fabric()), CommError);
+  EXPECT_THROW(Machine(2, ideal_fabric(), -1.0), CommError);
+}
+
+}  // namespace
+}  // namespace sage::net

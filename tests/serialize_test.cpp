@@ -1,0 +1,107 @@
+// Model repository persistence tests: round trips, literal forms,
+// malformed-input reporting.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hpp"
+#include "codegen/generator.hpp"
+#include "model/app.hpp"
+#include "model/serialize.hpp"
+#include "support/error.hpp"
+
+namespace sage::model {
+namespace {
+
+TEST(SerializeTest, SimpleRoundTrip) {
+  ModelObject root("sage-model", "proj");
+  root.set_property("note", "hello \"world\"\nline2");
+  root.set_property("count", 42);
+  root.set_property("ratio", 2.5);
+  root.set_property("flag", true);
+  root.set_property("off", false);
+  root.set_property("nothing", PropertyValue());
+  root.set_property("dims",
+                    PropertyList{PropertyValue(8), PropertyValue("x"),
+                                 PropertyValue(PropertyList{PropertyValue(1)})});
+  ModelObject& child = root.add_child("block", "inner name");
+  child.set_property("k", 1);
+
+  const std::string text = save_model(root);
+  const auto loaded = load_model(text);
+
+  EXPECT_EQ(loaded->type(), "sage-model");
+  EXPECT_EQ(loaded->name(), "proj");
+  EXPECT_EQ(loaded->property("note").as_string(), "hello \"world\"\nline2");
+  EXPECT_EQ(loaded->property("count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(loaded->property("ratio").as_double(), 2.5);
+  EXPECT_TRUE(loaded->property("flag").as_bool());
+  EXPECT_FALSE(loaded->property("off").as_bool());
+  EXPECT_TRUE(loaded->property("nothing").is_nil());
+  const PropertyList& dims = loaded->property("dims").as_list();
+  ASSERT_EQ(dims.size(), 3u);
+  EXPECT_EQ(dims[0].as_int(), 8);
+  EXPECT_EQ(dims[1].as_string(), "x");
+  EXPECT_EQ(dims[2].as_list()[0].as_int(), 1);
+  ASSERT_NE(loaded->find_child("inner name"), nullptr);
+  EXPECT_EQ(loaded->find_child("inner name")->property("k").as_int(), 1);
+
+  // Dumps (structure + properties) must match exactly.
+  EXPECT_EQ(loaded->dump(), root.dump());
+}
+
+TEST(SerializeTest, BenchmarkWorkspaceRoundTripsAndStillGenerates) {
+  auto original = apps::make_fft2d_workspace(64, 4);
+  const std::string text = save_workspace(*original);
+  auto loaded = load_workspace(text);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_NO_THROW(loaded->validate_or_throw());
+  EXPECT_EQ(loaded->root().dump(), original->root().dump());
+
+  // The reloaded design drives the full generator to the same artifact.
+  const auto a = codegen::generate_glue(*original);
+  const auto b = codegen::generate_glue(*loaded);
+  EXPECT_EQ(a.glue_config_text(), b.glue_config_text());
+}
+
+TEST(SerializeTest, SaveIsStable) {
+  auto ws = apps::make_cornerturn_workspace(64, 2);
+  const std::string once = save_workspace(*ws);
+  const auto loaded = load_workspace(once);
+  EXPECT_EQ(save_workspace(*loaded), once);
+}
+
+TEST(SerializeTest, DeepNesting) {
+  ModelObject root("sage-model", "r");
+  ModelObject* cursor = &root;
+  for (int i = 0; i < 10; ++i) {
+    cursor = &cursor->add_child("block", "level" + std::to_string(i));
+  }
+  cursor->set_property("leaf", true);
+  const auto loaded = load_model(save_model(root));
+  EXPECT_EQ(loaded->dump(), root.dump());
+}
+
+TEST(SerializeTest, MalformedInputsReportLines) {
+  EXPECT_THROW(load_model(""), ModelError);
+  EXPECT_THROW(load_model("garbage here\n"), ModelError);
+  EXPECT_THROW(load_model("object block name-not-quoted\n"), ModelError);
+  EXPECT_THROW(load_model("prop k 1\n"), ModelError);  // prop before object
+  EXPECT_THROW(load_model("object a \"x\"\nobject b \"y\"\n"),
+               ModelError);  // two roots
+  EXPECT_THROW(load_model("object a \"x\"\n    object b \"y\"\n"),
+               ModelError);  // skipped depth
+  // Malformed literal.
+  EXPECT_THROW(load_model("object a \"x\"\n  prop k (1 2\n"), ModelError);
+  try {
+    load_model("object a \"x\"\n  prop k (1 2\n");
+    FAIL();
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SerializeTest, WorkspaceRootTypeEnforced) {
+  EXPECT_THROW(Workspace(load_model("object widget \"w\"\n")), ModelError);
+}
+
+}  // namespace
+}  // namespace sage::model

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "support/clock.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace sage::support {
+namespace {
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(RngTest, BetweenIsInclusive) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// --- strings --------------------------------------------------------------------
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, PrefixSuffix) {
+  EXPECT_TRUE(starts_with("param_x", "param_"));
+  EXPECT_FALSE(starts_with("par", "param_"));
+  EXPECT_TRUE(ends_with("file.cfg", ".cfg"));
+  EXPECT_FALSE(ends_with("cfg", "file.cfg"));
+}
+
+TEST(StringsTest, IntegerParsing) {
+  EXPECT_TRUE(is_integer("-42"));
+  EXPECT_TRUE(is_integer("+7"));
+  EXPECT_FALSE(is_integer("1.5"));
+  EXPECT_FALSE(is_integer(""));
+  EXPECT_FALSE(is_integer("-"));
+  EXPECT_EQ(parse_int("-42"), -42);
+  EXPECT_THROW(parse_int("12x"), Error);
+}
+
+TEST(StringsTest, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_THROW(parse_double("abc"), Error);
+}
+
+TEST(StringsTest, EscapeRoundTrip) {
+  const std::string original = "a\"b\\c\nd\te";
+  EXPECT_EQ(unescape(escape(original)), original);
+}
+
+TEST(StringsTest, FormatHelpers) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0123), "12.300 ms");
+  EXPECT_EQ(format_seconds(4.2e-6), "4.200 us");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(8ull << 20), "8.0 MiB");
+}
+
+// --- clock -----------------------------------------------------------------------
+
+TEST(ClockTest, VirtualClockAdvancesAndJoins) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance(-1.0);  // negative durations ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.join(1.0);  // join only moves forward
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.join(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(ClockTest, ComputeScopeMeasuresWork) {
+  VirtualClock clock;
+  {
+    ComputeScope scope(clock);
+    // Burn a little CPU.
+    volatile double x = 1.0;
+    for (int i = 0; i < 2000000; ++i) x = x * 1.0000001;
+  }
+  EXPECT_GT(clock.now(), 0.0);
+}
+
+TEST(ClockTest, ComputeScopeScalesTime) {
+  VirtualClock base, scaled;
+  auto burn = [] {
+    volatile double x = 1.0;
+    for (int i = 0; i < 4000000; ++i) x = x * 1.0000001;
+  };
+  {
+    ComputeScope scope(base, 1.0);
+    burn();
+  }
+  {
+    ComputeScope scope(scaled, 10.0);
+    burn();
+  }
+  // The scaled clock should read roughly 10x the base (loose bounds:
+  // the two measurements are separate executions).
+  EXPECT_GT(scaled.now(), base.now() * 3.0);
+}
+
+TEST(ClockTest, ThreadCpuTimeIsPerThread) {
+  // A sleeping thread accumulates almost no CPU time.
+  const double before = thread_cpu_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double after = thread_cpu_seconds();
+  EXPECT_LT(after - before, 0.040);
+}
+
+// --- logging ---------------------------------------------------------------------
+
+TEST(LogTest, LevelIsSettable) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Suppressed calls must be cheap and side-effect free.
+  log_debug("this should be filtered: ", 42);
+  log_info("filtered too");
+  set_log_level(before);
+}
+
+// --- errors ----------------------------------------------------------------------
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    SAGE_CHECK(1 == 2, "context ", 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, TypedErrorsAreDistinct) {
+  EXPECT_THROW(raise<ModelError>("m"), ModelError);
+  EXPECT_THROW(raise<AlterError>("a"), AlterError);
+  EXPECT_THROW(raise<ConfigError>("c"), ConfigError);
+  // All derive from Error.
+  EXPECT_THROW(raise<CommError>("x"), Error);
+}
+
+}  // namespace
+}  // namespace sage::support

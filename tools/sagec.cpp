@@ -1,0 +1,311 @@
+// sagec -- the openSAGE command-line tool.
+//
+// Drives the paper's pipeline over model repository files:
+//
+//   sagec demo <fft2d|cornerturn> [-n size] [-p nodes] [-o file]
+//       emit a ready-made benchmark design
+//   sagec info <model-file>
+//       summarize a design (functions, arcs, hardware, mapping)
+//   sagec validate <model-file>
+//       run the Designer's full-design validation
+//   sagec map <model-file> [-o file]
+//       run the AToT genetic mapper and write the mapping back
+//   sagec generate <model-file> [-o dir]
+//       run the Alter glue-code generator; write glue.cfg and glue.c
+//   sagec run <model-file> [-i iterations] [--policy unique|shared]
+//             [--trace file.json]
+//       generate and execute on the emulated platform; print the
+//       Visualizer summary
+//   sagec alter <script.alt> [-m model-file] [-o dir]
+//       run an Alter program (optionally against a model); print its
+//       (print ...) log and write its emit streams
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alter/interp.hpp"
+#include "apps/benchmarks.hpp"
+#include "atot/mapper.hpp"
+#include "codegen/generator.hpp"
+#include "core/project.hpp"
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/serialize.hpp"
+#include "support/error.hpp"
+#include "viz/analysis.hpp"
+
+namespace {
+
+using namespace sage;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: sagec <command> [args]\n"
+               "  demo <fft2d|cornerturn> [-n size] [-p nodes] [-o file]\n"
+               "  info <model-file>\n"
+               "  validate <model-file>\n"
+               "  map <model-file> [-o file]\n"
+               "  generate <model-file> [-o dir]\n"
+               "  run <model-file> [-i iters] [--policy unique|shared]"
+               " [--trace file.json]\n"
+               "  alter <script.alt> [-m model-file] [-o dir]\n"
+               "  analyze <trace.csv> [--latency-bound ms]\n");
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) raise<Error>("cannot open '", path, "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) raise<Error>("cannot write '", path, "'");
+  out << content;
+}
+
+/// Tiny flag scanner: collects "-k value" and "--key value" pairs plus
+/// positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::string flag_or(const std::string& name,
+                      const std::string& fallback) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return value;
+    }
+    return fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() > 1 && arg[0] == '-') {
+      const std::string key = arg.substr(arg[1] == '-' ? 2 : 1);
+      if (i + 1 >= argc) raise<Error>("flag '", arg, "' needs a value");
+      args.flags.emplace_back(key, argv[++i]);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int cmd_demo(const Args& args) {
+  if (args.positional.empty()) usage();
+  const std::string& which = args.positional[0];
+  const auto n =
+      static_cast<std::size_t>(std::stoul(args.flag_or("n", "256")));
+  const int nodes = std::stoi(args.flag_or("p", "4"));
+
+  std::unique_ptr<model::Workspace> ws;
+  if (which == "fft2d") {
+    ws = apps::make_fft2d_workspace(n, nodes);
+  } else if (which == "cornerturn") {
+    ws = apps::make_cornerturn_workspace(n, nodes);
+  } else {
+    raise<Error>("unknown demo '", which, "' (want fft2d or cornerturn)");
+  }
+
+  const std::string out = args.flag_or("o", "");
+  const std::string text = model::save_workspace(*ws);
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    write_file(out, text);
+    std::printf("wrote %s (%zu bytes)\n", out.c_str(), text.size());
+  }
+  return 0;
+}
+
+std::unique_ptr<model::Workspace> load(const Args& args) {
+  if (args.positional.empty()) usage();
+  return model::load_workspace(read_file(args.positional[0]));
+}
+
+int cmd_info(const Args& args) {
+  auto ws = load(args);
+  const model::ModelObject& app = ws->application();
+  std::printf("project:     %s\n", ws->root().name().c_str());
+  std::printf("application: %s\n", app.name().c_str());
+  for (const model::ModelObject* fn : model::functions(app)) {
+    std::printf("  function %-16s kernel=%-24s threads=%lld\n",
+                fn->name().c_str(),
+                fn->property("kernel").as_string().c_str(),
+                static_cast<long long>(fn->property("threads").as_int()));
+  }
+  for (const model::ModelObject* arc : model::arcs(app)) {
+    std::printf("  arc %s\n", arc->name().c_str());
+  }
+  const model::ModelObject& hw = ws->hardware();
+  std::printf("hardware:    %s (%zu processors, fabric %s)\n",
+              hw.name().c_str(), model::processors(hw).size(),
+              hw.property("fabric").as_string().c_str());
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  auto ws = load(args);
+  const auto issues = ws->validate();
+  int errors = 0;
+  for (const model::Issue& issue : issues) {
+    std::printf("%s\n", issue.to_string().c_str());
+    if (issue.severity == model::Issue::Severity::kError) ++errors;
+  }
+  if (errors == 0) {
+    std::printf("design is valid (%zu warning(s))\n", issues.size());
+    return 0;
+  }
+  std::printf("%d error(s)\n", errors);
+  return 1;
+}
+
+int cmd_map(const Args& args) {
+  auto ws = load(args);
+  const atot::MappingProblem problem = atot::build_problem(*ws);
+  const atot::GeneticResult result = atot::genetic_mapping(problem);
+  std::printf("genetic mapping: objective %.6f (max load %.6f s, comm %.6f s)"
+              " after %d generations\n",
+              result.cost.objective, result.cost.max_load,
+              result.cost.total_comm, result.generations_run);
+  atot::apply_assignment(*ws, problem, result.best);
+  ws->validate_or_throw();
+  const std::string out = args.flag_or("o", "");
+  if (!out.empty()) {
+    write_file(out, model::save_workspace(*ws));
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  auto ws = load(args);
+  const codegen::GeneratedArtifacts artifacts = codegen::generate_glue(*ws);
+  const std::string dir = args.flag_or("o", ".");
+  for (const auto& [name, content] : artifacts.outputs) {
+    const std::string path = dir + "/" + name;
+    write_file(path, content);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  }
+  std::printf("%zu functions, %zu logical buffers, %d nodes\n",
+              artifacts.config.functions.size(),
+              artifacts.config.buffers.size(), artifacts.config.nodes);
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  auto ws = load(args);
+  core::Project project(std::move(ws));
+  core::ExecuteOptions options;
+  options.iterations = std::stoi(args.flag_or("i", "3"));
+  const std::string policy = args.flag_or("policy", "unique");
+  options.buffer_policy = (policy == "shared")
+                              ? runtime::BufferPolicy::kShared
+                              : runtime::BufferPolicy::kUniquePerFunction;
+
+  const runtime::RunStats stats = project.execute(options);
+  std::printf("iterations: %d\n", stats.iterations);
+  std::printf("mean latency: %.3f ms (virtual)\n",
+              stats.mean_latency() * 1e3);
+  std::printf("period:       %.3f ms (virtual)\n", stats.period * 1e3);
+  for (const auto& [fn, series] : stats.results) {
+    std::printf("result[%s]:", fn.c_str());
+    for (double v : series) std::printf(" %.4f", v);
+    std::printf("\n");
+  }
+  std::printf("%s", viz::summary_report(stats.trace).c_str());
+
+  const std::string trace_path = args.flag_or("trace", "");
+  if (!trace_path.empty()) {
+    write_file(trace_path, stats.trace.to_chrome_json());
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+  const std::string csv_path = args.flag_or("trace-csv", "");
+  if (!csv_path.empty()) {
+    write_file(csv_path, stats.trace.to_csv());
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) usage();
+  const viz::Trace trace = viz::Trace::from_csv(read_file(args.positional[0]));
+  std::printf("%s", viz::summary_report(trace).c_str());
+  const double threshold =
+      std::stod(args.flag_or("latency-bound", "0")) * 1e-3;  // ms -> s
+  if (threshold > 0) {
+    const auto violations = viz::latency_violations(trace, threshold);
+    std::printf("\nlatency violations over %.3f ms: %zu\n", threshold * 1e3,
+                violations.size());
+    for (const auto& v : violations) {
+      std::printf("  iteration %d: %.3f ms\n", v.iteration,
+                  v.latency() * 1e3);
+    }
+  }
+  return 0;
+}
+
+int cmd_alter(const Args& args) {
+  if (args.positional.empty()) usage();
+  const std::string program = read_file(args.positional[0]);
+
+  alter::Interpreter interp;
+  std::unique_ptr<model::Workspace> ws;  // keeps the model alive
+  const std::string model_path = args.flag_or("m", "");
+  if (!model_path.empty()) {
+    ws = model::load_workspace(read_file(model_path));
+    interp.attach_model(ws->root());
+  }
+
+  const alter::Value result = interp.eval_string(program);
+  if (!interp.print_log().empty()) {
+    std::fputs(interp.print_log().c_str(), stdout);
+  }
+  std::printf("=> %s\n", result.to_string().c_str());
+
+  const std::string dir = args.flag_or("o", "");
+  for (const auto& [name, content] : interp.outputs()) {
+    if (content.empty()) continue;
+    if (dir.empty()) {
+      std::printf("--- %s (%zu bytes, use -o to write) ---\n", name.c_str(),
+                  content.size());
+    } else {
+      const std::string path = dir + "/" + name;
+      write_file(path, content);
+      std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "demo") return cmd_demo(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "map") return cmd_map(args);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "alter") return cmd_alter(args);
+    if (command == "analyze") return cmd_analyze(args);
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sagec: %s\n", e.what());
+    return 1;
+  }
+}
