@@ -21,16 +21,16 @@ namespace {
 
 using namespace sage;
 
-double mean_latency(core::Project& project, runtime::BufferPolicy policy,
-                    int runs, int iterations) {
+// One warm session serves both policies: the RunRequest override swaps
+// the buffer policy per run without rebuilding the machine.
+double mean_latency(runtime::Session& session, runtime::BufferPolicy policy,
+                    int runs) {
+  runtime::RunRequest request;
+  request.buffer_policy = policy;
   double total = 0.0;
   int count = 0;
   for (int run = 0; run < runs; ++run) {
-    core::ExecuteOptions options;
-    options.iterations = iterations;
-    options.buffer_policy = policy;
-    options.collect_trace = false;
-    for (double lat : project.execute(options).latencies) {
+    for (double lat : session.run(request).latencies) {
       total += lat;
       ++count;
     }
@@ -66,11 +66,14 @@ int main() {
       hand /= static_cast<double>(env.runs * env.iterations);
 
       core::Project project(apps::make_cornerturn_workspace(size, nodes));
-      const double unique =
-          mean_latency(project, runtime::BufferPolicy::kUniquePerFunction,
-                       env.runs, env.iterations);
-      const double shared = mean_latency(
-          project, runtime::BufferPolicy::kShared, env.runs, env.iterations);
+      runtime::ExecuteOptions options;
+      options.iterations = env.iterations;
+      options.collect_trace = false;
+      auto session = project.open_session(options);
+      const double unique = mean_latency(
+          *session, runtime::BufferPolicy::kUniquePerFunction, env.runs);
+      const double shared =
+          mean_latency(*session, runtime::BufferPolicy::kShared, env.runs);
 
       std::printf("%-6d %zux%-7zu %12.3f %12.3f %12.3f %9.1f%% %9.1f%%\n",
                   nodes, size, size, hand * 1e3, unique * 1e3, shared * 1e3,

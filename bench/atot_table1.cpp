@@ -21,7 +21,7 @@ namespace {
 using namespace sage;
 
 double mean_latency(core::Project& project, int iterations) {
-  core::ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.iterations = iterations;
   options.collect_trace = false;
   project.execute(options);  // warm-up (first-touch page faults)

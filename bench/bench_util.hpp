@@ -88,4 +88,46 @@ inline void print_table(const std::string& title,
   }
 }
 
+/// Host-side (wall-clock) cost of repeated runs: `cold` is the first
+/// run on a fresh session (includes machine spawn via construction cost
+/// when measured around session creation), `warm` the mean of the
+/// remaining runs on the same session. Virtual-time results are
+/// unaffected; this measures the harness itself.
+struct HostCost {
+  std::string label;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  int warm_runs = 0;
+
+  double speedup() const {
+    return warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  }
+};
+
+/// Folds a per-run host_seconds series (first = cold) into a HostCost.
+inline HostCost host_cost(const std::string& label,
+                          const std::vector<double>& host_seconds) {
+  HostCost cost;
+  cost.label = label;
+  if (host_seconds.empty()) return cost;
+  cost.cold_seconds = host_seconds.front();
+  for (std::size_t i = 1; i < host_seconds.size(); ++i) {
+    cost.warm_seconds += host_seconds[i];
+    ++cost.warm_runs;
+  }
+  if (cost.warm_runs > 0) {
+    cost.warm_seconds /= static_cast<double>(cost.warm_runs);
+  }
+  return cost;
+}
+
+inline void print_host_cost(const HostCost& cost) {
+  std::printf("host   %-22s cold %8.3f ms   warm %8.3f ms x%-3d %6.1fx\n",
+              cost.label.c_str(), cost.cold_seconds * 1e3,
+              cost.warm_seconds * 1e3, cost.warm_runs, cost.speedup());
+  std::printf("csv,host,%s,%.6f,%.6f,%d,%.2f\n", cost.label.c_str(),
+              cost.cold_seconds, cost.warm_seconds, cost.warm_runs,
+              cost.speedup());
+}
+
 }  // namespace sage::bench

@@ -58,10 +58,11 @@ int main() {
     auto workspace = apps::make_fft2d_workspace(size, nodes);
     core::retarget_hardware(workspace->hardware(), vendor.key);
     core::Project project(std::move(workspace));
-    core::ExecuteOptions options;
+    runtime::ExecuteOptions options;
     options.iterations = env.iterations;
     options.collect_trace = false;
-    const runtime::RunStats stats = project.execute(options);
+    auto session = project.open_session(options);
+    const runtime::RunStats stats = session->run();
 
     const double hand_s = mean(hand.latencies);
     const double sage_s = mean(stats.latencies);

@@ -90,13 +90,13 @@ void report(const char* label, bool pipelined, int iterations,
   core::Project project(make_chain(pipelined, contention));
 
   // Unloaded latency: a single data set through the empty pipeline.
-  core::ExecuteOptions single;
+  runtime::ExecuteOptions single;
   single.iterations = 1;
   single.collect_trace = false;
   const double latency = project.execute(single).mean_latency();
 
   // Period under steady load.
-  core::ExecuteOptions loaded;
+  runtime::ExecuteOptions loaded;
   loaded.iterations = iterations;
   loaded.collect_trace = false;
   const runtime::RunStats stats = project.execute(loaded);

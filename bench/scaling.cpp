@@ -43,11 +43,12 @@ int main() {
         mean(apps::run_fft2d_handcoded(size, nodes, hand_options).latencies);
 
     core::Project project(apps::make_fft2d_workspace(size, nodes));
-    core::ExecuteOptions options;
+    runtime::ExecuteOptions options;
     options.iterations = env.iterations;
     options.collect_trace = false;
-    project.execute(options);  // warm-up
-    const double sage = mean(project.execute(options).latencies);
+    auto session = project.open_session(options);
+    session->run();  // warm-up
+    const double sage = mean(session->run().latencies);
 
     if (nodes == 1) {
       hand_base = hand;

@@ -12,6 +12,7 @@
 #include "apps/handcoded.hpp"
 #include "bench_util.hpp"
 #include "core/project.hpp"
+#include "support/clock.hpp"
 
 namespace {
 
@@ -37,6 +38,7 @@ int main() {
               env.runs, env.iterations);
 
   std::vector<bench::ComparisonRow> rows;
+  std::vector<bench::HostCost> hosts;
   for (int nodes : env.nodes) {
     for (std::size_t size : env.sizes) {
       if (size % static_cast<std::size_t>(nodes) != 0) continue;
@@ -50,15 +52,30 @@ int main() {
         for (double lat : result.latencies) hand_lat.push_back(lat);
       }
 
+      // Cold includes session construction (machine spawn, buffer
+      // allocation, plan building) -- the per-run cost before warm
+      // sessions existed.
       core::Project project(apps::make_cornerturn_workspace(size, nodes));
+      runtime::ExecuteOptions options;
+      options.iterations = env.iterations;
+      options.collect_trace = false;
       std::vector<double> sage_lat;
-      for (int run = 0; run < env.runs; ++run) {
-        core::ExecuteOptions options;
-        options.iterations = env.iterations;
-        options.collect_trace = false;
-        const runtime::RunStats stats = project.execute(options);
+      std::vector<double> host_seconds;
+      const double cold_start = support::wall_seconds();
+      auto session = project.open_session(options);
+      {
+        const runtime::RunStats stats = session->run();
         for (double lat : stats.latencies) sage_lat.push_back(lat);
+        host_seconds.push_back(support::wall_seconds() - cold_start);
       }
+      for (int run = 1; run < env.runs; ++run) {
+        const runtime::RunStats stats = session->run();
+        for (double lat : stats.latencies) sage_lat.push_back(lat);
+        host_seconds.push_back(stats.host_seconds);
+      }
+      hosts.push_back(bench::host_cost(
+          "ct/" + std::to_string(size) + "x" + std::to_string(nodes) + "n",
+          host_seconds));
 
       bench::ComparisonRow row;
       row.application = "Corner Turn";
@@ -72,5 +89,7 @@ int main() {
 
   bench::print_table(
       "Comparison of hand-coded and auto-generated code (Corner Turn)", rows);
+  std::printf("\nWarm-session host cost (first run cold, rest warm)\n");
+  for (const bench::HostCost& cost : hosts) bench::print_host_cost(cost);
   return 0;
 }

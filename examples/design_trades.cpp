@@ -62,7 +62,7 @@ int main() {
   workspace->validate_or_throw();
 
   core::Project project(std::move(workspace));
-  core::ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.iterations = 3;
   options.collect_trace = false;
   const runtime::RunStats stats = project.execute(options);

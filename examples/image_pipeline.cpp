@@ -80,7 +80,7 @@ int main() {
   for (const runtime::BufferPolicy policy :
        {runtime::BufferPolicy::kUniquePerFunction,
         runtime::BufferPolicy::kShared}) {
-    core::ExecuteOptions options;
+    runtime::ExecuteOptions options;
     options.iterations = 3;
     options.buffer_policy = policy;
     const runtime::RunStats stats = project.execute(options);

@@ -65,13 +65,20 @@ int main() {
   std::printf("%.*s...\n\n", 360, cfg.c_str());
 
   // --- 3. Execution -------------------------------------------------------------
-  core::ExecuteOptions options;
+  // A warm session keeps the emulated machine and all buffers alive, so
+  // repeated runs only pay a per-run reset (the one-shot equivalent is
+  // project.execute(options)).
+  runtime::ExecuteOptions options;
   options.iterations = 4;
-  const runtime::RunStats stats = project.execute(options);
+  auto session = project.open_session(options);
+  const runtime::RunStats stats = session->run();
   std::printf("=== run ===\n");
   std::printf("iterations: %d, mean latency %.3f ms, period %.3f ms\n",
               stats.iterations, stats.mean_latency() * 1e3,
               stats.period * 1e3);
+  const runtime::RunStats warm = session->run();
+  std::printf("warm rerun: host %.3f ms (cold was %.3f ms)\n",
+              warm.host_seconds * 1e3, stats.host_seconds * 1e3);
   std::printf("sink checksum (iteration 0): %.3f\n\n",
               stats.results.at("sink")[0]);
 

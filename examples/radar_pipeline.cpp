@@ -110,7 +110,7 @@ int main() {
   }
 
   core::Project project(std::move(workspace));
-  core::ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.iterations = 3;
   const runtime::RunStats stats = project.execute(options);
 

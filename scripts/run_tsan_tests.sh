@@ -1,0 +1,19 @@
+#!/bin/sh
+# Builds openSAGE with ThreadSanitizer and runs the concurrency-heavy
+# suites: the emulated machine (parked node threads), the fabric, the
+# MPI layer, and the engine/session execution paths. The warm-session
+# dispatch handshake (net::Machine) is exactly the kind of code TSan is
+# for -- run this after touching it.
+#
+# Usage: scripts/run_tsan_tests.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tsan"}
+
+cmake -B "$build_dir" -S "$repo_root" -DSAGE_TSAN=ON
+cmake --build "$build_dir" -j \
+  --target net_test mpi_test engine_test session_test
+cd "$build_dir"
+TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+  ctest --output-on-failure -R '(Machine|Fabric|Mpi|Engine|Session|Redistribution|WarmCold)'

@@ -15,30 +15,53 @@ void Project::set_registry(runtime::FunctionRegistry registry) {
   registry_ = std::move(registry);
 }
 
-const codegen::GeneratedArtifacts& Project::generate(bool force) {
-  if (force || !artifacts_.has_value()) {
+const codegen::GeneratedArtifacts& Project::generate() {
+  if (!artifacts_.has_value()) {
     artifacts_ = codegen::generate_glue(*workspace_);
   }
   return *artifacts_;
 }
 
-runtime::RunStats Project::execute(const ExecuteOptions& options) {
-  const codegen::GeneratedArtifacts& artifacts = generate();
+const codegen::GeneratedArtifacts& Project::generate(bool force) {
+  if (force) invalidate();
+  return generate();
+}
 
+runtime::ExecuteOptions Project::resolve_options_(
+    runtime::ExecuteOptions options) {
   const model::ModelObject& hw = workspace_->hardware();
-  runtime::EngineOptions engine_options;
-  engine_options.buffer_policy = options.buffer_policy;
-  engine_options.iterations = options.iterations;
-  engine_options.collect_trace = options.collect_trace;
-  engine_options.fabric = model::to_fabric_model(hw);
-  const int nodes = static_cast<int>(model::processors(hw).size());
-  engine_options.cpu_scales.reserve(static_cast<std::size_t>(nodes));
-  for (int r = 0; r < nodes; ++r) {
-    engine_options.cpu_scales.push_back(model::cpu_scale_of_rank(hw, r));
+  if (!options.fabric.has_value()) {
+    options.fabric = model::to_fabric_model(hw);
   }
+  if (options.cpu_scales.empty()) {
+    const int nodes = static_cast<int>(model::processors(hw).size());
+    options.cpu_scales.reserve(static_cast<std::size_t>(nodes));
+    for (int r = 0; r < nodes; ++r) {
+      options.cpu_scales.push_back(model::cpu_scale_of_rank(hw, r));
+    }
+  }
+  return options;
+}
 
-  runtime::Engine engine(artifacts.config, registry_, engine_options);
-  return engine.run();
+std::unique_ptr<runtime::Session> Project::open_session(
+    const runtime::ExecuteOptions& options) {
+  const codegen::GeneratedArtifacts& artifacts = generate();
+  return std::make_unique<runtime::Session>(artifacts.config, registry_,
+                                            resolve_options_(options));
+}
+
+Result<std::unique_ptr<runtime::Session>> Project::try_open_session(
+    const runtime::ExecuteOptions& options) {
+  try {
+    return Result<std::unique_ptr<runtime::Session>>::success(
+        open_session(options));
+  } catch (const std::exception& e) {
+    return Result<std::unique_ptr<runtime::Session>>::failure(e.what());
+  }
+}
+
+runtime::RunStats Project::execute(const runtime::ExecuteOptions& options) {
+  return open_session(options)->run();
 }
 
 }  // namespace sage::core

@@ -4,7 +4,13 @@
 //   Designer (model) -> [AToT mapping] -> Alter glue generation ->
 //   run-time execution on the emulated platform -> Visualizer trace.
 //
-// This is the API the examples and benchmark harnesses use.
+// This is the API the examples and benchmark harnesses use. The
+// preferred execution path is open_session(): it generates glue (if
+// needed), fills any unset execution options from the workspace's
+// hardware model, and returns a warm runtime::Session whose repeated
+// run() calls reuse the emulated machine and all buffer memory.
+// execute() remains as the one-shot convenience (open a session, run
+// once).
 #pragma once
 
 #include <memory>
@@ -13,23 +19,51 @@
 
 #include "codegen/generator.hpp"
 #include "model/workspace.hpp"
-#include "runtime/engine.hpp"
 #include "runtime/registry.hpp"
+#include "runtime/session.hpp"
+#include "support/error.hpp"
 
 namespace sage::core {
 
-struct ExecuteOptions {
-  runtime::BufferPolicy buffer_policy =
-      runtime::BufferPolicy::kUniquePerFunction;
-  int iterations = 1;
-  bool collect_trace = true;
-};
+/// Deprecated name: Project now takes the unified option struct
+/// directly (fabric, cpu_scales, recv_timeout_s and buffer_depth are
+/// all reachable from the facade).
+using ExecuteOptions [[deprecated(
+    "use sage::runtime::ExecuteOptions")]] = runtime::ExecuteOptions;
 
 class Project {
  public:
   /// Takes ownership of a workspace (usually from a builder in
   /// sage::apps or hand-assembled through the model API).
   explicit Project(std::unique_ptr<model::Workspace> workspace);
+
+  /// Scoped mutable access to the workspace; cached glue artifacts are
+  /// invalidated when the scope ends, so the next generate()/execute()
+  /// sees the edits.
+  class EditScope {
+   public:
+    explicit EditScope(Project& project) : project_(&project) {}
+    EditScope(EditScope&& other) noexcept : project_(other.project_) {
+      other.project_ = nullptr;
+    }
+    EditScope(const EditScope&) = delete;
+    EditScope& operator=(const EditScope&) = delete;
+    EditScope& operator=(EditScope&&) = delete;
+    ~EditScope() {
+      if (project_ != nullptr) project_->invalidate();
+    }
+
+    model::Workspace& operator*() const { return *project_->workspace_; }
+    model::Workspace* operator->() const { return project_->workspace_.get(); }
+
+   private:
+    Project* project_;
+  };
+
+  /// Opens an auto-invalidating edit scope over the workspace:
+  ///   project.edit()->add_app(...);
+  ///   { auto ws = project.edit(); ws->...; ws->...; }
+  EditScope edit() { return EditScope(*this); }
 
   model::Workspace& workspace() { return *workspace_; }
   const model::Workspace& workspace() const { return *workspace_; }
@@ -39,17 +73,37 @@ class Project {
   const runtime::FunctionRegistry& registry() const { return registry_; }
 
   /// Runs the Alter glue-code generator; caches and returns the
-  /// artifacts. Re-generates when `force` (e.g. after model edits).
-  const codegen::GeneratedArtifacts& generate(bool force = false);
+  /// artifacts. Call invalidate() (or use edit()) after model changes.
+  const codegen::GeneratedArtifacts& generate();
 
-  /// Generates (if needed) and executes on the emulated platform
-  /// described by the workspace's hardware model.
-  runtime::RunStats execute(const ExecuteOptions& options = {});
+  /// Deprecated boolean-trap form; `generate(true)` is
+  /// `invalidate(); generate();`.
+  [[deprecated("call invalidate() then generate()")]]
+  const codegen::GeneratedArtifacts& generate(bool force);
 
   /// Invalidates cached artifacts after a model edit.
   void invalidate() { artifacts_.reset(); }
 
+  /// Generates (if needed) and opens a warm session on the emulated
+  /// platform described by the workspace's hardware model. Options left
+  /// unset are derived from the hardware model: `fabric` from the
+  /// interconnect properties, `cpu_scales` from the per-processor
+  /// speeds. Throws sage::ConfigError / sage::RuntimeError on
+  /// inconsistency.
+  std::unique_ptr<runtime::Session> open_session(
+      const runtime::ExecuteOptions& options = {});
+
+  /// Non-throwing counterpart of open_session for validators and CLIs:
+  /// model/config/mapping problems come back as an error message.
+  Result<std::unique_ptr<runtime::Session>> try_open_session(
+      const runtime::ExecuteOptions& options = {});
+
+  /// One-shot convenience: open_session(options) and run once.
+  runtime::RunStats execute(const runtime::ExecuteOptions& options = {});
+
  private:
+  runtime::ExecuteOptions resolve_options_(runtime::ExecuteOptions options);
+
   std::unique_ptr<model::Workspace> workspace_;
   runtime::FunctionRegistry registry_;
   std::optional<codegen::GeneratedArtifacts> artifacts_;

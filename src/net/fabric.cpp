@@ -125,4 +125,15 @@ std::uint64_t Fabric::total_bytes() const {
   return total_bytes_;
 }
 
+void Fabric::reset() {
+  for (Mailbox& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.clear();
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  link_free_.clear();
+}
+
 }  // namespace sage::net

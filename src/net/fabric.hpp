@@ -79,6 +79,13 @@ class Fabric {
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes() const;
 
+  /// Returns the fabric to its just-constructed state: drains every
+  /// mailbox (e.g. unclaimed flow-control credits from a finished run),
+  /// zeroes the message/byte totals, and clears the per-link contention
+  /// history. Must not race with in-flight send/recv -- callers reset
+  /// between runs, while the node threads are parked.
+  void reset();
+
  private:
   struct Parcel {
     int src;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
 
 #include "support/error.hpp"
 
@@ -34,7 +33,59 @@ Machine::Machine(FabricModel fabric_model, std::vector<double> per_node_scales)
   }
 }
 
+Machine::~Machine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Machine::start() {
+  if (started()) return;
+  workers_.reserve(static_cast<std::size_t>(node_count_));
+  errors_.resize(static_cast<std::size_t>(node_count_));
+  for (int r = 0; r < node_count_; ++r) {
+    workers_.emplace_back([this, r] { worker_loop_(r); });
+  }
+}
+
+void Machine::worker_loop_(int rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const NodeProgram* program = nullptr;
+    NodeContext* context = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      program = program_;
+      context = contexts_[static_cast<std::size_t>(rank)].get();
+    }
+
+    std::exception_ptr error;
+    try {
+      (*program)(*context);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_[static_cast<std::size_t>(rank)] = error;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
 MachineReport Machine::run(const NodeProgram& program) {
+  start();
+
+  // Fresh contexts per run: virtual clocks restart at zero, exactly as
+  // if the machine had been rebuilt.
   std::vector<std::unique_ptr<NodeContext>> contexts;
   contexts.reserve(static_cast<std::size_t>(node_count_));
   for (int r = 0; r < node_count_; ++r) {
@@ -42,22 +93,19 @@ MachineReport Machine::run(const NodeProgram& program) {
         r, node_count_, *fabric_, scales_[static_cast<std::size_t>(r)]));
   }
 
-  std::vector<std::exception_ptr> errors(
-      static_cast<std::size_t>(node_count_));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(node_count_));
-  for (int r = 0; r < node_count_; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        program(*contexts[static_cast<std::size_t>(r)]);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-      }
-    });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    contexts_ = std::move(contexts);
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    program_ = &program;
+    pending_ = node_count_;
+    ++generation_;
+    cv_start_.notify_all();
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    program_ = nullptr;
   }
-  for (auto& t : threads) t.join();
 
-  for (const auto& err : errors) {
+  for (const auto& err : errors_) {
     if (err) std::rethrow_exception(err);
   }
 
@@ -65,7 +113,7 @@ MachineReport Machine::run(const NodeProgram& program) {
   report.nodes.reserve(static_cast<std::size_t>(node_count_));
   for (int r = 0; r < node_count_; ++r) {
     report.nodes.push_back(
-        {r, contexts[static_cast<std::size_t>(r)]->now()});
+        {r, contexts_[static_cast<std::size_t>(r)]->now()});
   }
   return report;
 }

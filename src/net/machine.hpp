@@ -1,14 +1,25 @@
 // openSAGE -- the emulated multicomputer.
 //
-// Machine::run spawns one host thread per emulated node, hands each a
-// NodeContext (rank, fabric handle, virtual clock, CPU scale factor), and
-// joins them. Exceptions thrown on node threads are captured and rethrown
-// on the caller after all nodes stop. The per-node final virtual times are
+// Machine::run hands each emulated node a NodeContext (rank, fabric
+// handle, virtual clock, CPU scale factor) and executes the node program
+// on one host thread per node. The worker threads are spawned once (on
+// start() or the first run) and then *parked* between runs instead of
+// being joined and re-spawned, so repeated runs -- the warm
+// runtime::Session path -- pay only a condition-variable handshake per
+// run. Exceptions thrown on node threads are captured and rethrown on
+// the caller after all nodes stop. The per-node final virtual times are
 // collected so harnesses can report modeled makespans.
+//
+// run() may be called from one host thread at a time; the fabric and the
+// dispatch state are shared across all nodes of one machine.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -69,6 +80,12 @@ class Machine {
   /// Heterogeneous machine: one CPU scale per node.
   Machine(FabricModel fabric_model, std::vector<double> per_node_scales);
 
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Signals shutdown and joins the parked worker threads.
+  ~Machine();
+
   int node_count() const { return node_count_; }
   Fabric& fabric() { return *fabric_; }
   double cpu_scale(int rank = 0) const {
@@ -77,14 +94,42 @@ class Machine {
 
   using NodeProgram = std::function<void(NodeContext&)>;
 
-  /// Runs `program` on every node concurrently; rethrows the first node
-  /// exception after all threads join.
+  /// Spawns the per-node worker threads (parked until a run). Idempotent;
+  /// run() calls it lazily. Sessions call it eagerly so the thread-spawn
+  /// cost lands in construction, not the first measured run.
+  void start();
+  bool started() const { return !workers_.empty(); }
+
+  /// Number of completed run() calls (diagnostics: warm-reuse counters).
+  std::uint64_t runs_completed() const { return generation_; }
+
+  /// Runs `program` on every node concurrently on the parked worker
+  /// threads; rethrows the first node exception (by rank) after all
+  /// nodes finish. Each run gets fresh NodeContexts (virtual clocks
+  /// restart at zero); fabric state persists across runs -- call
+  /// fabric().reset() for a cold-equivalent run.
   MachineReport run(const NodeProgram& program);
 
  private:
+  void worker_loop_(int rank);
+
   int node_count_;
   std::vector<double> scales_;  // one per node
   std::unique_ptr<Fabric> fabric_;
+
+  // Dispatch handshake: run() publishes contexts_/program_ under mu_ and
+  // bumps generation_; workers execute and decrement pending_; the last
+  // worker wakes the caller.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  const NodeProgram* program_ = nullptr;
+  std::vector<std::unique_ptr<NodeContext>> contexts_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace sage::net

@@ -1,527 +1,12 @@
 #include "runtime/engine.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <tuple>
-
-#include "mpi/comm.hpp"
-#include "support/error.hpp"
-
 namespace sage::runtime {
 
-std::string to_string(BufferPolicy policy) {
-  switch (policy) {
-    case BufferPolicy::kUniquePerFunction: return "unique-per-function";
-    case BufferPolicy::kShared: return "shared";
-  }
-  return "?";
-}
-
-support::VirtualSeconds RunStats::mean_latency() const {
-  if (latencies.empty()) return 0.0;
-  support::VirtualSeconds total = 0.0;
-  for (const auto lat : latencies) total += lat;
-  return total / static_cast<double>(latencies.size());
-}
-
-namespace {
-
-/// One logical buffer with its precomputed transfer plan.
-struct PlannedBuffer {
-  int id = -1;
-  int src_function = -1;
-  int dst_function = -1;
-  std::string src_port;
-  std::string dst_port;
-  std::size_t elem_bytes = 0;
-  StripeSpec src_spec;
-  StripeSpec dst_spec;
-  std::vector<ThreadPairTransfer> plan;
-  std::string label;
-};
-
-}  // namespace
-
-struct Engine::Prepared {
-  std::vector<PlannedBuffer> buffers;
-  /// Buffer indices feeding / fed by each function id.
-  std::vector<std::vector<int>> in_of_fn;
-  std::vector<std::vector<int>> out_of_fn;
-};
-
 Engine::Engine(GlueConfig config, const FunctionRegistry& registry,
-               EngineOptions options)
-    : config_(std::move(config)), options_(std::move(options)) {
-  config_.validate();
+               ExecuteOptions options)
+    : session_(std::make_unique<Session>(std::move(config), registry,
+                                         std::move(options))) {}
 
-  kernels_.reserve(config_.functions.size());
-  for (const FunctionConfig& fn : config_.functions) {
-    kernels_.push_back(registry.lookup(fn.kernel));  // throws when missing
-  }
-
-  auto prepared = std::make_shared<Prepared>();
-  prepared->in_of_fn.resize(config_.functions.size());
-  prepared->out_of_fn.resize(config_.functions.size());
-  for (const BufferConfig& buf : config_.buffers) {
-    const FunctionConfig& src_fn = config_.function(buf.src_function);
-    const FunctionConfig& dst_fn = config_.function(buf.dst_function);
-    const PortConfig& src_port = src_fn.port(buf.src_port);
-    const PortConfig& dst_port = dst_fn.port(buf.dst_port);
-
-    PlannedBuffer planned;
-    planned.id = buf.id;
-    planned.src_function = buf.src_function;
-    planned.dst_function = buf.dst_function;
-    planned.src_port = buf.src_port;
-    planned.dst_port = buf.dst_port;
-    planned.elem_bytes = src_port.elem_bytes;
-    planned.src_spec = config_.stripe_spec(src_fn, src_port);
-    planned.dst_spec = config_.stripe_spec(dst_fn, dst_port);
-    planned.plan = build_transfer_plan(planned.src_spec, planned.dst_spec);
-    planned.label = src_fn.name + "." + buf.src_port + "->" + dst_fn.name +
-                    "." + buf.dst_port;
-    prepared->buffers.push_back(std::move(planned));
-
-    prepared->in_of_fn[static_cast<std::size_t>(buf.dst_function)].push_back(
-        buf.id);
-    prepared->out_of_fn[static_cast<std::size_t>(buf.src_function)].push_back(
-        buf.id);
-  }
-  prepared_ = std::move(prepared);
-
-  if (!options_.cpu_scales.empty()) {
-    SAGE_CHECK_AS(ConfigError,
-                  static_cast<int>(options_.cpu_scales.size()) ==
-                      config_.nodes,
-                  "cpu_scales size ", options_.cpu_scales.size(),
-                  " != node count ", config_.nodes);
-  }
-}
-
-namespace {
-
-/// Message tag for one (buffer, src thread, dst thread) channel. The
-/// validated limits (64 buffers, 8 threads) keep this below the user-tag
-/// ceiling of 4096.
-int transfer_tag(int buffer_id, int src_thread, int dst_thread) {
-  return buffer_id * 64 + src_thread * 8 + dst_thread;
-}
-
-/// Node-local mutable state for one run.
-struct NodeState {
-  explicit NodeState(int node) : events(node) {}
-
-  // (function id, thread, port name) -> staging storage.
-  std::map<std::tuple<int, int, std::string>, std::vector<std::byte>> staging;
-  // (buffer id, src thread, dst thread) -> logical-buffer storage
-  // (kUniquePerFunction policy only).
-  std::map<std::tuple<int, int, int>, std::vector<std::byte>> logical;
-  viz::EventBuffer events;
-  std::vector<std::tuple<int, int, double>> results;  // (fn, iter, value)
-  std::vector<support::VirtualSeconds> iter_start;    // source nodes
-  std::vector<support::VirtualSeconds> iter_end;      // sink nodes
-};
-
-std::vector<std::byte>& staging_of(NodeState& state, int fn, int thread,
-                                   const std::string& port) {
-  return state.staging[{fn, thread, port}];
-}
-
-/// Copies plan segments from a source slice into a contiguous pack
-/// buffer (message layout == concatenated segments in plan order).
-void pack_segments(const std::vector<Segment>& segments,
-                   std::span<const std::byte> src, std::size_t elem_bytes,
-                   std::span<std::byte> packed) {
-  std::size_t cursor = 0;
-  for (const Segment& seg : segments) {
-    const std::size_t bytes = seg.length * elem_bytes;
-    std::memcpy(packed.data() + cursor,
-                src.data() + seg.src_offset * elem_bytes, bytes);
-    cursor += bytes;
-  }
-}
-
-/// Scatters a contiguous pack buffer into the destination slice.
-void unpack_segments(const std::vector<Segment>& segments,
-                     std::span<const std::byte> packed, std::size_t elem_bytes,
-                     std::span<std::byte> dst) {
-  std::size_t cursor = 0;
-  for (const Segment& seg : segments) {
-    const std::size_t bytes = seg.length * elem_bytes;
-    std::memcpy(dst.data() + seg.dst_offset * elem_bytes,
-                packed.data() + cursor, bytes);
-    cursor += bytes;
-  }
-}
-
-/// Direct segment copy between two slices (kShared local fast path).
-void copy_segments(const std::vector<Segment>& segments,
-                   std::span<const std::byte> src, std::size_t elem_bytes,
-                   std::span<std::byte> dst) {
-  for (const Segment& seg : segments) {
-    std::memcpy(dst.data() + seg.dst_offset * elem_bytes,
-                src.data() + seg.src_offset * elem_bytes,
-                seg.length * elem_bytes);
-  }
-}
-
-}  // namespace
-
-RunStats Engine::run() {
-  const int iterations =
-      options_.iterations > 0 ? options_.iterations : config_.iterations_default;
-  SAGE_CHECK_AS(RuntimeError, iterations > 0, "nothing to run: ", iterations,
-                " iterations");
-
-  std::unique_ptr<net::Machine> machine;
-  if (options_.cpu_scales.empty()) {
-    machine = std::make_unique<net::Machine>(config_.nodes, options_.fabric);
-  } else {
-    machine =
-        std::make_unique<net::Machine>(options_.fabric, options_.cpu_scales);
-  }
-
-  std::vector<std::unique_ptr<NodeState>> states;
-  states.reserve(static_cast<std::size_t>(config_.nodes));
-  for (int r = 0; r < config_.nodes; ++r) {
-    states.push_back(std::make_unique<NodeState>(r));
-  }
-
-  const Prepared& prep = *prepared_;
-  const GlueConfig& cfg = config_;
-  const EngineOptions& opt = options_;
-  const std::vector<Kernel>& kernels = kernels_;
-
-  auto node_program = [&](net::NodeContext& node) {
-    const int rank = node.rank();
-    NodeState& state = *states[static_cast<std::size_t>(rank)];
-    mpi::Communicator comm(node);
-    comm.set_recv_timeout(opt.recv_timeout_s);
-
-    auto schedule_it = cfg.schedule.find(rank);
-    const std::vector<int> empty_schedule;
-    const std::vector<int>& order = schedule_it == cfg.schedule.end()
-                                        ? empty_schedule
-                                        : schedule_it->second;
-
-    // Allocate staging for local function threads.
-    bool hosts_source = false;
-    for (const FunctionConfig& fn : cfg.functions) {
-      for (int t = 0; t < fn.threads; ++t) {
-        if (fn.thread_nodes[static_cast<std::size_t>(t)] != rank) continue;
-        if (fn.role == "source") hosts_source = true;
-        for (const PortConfig& port : fn.ports) {
-          StripeSpec spec = cfg.stripe_spec(fn, port);
-          staging_of(state, fn.id, t, port.name)
-              .resize(spec.elems_per_thread() * port.elem_bytes);
-        }
-      }
-    }
-
-    std::vector<std::byte> message_scratch;
-
-    for (int iter = 0; iter < iterations; ++iter) {
-      if (hosts_source) {
-        state.iter_start.push_back(node.now());
-        if (opt.collect_trace) {
-          viz::Event e;
-          e.kind = viz::EventKind::kIterationStart;
-          e.iteration = iter;
-          e.start_vt = e.end_vt = node.now();
-          e.label = "iteration";
-          state.events.record(e);
-        }
-      }
-
-      for (int fn_id : order) {
-        const FunctionConfig& fn = cfg.function(fn_id);
-        for (int t = 0; t < fn.threads; ++t) {
-          if (fn.thread_nodes[static_cast<std::size_t>(t)] != rank) continue;
-
-          // --- 1. receive remote inputs -----------------------------------
-          for (int buf_id : prep.in_of_fn[static_cast<std::size_t>(fn_id)]) {
-            const PlannedBuffer& buf =
-                prep.buffers[static_cast<std::size_t>(buf_id)];
-            const FunctionConfig& src_fn = cfg.function(buf.src_function);
-            auto& dst_staging =
-                staging_of(state, fn_id, t, buf.dst_port);
-            for (const ThreadPairTransfer& pair : buf.plan) {
-              if (pair.dst_thread != t) continue;
-              const int src_node =
-                  src_fn.thread_nodes[static_cast<std::size_t>(
-                      pair.src_thread)];
-              if (src_node == rank) continue;  // delivered locally already
-
-              const int tag =
-                  transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
-              const double t_before = node.now();
-              std::vector<std::byte> payload =
-                  comm.recv_any_bytes(src_node, tag);
-              if (opt.collect_trace) {
-                viz::Event e;
-                e.kind = viz::EventKind::kReceive;
-                e.function_id = fn_id;
-                e.thread = t;
-                e.iteration = iter;
-                e.start_vt = t_before;
-                e.end_vt = node.now();
-                e.bytes = payload.size();
-                e.label = buf.label;
-                state.events.record(e);
-              }
-              {
-                support::ComputeScope scope(node.clock(), node.cpu_scale());
-                if (opt.buffer_policy == BufferPolicy::kUniquePerFunction) {
-                  // Stage through the function's own logical buffer copy.
-                  auto& logical = state.logical[{buf.id, pair.src_thread,
-                                                 pair.dst_thread}];
-                  logical.assign(payload.begin(), payload.end());
-                  unpack_segments(pair.segments, logical, buf.elem_bytes,
-                                  dst_staging);
-                } else {
-                  unpack_segments(pair.segments, payload, buf.elem_bytes,
-                                  dst_staging);
-                }
-              }
-              if (opt.buffer_depth > 0) {
-                // Flow control: return a credit for the drained slot.
-                const std::byte credit{};
-                comm.send_bytes(std::span<const std::byte>(&credit, 1),
-                                src_node, tag);
-              }
-            }
-          }
-
-          // --- 2. execute the kernel ---------------------------------------
-          KernelContext kctx(t, fn.threads, iter);
-          kctx.params.insert(fn.params.begin(), fn.params.end());
-          for (const PortConfig& port : fn.ports) {
-            PortSlice slice;
-            slice.name = port.name;
-            StripeSpec spec = cfg.stripe_spec(fn, port);
-            slice.data = staging_of(state, fn_id, t, port.name);
-            slice.elem_bytes = port.elem_bytes;
-            slice.local_dims = spec.local_dims();
-            slice.global_dims = port.dims;
-            slice.runs = slice_runs(spec, t);
-            if (port.direction == model::PortDirection::kIn) {
-              kctx.inputs.push_back(std::move(slice));
-            } else {
-              kctx.outputs.push_back(std::move(slice));
-            }
-          }
-
-          const double exec_start = node.now();
-          {
-            support::ComputeScope scope(node.clock(), node.cpu_scale());
-            kernels[static_cast<std::size_t>(fn_id)](kctx);
-          }
-          if (opt.collect_trace && cfg.probed(fn_id)) {
-            viz::Event start;
-            start.kind = viz::EventKind::kFunctionStart;
-            start.function_id = fn_id;
-            start.thread = t;
-            start.iteration = iter;
-            start.start_vt = start.end_vt = exec_start;
-            start.label = fn.name;
-            state.events.record(start);
-            viz::Event end = start;
-            end.kind = viz::EventKind::kFunctionEnd;
-            end.start_vt = end.end_vt = node.now();
-            state.events.record(end);
-          }
-          if (kctx.has_result()) {
-            state.results.emplace_back(fn_id, iter, kctx.result());
-          }
-          if (fn.role == "sink") {
-            state.iter_end.push_back(node.now());
-            if (opt.collect_trace) {
-              viz::Event e;
-              e.kind = viz::EventKind::kIterationEnd;
-              e.iteration = iter;
-              e.start_vt = e.end_vt = node.now();
-              e.label = "iteration";
-              state.events.record(e);
-            }
-          }
-
-          // --- 3. send outputs ----------------------------------------------
-          for (int buf_id : prep.out_of_fn[static_cast<std::size_t>(fn_id)]) {
-            const PlannedBuffer& buf =
-                prep.buffers[static_cast<std::size_t>(buf_id)];
-            const FunctionConfig& dst_fn = cfg.function(buf.dst_function);
-            const auto& src_staging =
-                staging_of(state, fn_id, t, buf.src_port);
-            for (const ThreadPairTransfer& pair : buf.plan) {
-              if (pair.src_thread != t) continue;
-              const int dst_node =
-                  dst_fn.thread_nodes[static_cast<std::size_t>(
-                      pair.dst_thread)];
-              const std::size_t bytes =
-                  pair.total_elems() * buf.elem_bytes;
-
-              if (dst_node == rank) {
-                // Local delivery straight into the consumer's staging.
-                auto& dst_staging = staging_of(state, buf.dst_function,
-                                               pair.dst_thread, buf.dst_port);
-                const double t_before = node.now();
-                {
-                  support::ComputeScope scope(node.clock(), node.cpu_scale());
-                  if (opt.buffer_policy == BufferPolicy::kUniquePerFunction) {
-                    auto& logical = state.logical[{buf.id, pair.src_thread,
-                                                   pair.dst_thread}];
-                    logical.resize(bytes);
-                    pack_segments(pair.segments, src_staging, buf.elem_bytes,
-                                  logical);
-                    unpack_segments(pair.segments, logical, buf.elem_bytes,
-                                    dst_staging);
-                  } else {
-                    copy_segments(pair.segments, src_staging, buf.elem_bytes,
-                                  dst_staging);
-                  }
-                }
-                if (opt.collect_trace) {
-                  viz::Event e;
-                  e.kind = viz::EventKind::kBufferCopy;
-                  e.function_id = fn_id;
-                  e.thread = t;
-                  e.iteration = iter;
-                  e.start_vt = t_before;
-                  e.end_vt = node.now();
-                  e.bytes = bytes;
-                  e.label = buf.label;
-                  state.events.record(e);
-                }
-              } else {
-                const int tag =
-                    transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
-                if (opt.buffer_depth > 0 && iter >= opt.buffer_depth) {
-                  // Wait for a free physical-buffer slot (credit from
-                  // the consumer for iteration iter - depth).
-                  std::byte credit{};
-                  comm.recv_bytes(std::span<std::byte>(&credit, 1), dst_node,
-                                  tag);
-                }
-                const double t_before = node.now();
-                message_scratch.resize(bytes);
-                {
-                  support::ComputeScope scope(node.clock(), node.cpu_scale());
-                  if (opt.buffer_policy == BufferPolicy::kUniquePerFunction) {
-                    auto& logical = state.logical[{buf.id, pair.src_thread,
-                                                   pair.dst_thread}];
-                    logical.resize(bytes);
-                    pack_segments(pair.segments, src_staging, buf.elem_bytes,
-                                  logical);
-                    std::memcpy(message_scratch.data(), logical.data(), bytes);
-                  } else {
-                    pack_segments(pair.segments, src_staging, buf.elem_bytes,
-                                  message_scratch);
-                  }
-                }
-                comm.send_bytes(message_scratch, dst_node, tag);
-                if (opt.collect_trace) {
-                  viz::Event e;
-                  e.kind = viz::EventKind::kSend;
-                  e.function_id = fn_id;
-                  e.thread = t;
-                  e.iteration = iter;
-                  e.start_vt = t_before;
-                  e.end_vt = node.now();
-                  e.bytes = bytes;
-                  e.label = buf.label;
-                  state.events.record(e);
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  };
-
-  const net::MachineReport report = machine->run(node_program);
-
-  // --- aggregate ---------------------------------------------------------------
-  RunStats stats;
-  stats.iterations = iterations;
-  stats.makespan = report.makespan();
-  stats.fabric_messages = machine->fabric().total_messages();
-  stats.fabric_bytes = machine->fabric().total_bytes();
-
-  // Latency: min source start / max sink end per iteration.
-  std::vector<double> starts(static_cast<std::size_t>(iterations), 0.0);
-  std::vector<double> ends(static_cast<std::size_t>(iterations), 0.0);
-  std::vector<bool> has_start(static_cast<std::size_t>(iterations), false);
-  std::vector<bool> has_end(static_cast<std::size_t>(iterations), false);
-  for (const auto& state : states) {
-    for (std::size_t i = 0; i < state->iter_start.size() &&
-                            i < static_cast<std::size_t>(iterations);
-         ++i) {
-      if (!has_start[i] || state->iter_start[i] < starts[i]) {
-        starts[i] = state->iter_start[i];
-        has_start[i] = true;
-      }
-    }
-    // Sinks may record several ends per iteration (multiple threads);
-    // they are appended in iteration order per node, so fold by index
-    // modulo the per-node count per iteration.
-    const std::size_t per_iter =
-        state->iter_end.empty()
-            ? 0
-            : state->iter_end.size() / static_cast<std::size_t>(iterations);
-    for (std::size_t i = 0; i < state->iter_end.size(); ++i) {
-      if (per_iter == 0) break;
-      const std::size_t iter = i / per_iter;
-      if (iter >= static_cast<std::size_t>(iterations)) break;
-      if (!has_end[iter] || state->iter_end[i] > ends[iter]) {
-        ends[iter] = state->iter_end[i];
-        has_end[iter] = true;
-      }
-    }
-  }
-  for (int i = 0; i < iterations; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (has_start[idx] && has_end[idx]) {
-      stats.latencies.push_back(ends[idx] - starts[idx]);
-    }
-  }
-  // Period: mean distance between consecutive completion times.
-  int completed = 0;
-  double first_end = 0.0;
-  double last_end = 0.0;
-  for (int i = 0; i < iterations; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (has_end[idx]) {
-      if (completed == 0) first_end = ends[idx];
-      last_end = ends[idx];
-      ++completed;
-    }
-  }
-  if (completed > 1) {
-    stats.period = (last_end - first_end) / static_cast<double>(completed - 1);
-  } else if (!stats.latencies.empty()) {
-    stats.period = stats.latencies.front();
-  }
-
-  // Results: sum kernel-reported values per function per iteration.
-  for (const auto& state : states) {
-    for (const auto& [fn_id, iter, value] : state->results) {
-      const std::string& name = config_.function(fn_id).name;
-      auto& series = stats.results[name];
-      if (series.size() < static_cast<std::size_t>(iterations)) {
-        series.resize(static_cast<std::size_t>(iterations), 0.0);
-      }
-      series[static_cast<std::size_t>(iter)] += value;
-    }
-  }
-
-  if (options_.collect_trace) {
-    std::vector<const viz::EventBuffer*> buffers;
-    buffers.reserve(states.size());
-    for (const auto& state : states) buffers.push_back(&state->events);
-    stats.trace = viz::Trace::merge(buffers);
-  }
-  return stats;
-}
+RunStats Engine::run() { return session_->run(); }
 
 }  // namespace sage::runtime

@@ -1,104 +1,45 @@
-// openSAGE -- the SAGE run-time kernel.
+// openSAGE -- the SAGE run-time kernel (compat entry point).
 //
 // "The SAGE run-time kernel is responsible for all sequencing of
-// functions, data striping, and buffer management." The Engine loads a
-// glue configuration, binds kernels from the function registry, builds
-// the transfer plans from the logical-buffer striping declarations, and
-// executes the data-flow graph on the emulated machine: each node runs
-// its schedule per iteration, moving data between thread-local staging
-// buffers through logical buffers (local copies or fabric messages).
+// functions, data striping, and buffer management." The execution core
+// now lives in runtime::Session (see session.hpp): a persistent context
+// that keeps the emulated machine and all buffer memory warm across
+// runs. Engine remains as the original one-shot entry point -- a thin
+// wrapper that owns a private Session and forwards run() to it. Each
+// Engine::run() is bit-equivalent to a cold run (clocks, fabric totals,
+// traces all reset); only host-side setup cost is amortized.
 //
-// Buffer management policies reproduce the paper's observation that the
-// runtime "assigns unique logical buffers to the data per function which
-// can cause extra data access times":
-//   kUniquePerFunction -- every transfer stages through the logical
-//                         buffer's own storage (the shipped behaviour);
-//   kShared            -- transfers move straight from producer staging
-//                         to message/consumer staging (the planned
-//                         "90% of hand-coded" improvement).
+// New code should use runtime::Session (or core::Project::open_session)
+// directly.
 #pragma once
 
-#include <cstdint>
-#include <map>
 #include <memory>
-#include <string>
-#include <vector>
 
-#include "net/machine.hpp"
-#include "runtime/glue_config.hpp"
-#include "runtime/registry.hpp"
-#include "viz/trace.hpp"
+#include "runtime/session.hpp"
 
 namespace sage::runtime {
 
-enum class BufferPolicy { kUniquePerFunction, kShared };
-
-std::string to_string(BufferPolicy policy);
-
-struct EngineOptions {
-  BufferPolicy buffer_policy = BufferPolicy::kUniquePerFunction;
-  /// -1 uses the config's iterations-default.
-  int iterations = -1;
-  /// Collect a Visualizer trace (small overhead in host time only; probe
-  /// costs are excluded from virtual time).
-  bool collect_trace = true;
-  /// Interconnect model; callers usually take it from the hardware model.
-  net::FabricModel fabric = net::myrinet_fabric();
-  /// Per-node CPU scale (empty: 1.0 everywhere).
-  std::vector<double> cpu_scales;
-  /// Host wall-clock budget for each blocking receive; expired waits
-  /// throw sage::CommError (schedule bugs surface as failures, not
-  /// hangs).
-  double recv_timeout_s = 60.0;
-  /// Physical-buffer depth per logical-buffer channel: a producer may
-  /// run at most this many iterations ahead of its consumer (credit
-  /// flow control). 0 = unbounded (pipelining limited only by the
-  /// schedule). Models the finite physical buffers the paper's runtime
-  /// allocated per logical buffer.
-  int buffer_depth = 0;
-};
-
-struct RunStats {
-  int iterations = 0;
-  /// Modeled end-to-end run time (max final node virtual time).
-  support::VirtualSeconds makespan = 0.0;
-  /// Per-iteration latency: source start -> sink end, virtual seconds.
-  std::vector<support::VirtualSeconds> latencies;
-  /// Mean time between consecutive iteration completions.
-  support::VirtualSeconds period = 0.0;
-  /// Sum of kernel-reported results per function per iteration
-  /// (function name -> one value per iteration), e.g. sink checksums.
-  std::map<std::string, std::vector<double>> results;
-  /// Merged Visualizer trace (empty when collect_trace is false).
-  viz::Trace trace;
-  /// Fabric totals for the whole run (data messages + flow-control
-  /// credits).
-  std::uint64_t fabric_messages = 0;
-  std::uint64_t fabric_bytes = 0;
-
-  support::VirtualSeconds mean_latency() const;
-};
+/// Deprecated name for the unified option struct; kept so existing
+/// call sites keep compiling.
+using EngineOptions [[deprecated(
+    "use sage::runtime::ExecuteOptions")]] = ExecuteOptions;
 
 class Engine {
  public:
   /// Validates the config and resolves every kernel name; throws
   /// sage::ConfigError / sage::RuntimeError on inconsistency.
   Engine(GlueConfig config, const FunctionRegistry& registry,
-         EngineOptions options = {});
+         ExecuteOptions options = {});
 
-  const GlueConfig& config() const { return config_; }
-  const EngineOptions& options() const { return options_; }
+  const GlueConfig& config() const { return session_->config(); }
+  const ExecuteOptions& options() const { return session_->options(); }
 
   /// Executes the configured number of iterations and reports stats.
+  /// Repeated calls reuse the warm session but stay cold-equivalent.
   RunStats run();
 
  private:
-  struct Prepared;  // per-buffer transfer plans etc. (engine.cpp)
-
-  GlueConfig config_;
-  EngineOptions options_;
-  std::vector<Kernel> kernels_;  // by function id
-  std::shared_ptr<const Prepared> prepared_;
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace sage::runtime

@@ -1,0 +1,586 @@
+#include "runtime/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "mpi/comm.hpp"
+#include "support/error.hpp"
+
+namespace sage::runtime {
+
+std::string to_string(BufferPolicy policy) {
+  switch (policy) {
+    case BufferPolicy::kUniquePerFunction: return "unique-per-function";
+    case BufferPolicy::kShared: return "shared";
+  }
+  return "?";
+}
+
+support::VirtualSeconds RunStats::mean_latency() const {
+  if (latencies.empty()) return 0.0;
+  support::VirtualSeconds total = 0.0;
+  for (const auto lat : latencies) total += lat;
+  return total / static_cast<double>(latencies.size());
+}
+
+/// One logical buffer with its precomputed transfer plan.
+struct Session::PlannedBuffer {
+  int id = -1;
+  int src_function = -1;
+  int dst_function = -1;
+  std::string src_port;
+  std::string dst_port;
+  std::size_t elem_bytes = 0;
+  StripeSpec src_spec;
+  StripeSpec dst_spec;
+  std::vector<ThreadPairTransfer> plan;
+  std::string label;
+};
+
+/// Node-local state, allocated once at session construction and reused
+/// (reset, not reallocated) across runs.
+struct Session::NodeState {
+  explicit NodeState(int node) : events(node) {}
+
+  // (function id, thread, port name) -> staging storage.
+  std::map<std::tuple<int, int, std::string>, std::vector<std::byte>> staging;
+
+  std::vector<std::byte>& staging_at(int fn, int thread,
+                                     const std::string& port) {
+    return staging[{fn, thread, port}];
+  }
+  // (buffer id, src thread, dst thread) -> logical-buffer storage
+  // (kUniquePerFunction policy only).
+  std::map<std::tuple<int, int, int>, std::vector<std::byte>> logical;
+  // Pack buffer for outgoing fabric messages.
+  std::vector<std::byte> message_scratch;
+  viz::EventBuffer events;
+  std::vector<std::tuple<int, int, double>> results;  // (fn, iter, value)
+  std::vector<support::VirtualSeconds> iter_start;    // source nodes
+  std::vector<support::VirtualSeconds> iter_end;      // sink nodes
+  bool hosts_source = false;
+  std::vector<int> order;  // this node's schedule (function ids)
+};
+
+namespace {
+
+/// Message tag for one (buffer, src thread, dst thread) channel. The
+/// validated limits (64 buffers, 8 threads) keep this below the user-tag
+/// ceiling of 4096.
+int transfer_tag(int buffer_id, int src_thread, int dst_thread) {
+  return buffer_id * 64 + src_thread * 8 + dst_thread;
+}
+
+/// Copies plan segments from a source slice into a contiguous pack
+/// buffer (message layout == concatenated segments in plan order).
+void pack_segments(const std::vector<Segment>& segments,
+                   std::span<const std::byte> src, std::size_t elem_bytes,
+                   std::span<std::byte> packed) {
+  std::size_t cursor = 0;
+  for (const Segment& seg : segments) {
+    const std::size_t bytes = seg.length * elem_bytes;
+    std::memcpy(packed.data() + cursor,
+                src.data() + seg.src_offset * elem_bytes, bytes);
+    cursor += bytes;
+  }
+}
+
+/// Scatters a contiguous pack buffer into the destination slice.
+void unpack_segments(const std::vector<Segment>& segments,
+                     std::span<const std::byte> packed, std::size_t elem_bytes,
+                     std::span<std::byte> dst) {
+  std::size_t cursor = 0;
+  for (const Segment& seg : segments) {
+    const std::size_t bytes = seg.length * elem_bytes;
+    std::memcpy(dst.data() + seg.dst_offset * elem_bytes,
+                packed.data() + cursor, bytes);
+    cursor += bytes;
+  }
+}
+
+/// Direct segment copy between two slices (kShared local fast path).
+void copy_segments(const std::vector<Segment>& segments,
+                   std::span<const std::byte> src, std::size_t elem_bytes,
+                   std::span<std::byte> dst) {
+  for (const Segment& seg : segments) {
+    std::memcpy(dst.data() + seg.dst_offset * elem_bytes,
+                src.data() + seg.src_offset * elem_bytes,
+                seg.length * elem_bytes);
+  }
+}
+
+}  // namespace
+
+Session::Session(GlueConfig config, const FunctionRegistry& registry,
+                 ExecuteOptions options)
+    : config_(std::move(config)), options_(std::move(options)) {
+  config_.validate();
+
+  kernels_.reserve(config_.functions.size());
+  for (const FunctionConfig& fn : config_.functions) {
+    kernels_.push_back(registry.lookup(fn.kernel));  // throws when missing
+  }
+
+  in_of_fn_.resize(config_.functions.size());
+  out_of_fn_.resize(config_.functions.size());
+  for (const BufferConfig& buf : config_.buffers) {
+    const FunctionConfig& src_fn = config_.function(buf.src_function);
+    const FunctionConfig& dst_fn = config_.function(buf.dst_function);
+    const PortConfig& src_port = src_fn.port(buf.src_port);
+
+    PlannedBuffer planned;
+    planned.id = buf.id;
+    planned.src_function = buf.src_function;
+    planned.dst_function = buf.dst_function;
+    planned.src_port = buf.src_port;
+    planned.dst_port = buf.dst_port;
+    planned.elem_bytes = src_port.elem_bytes;
+    planned.src_spec = config_.stripe_spec(src_fn, src_port);
+    planned.dst_spec = config_.stripe_spec(dst_fn, dst_fn.port(buf.dst_port));
+    planned.plan = build_transfer_plan(planned.src_spec, planned.dst_spec);
+    planned.label = src_fn.name + "." + buf.src_port + "->" + dst_fn.name +
+                    "." + buf.dst_port;
+    planned_.push_back(std::move(planned));
+
+    in_of_fn_[static_cast<std::size_t>(buf.dst_function)].push_back(buf.id);
+    out_of_fn_[static_cast<std::size_t>(buf.src_function)].push_back(buf.id);
+  }
+
+  if (!options_.cpu_scales.empty()) {
+    SAGE_CHECK_AS(ConfigError,
+                  static_cast<int>(options_.cpu_scales.size()) ==
+                      config_.nodes,
+                  "cpu_scales size ", options_.cpu_scales.size(),
+                  " != node count ", config_.nodes);
+  }
+
+  // Spawn the emulated machine once; its node threads park between runs.
+  net::FabricModel fabric =
+      options_.fabric ? *options_.fabric : net::myrinet_fabric();
+  if (options_.cpu_scales.empty()) {
+    machine_ = std::make_unique<net::Machine>(config_.nodes, std::move(fabric));
+  } else {
+    machine_ = std::make_unique<net::Machine>(std::move(fabric),
+                                              options_.cpu_scales);
+  }
+
+  // Pre-allocate every staging buffer and the logical-buffer pool, so
+  // warm runs reuse memory instead of reallocating it.
+  states_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int r = 0; r < config_.nodes; ++r) {
+    auto state = std::make_unique<NodeState>(r);
+    auto schedule_it = config_.schedule.find(r);
+    if (schedule_it != config_.schedule.end()) {
+      state->order = schedule_it->second;
+    }
+    for (const FunctionConfig& fn : config_.functions) {
+      for (int t = 0; t < fn.threads; ++t) {
+        if (fn.thread_nodes[static_cast<std::size_t>(t)] != r) continue;
+        if (fn.role == "source") state->hosts_source = true;
+        for (const PortConfig& port : fn.ports) {
+          StripeSpec spec = config_.stripe_spec(fn, port);
+          state->staging_at(fn.id, t, port.name)
+              .resize(spec.elems_per_thread() * port.elem_bytes);
+        }
+      }
+    }
+    states_.push_back(std::move(state));
+  }
+  for (const PlannedBuffer& buf : planned_) {
+    const FunctionConfig& src_fn = config_.function(buf.src_function);
+    const FunctionConfig& dst_fn = config_.function(buf.dst_function);
+    for (const ThreadPairTransfer& pair : buf.plan) {
+      const std::size_t bytes = pair.total_elems() * buf.elem_bytes;
+      const int src_node =
+          src_fn.thread_nodes[static_cast<std::size_t>(pair.src_thread)];
+      const int dst_node =
+          dst_fn.thread_nodes[static_cast<std::size_t>(pair.dst_thread)];
+      for (const int node : {src_node, dst_node}) {
+        states_[static_cast<std::size_t>(node)]
+            ->logical[{buf.id, pair.src_thread, pair.dst_thread}]
+            .resize(bytes);
+      }
+    }
+  }
+
+  machine_->start();
+}
+
+Session::~Session() = default;
+
+Result<std::unique_ptr<Session>> Session::create(GlueConfig config,
+                                                 const FunctionRegistry& registry,
+                                                 ExecuteOptions options) {
+  try {
+    return Result<std::unique_ptr<Session>>::success(std::make_unique<Session>(
+        std::move(config), registry, std::move(options)));
+  } catch (const std::exception& e) {
+    return Result<std::unique_ptr<Session>>::failure(e.what());
+  }
+}
+
+void Session::close() { machine_.reset(); }
+
+void Session::reset_between_runs_() {
+  // The fabric may hold unclaimed flow-control credits from the previous
+  // run, accumulated totals, and link contention history; a cold engine
+  // would start from scratch.
+  machine_->fabric().reset();
+  for (const auto& state : states_) {
+    state->events.clear();
+    state->results.clear();
+    state->iter_start.clear();
+    state->iter_end.clear();
+    // Staging starts zeroed on a cold run (vector value-init); match it
+    // so a kernel that reads-before-write sees identical bytes.
+    for (auto& [key, storage] : state->staging) {
+      std::fill(storage.begin(), storage.end(), std::byte{0});
+    }
+  }
+}
+
+RunStats Session::run(const RunRequest& request) {
+  SAGE_CHECK_AS(RuntimeError, !closed(), "Session::run on a closed session");
+  const double host_start = support::wall_seconds();
+
+  int iterations = request.iterations;
+  if (iterations <= 0) iterations = options_.iterations;
+  if (iterations <= 0) iterations = config_.iterations_default;
+  SAGE_CHECK_AS(RuntimeError, iterations > 0, "nothing to run: ", iterations,
+                " iterations");
+  run_iterations_ = iterations;
+  run_policy_ = request.buffer_policy.value_or(options_.buffer_policy);
+  run_trace_ = request.collect_trace.value_or(options_.collect_trace);
+
+  reset_between_runs_();
+
+  const net::MachineReport report =
+      machine_->run([this](net::NodeContext& node) { node_program_(node); });
+
+  // --- aggregate -----------------------------------------------------------
+  RunStats stats;
+  stats.iterations = iterations;
+  stats.makespan = report.makespan();
+  stats.fabric_messages = machine_->fabric().total_messages();
+  stats.fabric_bytes = machine_->fabric().total_bytes();
+
+  // Latency: min source start / max sink end per iteration.
+  std::vector<double> starts(static_cast<std::size_t>(iterations), 0.0);
+  std::vector<double> ends(static_cast<std::size_t>(iterations), 0.0);
+  std::vector<bool> has_start(static_cast<std::size_t>(iterations), false);
+  std::vector<bool> has_end(static_cast<std::size_t>(iterations), false);
+  for (const auto& state : states_) {
+    for (std::size_t i = 0; i < state->iter_start.size() &&
+                            i < static_cast<std::size_t>(iterations);
+         ++i) {
+      if (!has_start[i] || state->iter_start[i] < starts[i]) {
+        starts[i] = state->iter_start[i];
+        has_start[i] = true;
+      }
+    }
+    // Sinks may record several ends per iteration (multiple threads);
+    // they are appended in iteration order per node, so fold by index
+    // modulo the per-node count per iteration.
+    const std::size_t per_iter =
+        state->iter_end.empty()
+            ? 0
+            : state->iter_end.size() / static_cast<std::size_t>(iterations);
+    for (std::size_t i = 0; i < state->iter_end.size(); ++i) {
+      if (per_iter == 0) break;
+      const std::size_t iter = i / per_iter;
+      if (iter >= static_cast<std::size_t>(iterations)) break;
+      if (!has_end[iter] || state->iter_end[i] > ends[iter]) {
+        ends[iter] = state->iter_end[i];
+        has_end[iter] = true;
+      }
+    }
+  }
+  for (int i = 0; i < iterations; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (has_start[idx] && has_end[idx]) {
+      stats.latencies.push_back(ends[idx] - starts[idx]);
+    }
+  }
+  // Period: mean distance between consecutive completion times.
+  int completed = 0;
+  double first_end = 0.0;
+  double last_end = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (has_end[idx]) {
+      if (completed == 0) first_end = ends[idx];
+      last_end = ends[idx];
+      ++completed;
+    }
+  }
+  if (completed > 1) {
+    stats.period = (last_end - first_end) / static_cast<double>(completed - 1);
+  } else if (!stats.latencies.empty()) {
+    stats.period = stats.latencies.front();
+  }
+
+  // Results: sum kernel-reported values per function per iteration.
+  for (const auto& state : states_) {
+    for (const auto& [fn_id, iter, value] : state->results) {
+      const std::string& name = config_.function(fn_id).name;
+      auto& series = stats.results[name];
+      if (series.size() < static_cast<std::size_t>(iterations)) {
+        series.resize(static_cast<std::size_t>(iterations), 0.0);
+      }
+      series[static_cast<std::size_t>(iter)] += value;
+    }
+  }
+
+  if (run_trace_) {
+    std::vector<const viz::EventBuffer*> buffers;
+    buffers.reserve(states_.size());
+    for (const auto& state : states_) buffers.push_back(&state->events);
+    stats.trace = viz::Trace::merge(buffers);
+  }
+
+  stats.host_seconds = support::wall_seconds() - host_start;
+  ++runs_completed_;
+  return stats;
+}
+
+std::vector<RunStats> Session::run_batch(int runs, const RunRequest& request) {
+  SAGE_CHECK_AS(RuntimeError, runs > 0, "run_batch needs runs > 0, got ",
+                runs);
+  std::vector<RunStats> all;
+  all.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) all.push_back(run(request));
+  return all;
+}
+
+void Session::node_program_(net::NodeContext& node) {
+  const int rank = node.rank();
+  NodeState& state = *states_[static_cast<std::size_t>(rank)];
+  const GlueConfig& cfg = config_;
+  const int iterations = run_iterations_;
+  const BufferPolicy policy = run_policy_;
+  const bool trace = run_trace_;
+  const int buffer_depth = options_.buffer_depth;
+
+  mpi::Communicator comm(node);
+  comm.set_recv_timeout(options_.recv_timeout_s);
+
+  std::vector<std::byte>& message_scratch = state.message_scratch;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    if (state.hosts_source) {
+      state.iter_start.push_back(node.now());
+      if (trace) {
+        viz::Event e;
+        e.kind = viz::EventKind::kIterationStart;
+        e.iteration = iter;
+        e.start_vt = e.end_vt = node.now();
+        e.label = "iteration";
+        state.events.record(e);
+      }
+    }
+
+    for (int fn_id : state.order) {
+      const FunctionConfig& fn = cfg.function(fn_id);
+      for (int t = 0; t < fn.threads; ++t) {
+        if (fn.thread_nodes[static_cast<std::size_t>(t)] != rank) continue;
+
+        // --- 1. receive remote inputs -----------------------------------
+        for (int buf_id : in_of_fn_[static_cast<std::size_t>(fn_id)]) {
+          const PlannedBuffer& buf =
+              planned_[static_cast<std::size_t>(buf_id)];
+          const FunctionConfig& src_fn = cfg.function(buf.src_function);
+          auto& dst_staging = state.staging_at(fn_id, t, buf.dst_port);
+          for (const ThreadPairTransfer& pair : buf.plan) {
+            if (pair.dst_thread != t) continue;
+            const int src_node =
+                src_fn.thread_nodes[static_cast<std::size_t>(
+                    pair.src_thread)];
+            if (src_node == rank) continue;  // delivered locally already
+
+            const int tag =
+                transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
+            const double t_before = node.now();
+            std::vector<std::byte> payload =
+                comm.recv_any_bytes(src_node, tag);
+            if (trace) {
+              viz::Event e;
+              e.kind = viz::EventKind::kReceive;
+              e.function_id = fn_id;
+              e.thread = t;
+              e.iteration = iter;
+              e.start_vt = t_before;
+              e.end_vt = node.now();
+              e.bytes = payload.size();
+              e.label = buf.label;
+              state.events.record(e);
+            }
+            {
+              support::ComputeScope scope(node.clock(), node.cpu_scale());
+              if (policy == BufferPolicy::kUniquePerFunction) {
+                // Stage through the function's own logical buffer copy.
+                auto& logical = state.logical[{buf.id, pair.src_thread,
+                                               pair.dst_thread}];
+                logical.assign(payload.begin(), payload.end());
+                unpack_segments(pair.segments, logical, buf.elem_bytes,
+                                dst_staging);
+              } else {
+                unpack_segments(pair.segments, payload, buf.elem_bytes,
+                                dst_staging);
+              }
+            }
+            if (buffer_depth > 0) {
+              // Flow control: return a credit for the drained slot.
+              const std::byte credit{};
+              comm.send_bytes(std::span<const std::byte>(&credit, 1),
+                              src_node, tag);
+            }
+          }
+        }
+
+        // --- 2. execute the kernel ---------------------------------------
+        KernelContext kctx(t, fn.threads, iter);
+        kctx.params.insert(fn.params.begin(), fn.params.end());
+        for (const PortConfig& port : fn.ports) {
+          PortSlice slice;
+          slice.name = port.name;
+          StripeSpec spec = cfg.stripe_spec(fn, port);
+          slice.data = state.staging_at(fn_id, t, port.name);
+          slice.elem_bytes = port.elem_bytes;
+          slice.local_dims = spec.local_dims();
+          slice.global_dims = port.dims;
+          slice.runs = slice_runs(spec, t);
+          if (port.direction == model::PortDirection::kIn) {
+            kctx.inputs.push_back(std::move(slice));
+          } else {
+            kctx.outputs.push_back(std::move(slice));
+          }
+        }
+
+        const double exec_start = node.now();
+        {
+          support::ComputeScope scope(node.clock(), node.cpu_scale());
+          kernels_[static_cast<std::size_t>(fn_id)](kctx);
+        }
+        if (trace && cfg.probed(fn_id)) {
+          viz::Event start;
+          start.kind = viz::EventKind::kFunctionStart;
+          start.function_id = fn_id;
+          start.thread = t;
+          start.iteration = iter;
+          start.start_vt = start.end_vt = exec_start;
+          start.label = fn.name;
+          state.events.record(start);
+          viz::Event end = start;
+          end.kind = viz::EventKind::kFunctionEnd;
+          end.start_vt = end.end_vt = node.now();
+          state.events.record(end);
+        }
+        if (kctx.has_result()) {
+          state.results.emplace_back(fn_id, iter, kctx.result());
+        }
+        if (fn.role == "sink") {
+          state.iter_end.push_back(node.now());
+          if (trace) {
+            viz::Event e;
+            e.kind = viz::EventKind::kIterationEnd;
+            e.iteration = iter;
+            e.start_vt = e.end_vt = node.now();
+            e.label = "iteration";
+            state.events.record(e);
+          }
+        }
+
+        // --- 3. send outputs ----------------------------------------------
+        for (int buf_id : out_of_fn_[static_cast<std::size_t>(fn_id)]) {
+          const PlannedBuffer& buf =
+              planned_[static_cast<std::size_t>(buf_id)];
+          const FunctionConfig& dst_fn = cfg.function(buf.dst_function);
+          const auto& src_staging = state.staging_at(fn_id, t, buf.src_port);
+          for (const ThreadPairTransfer& pair : buf.plan) {
+            if (pair.src_thread != t) continue;
+            const int dst_node =
+                dst_fn.thread_nodes[static_cast<std::size_t>(
+                    pair.dst_thread)];
+            const std::size_t bytes = pair.total_elems() * buf.elem_bytes;
+
+            if (dst_node == rank) {
+              // Local delivery straight into the consumer's staging.
+              auto& dst_staging = state.staging_at(buf.dst_function,
+                                               pair.dst_thread, buf.dst_port);
+              const double t_before = node.now();
+              {
+                support::ComputeScope scope(node.clock(), node.cpu_scale());
+                if (policy == BufferPolicy::kUniquePerFunction) {
+                  auto& logical = state.logical[{buf.id, pair.src_thread,
+                                                 pair.dst_thread}];
+                  logical.resize(bytes);
+                  pack_segments(pair.segments, src_staging, buf.elem_bytes,
+                                logical);
+                  unpack_segments(pair.segments, logical, buf.elem_bytes,
+                                  dst_staging);
+                } else {
+                  copy_segments(pair.segments, src_staging, buf.elem_bytes,
+                                dst_staging);
+                }
+              }
+              if (trace) {
+                viz::Event e;
+                e.kind = viz::EventKind::kBufferCopy;
+                e.function_id = fn_id;
+                e.thread = t;
+                e.iteration = iter;
+                e.start_vt = t_before;
+                e.end_vt = node.now();
+                e.bytes = bytes;
+                e.label = buf.label;
+                state.events.record(e);
+              }
+            } else {
+              const int tag =
+                  transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
+              if (buffer_depth > 0 && iter >= buffer_depth) {
+                // Wait for a free physical-buffer slot (credit from
+                // the consumer for iteration iter - depth).
+                std::byte credit{};
+                comm.recv_bytes(std::span<std::byte>(&credit, 1), dst_node,
+                                tag);
+              }
+              const double t_before = node.now();
+              message_scratch.resize(bytes);
+              {
+                support::ComputeScope scope(node.clock(), node.cpu_scale());
+                if (policy == BufferPolicy::kUniquePerFunction) {
+                  auto& logical = state.logical[{buf.id, pair.src_thread,
+                                                 pair.dst_thread}];
+                  logical.resize(bytes);
+                  pack_segments(pair.segments, src_staging, buf.elem_bytes,
+                                logical);
+                  std::memcpy(message_scratch.data(), logical.data(), bytes);
+                } else {
+                  pack_segments(pair.segments, src_staging, buf.elem_bytes,
+                                message_scratch);
+                }
+              }
+              comm.send_bytes(message_scratch, dst_node, tag);
+              if (trace) {
+                viz::Event e;
+                e.kind = viz::EventKind::kSend;
+                e.function_id = fn_id;
+                e.thread = t;
+                e.iteration = iter;
+                e.start_vt = t_before;
+                e.end_vt = node.now();
+                e.bytes = bytes;
+                e.label = buf.label;
+                state.events.record(e);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sage::runtime

@@ -1,0 +1,181 @@
+// openSAGE -- warm run-time sessions.
+//
+// The paper's run-time kernel is a long-lived resident service: "the
+// SAGE run-time kernel is responsible for all sequencing of functions,
+// data striping, and buffer management." A Session reproduces that
+// shape. Constructed once from a glue configuration + function registry
+// + options, it validates the config, binds every kernel, precomputes
+// all transfer plans, pre-allocates every staging and logical buffer,
+// and spawns the emulated machine (one parked host thread per node).
+// Repeated run() calls then pay only a per-run state reset: node
+// threads are woken instead of re-spawned, and buffer memory is reused
+// instead of reallocated -- the separation of a one-time
+// compile/allocate phase from cheap repeated invocations (cf. DaCe's
+// stateful dataflow graphs).
+//
+// Buffer management policies reproduce the paper's observation that the
+// runtime "assigns unique logical buffers to the data per function which
+// can cause extra data access times":
+//   kUniquePerFunction -- every transfer stages through the logical
+//                         buffer's own storage (the shipped behaviour);
+//   kShared            -- transfers move straight from producer staging
+//                         to message/consumer staging (the planned
+//                         "90% of hand-coded" improvement).
+//
+// Lifecycle: create -> run()* -> close (or destruction). Each run is
+// bit-equivalent to a cold engine run: virtual clocks restart at zero,
+// the fabric is drained and its totals zeroed, trace buffers and result
+// series are cleared, and staging memory is rezeroed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/machine.hpp"
+#include "runtime/glue_config.hpp"
+#include "runtime/registry.hpp"
+#include "support/error.hpp"
+#include "viz/trace.hpp"
+
+namespace sage::runtime {
+
+enum class BufferPolicy { kUniquePerFunction, kShared };
+
+std::string to_string(BufferPolicy policy);
+
+/// The unified execution option set, shared by runtime::Session,
+/// runtime::Engine, and the core::Project facade (which derives the
+/// fabric model and CPU scales from the hardware model for any field
+/// left unset).
+struct ExecuteOptions {
+  BufferPolicy buffer_policy = BufferPolicy::kUniquePerFunction;
+  /// Iterations per run; -1 uses the config's iterations-default.
+  int iterations = -1;
+  /// Collect a Visualizer trace (small overhead in host time only; probe
+  /// costs are excluded from virtual time).
+  bool collect_trace = true;
+  /// Interconnect model. Unset: the Project facade derives it from the
+  /// hardware model; a bare Session/Engine falls back to the CSPI-like
+  /// net::myrinet_fabric().
+  std::optional<net::FabricModel> fabric;
+  /// Per-node CPU scale (empty: the Project facade derives from the
+  /// hardware model; a bare Session/Engine uses 1.0 everywhere).
+  std::vector<double> cpu_scales;
+  /// Host wall-clock budget for each blocking receive; expired waits
+  /// throw sage::CommError (schedule bugs surface as failures, not
+  /// hangs).
+  double recv_timeout_s = 60.0;
+  /// Physical-buffer depth per logical-buffer channel: a producer may
+  /// run at most this many iterations ahead of its consumer (credit
+  /// flow control). 0 = unbounded (pipelining limited only by the
+  /// schedule). Models the finite physical buffers the paper's runtime
+  /// allocated per logical buffer.
+  int buffer_depth = 0;
+};
+
+struct RunStats {
+  int iterations = 0;
+  /// Modeled end-to-end run time (max final node virtual time).
+  support::VirtualSeconds makespan = 0.0;
+  /// Per-iteration latency: source start -> sink end, virtual seconds.
+  std::vector<support::VirtualSeconds> latencies;
+  /// Mean time between consecutive iteration completions.
+  support::VirtualSeconds period = 0.0;
+  /// Sum of kernel-reported results per function per iteration
+  /// (function name -> one value per iteration), e.g. sink checksums.
+  std::map<std::string, std::vector<double>> results;
+  /// Merged Visualizer trace (empty when collect_trace is false).
+  viz::Trace trace;
+  /// Fabric totals for the whole run (data messages + flow-control
+  /// credits).
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_bytes = 0;
+  /// Host wall-clock cost of this run() call -- the cold-start vs
+  /// warm-run comparison the bench harness reports. Virtual time is
+  /// unaffected.
+  double host_seconds = 0.0;
+
+  support::VirtualSeconds mean_latency() const;
+};
+
+/// Per-run overrides for a warm session; fields left unset inherit the
+/// session's ExecuteOptions.
+struct RunRequest {
+  /// Iterations for this run; 0 inherits the session default.
+  int iterations = 0;
+  std::optional<BufferPolicy> buffer_policy;
+  std::optional<bool> collect_trace;
+};
+
+/// A persistent execution context over the emulated machine. Thread
+/// compatibility: drive one Session from one host thread at a time.
+class Session {
+ public:
+  /// Validates the config, resolves every kernel name, builds transfer
+  /// plans, pre-allocates all buffers, and spawns the (parked) node
+  /// threads; throws sage::ConfigError / sage::RuntimeError on
+  /// inconsistency.
+  Session(GlueConfig config, const FunctionRegistry& registry,
+          ExecuteOptions options = {});
+
+  /// Non-throwing counterpart: config problems come back as an error
+  /// message instead of an exception (for validators and CLIs).
+  static Result<std::unique_ptr<Session>> create(
+      GlueConfig config, const FunctionRegistry& registry,
+      ExecuteOptions options = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session();
+
+  const GlueConfig& config() const { return config_; }
+  const ExecuteOptions& options() const { return options_; }
+
+  /// Executes one run on the warm machine and reports its stats.
+  RunStats run(const RunRequest& request = {});
+
+  /// Convenience: `runs` consecutive warm runs, one RunStats each.
+  std::vector<RunStats> run_batch(int runs, const RunRequest& request = {});
+
+  /// Number of completed runs since construction.
+  int runs_completed() const { return runs_completed_; }
+
+  /// Parks down the emulated machine (joins node threads). Further run()
+  /// calls throw sage::RuntimeError. Idempotent; the destructor closes
+  /// implicitly.
+  void close();
+  bool closed() const { return machine_ == nullptr; }
+
+ private:
+  struct PlannedBuffer;
+  struct NodeState;
+
+  void node_program_(net::NodeContext& node);
+  void reset_between_runs_();
+
+  GlueConfig config_;
+  ExecuteOptions options_;
+  std::vector<Kernel> kernels_;  // by function id
+  std::vector<PlannedBuffer> planned_;
+  /// Buffer indices feeding / fed by each function id.
+  std::vector<std::vector<int>> in_of_fn_;
+  std::vector<std::vector<int>> out_of_fn_;
+
+  std::unique_ptr<net::Machine> machine_;
+  std::vector<std::unique_ptr<NodeState>> states_;
+
+  // Per-run parameters, written by run() before dispatch; the machine's
+  // dispatch handshake publishes them to the node threads.
+  int run_iterations_ = 0;
+  BufferPolicy run_policy_ = BufferPolicy::kUniquePerFunction;
+  bool run_trace_ = true;
+
+  int runs_completed_ = 0;
+};
+
+}  // namespace sage::runtime

@@ -7,10 +7,12 @@
 // SAGE_ASSERT which compiles away in release-without-assert builds.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace sage {
 
@@ -74,6 +76,51 @@ template <typename E = Error, typename... Parts>
 [[noreturn]] void raise(const Parts&... parts) {
   throw E(format_msg(parts...));
 }
+
+/// Non-throwing result carrier for construction-style APIs: either a
+/// value or a human-readable error message. Lets callers (CLIs, tests,
+/// validators) report config problems without exceptions as control
+/// flow -- see runtime::Session::create / Engine::create.
+template <typename T>
+class Result {
+ public:
+  static Result success(T value) {
+    Result r;
+    r.value_.emplace(std::move(value));
+    return r;
+  }
+  static Result failure(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The carried value; raises sage::Error when called on a failure.
+  T& value() {
+    if (!ok()) raise<Error>("Result::value() on failure: ", error_);
+    return *value_;
+  }
+  const T& value() const {
+    if (!ok()) raise<Error>("Result::value() on failure: ", error_);
+    return *value_;
+  }
+  T take() {
+    if (!ok()) raise<Error>("Result::take() on failure: ", error_);
+    return std::move(*value_);
+  }
+
+  /// The error message; empty on success.
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  std::string error_;
+};
 
 }  // namespace sage
 

@@ -136,12 +136,12 @@ TEST(PipelineMappingTest, PipelinedMappingOverlapsIterations) {
   model::assign_ranks(root, mapping, "sink", {1});
 
   core::Project project(std::move(ws));
-  core::ExecuteOptions single;
+  runtime::ExecuteOptions single;
   single.iterations = 1;
   single.collect_trace = false;
   const double latency = project.execute(single).mean_latency();
 
-  core::ExecuteOptions loaded;
+  runtime::ExecuteOptions loaded;
   loaded.iterations = 8;
   loaded.collect_trace = false;
   const runtime::RunStats stats = project.execute(loaded);

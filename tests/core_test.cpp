@@ -21,13 +21,59 @@ TEST(ProjectTest, GenerationIsCachedUntilInvalidated) {
   project.workspace().application().set_property("iterations", 9);
   EXPECT_EQ(project.generate().config.iterations_default, 1);
 
-  // ...until invalidated (or forced).
+  // ...until invalidated.
   project.invalidate();
   EXPECT_EQ(project.generate().config.iterations_default, 9);
+}
 
+TEST(ProjectTest, EditScopeInvalidatesAutomatically) {
+  Project project(apps::make_cornerturn_workspace(64, 2));
+  EXPECT_EQ(project.generate().config.iterations_default, 1);
+
+  // One-liner form: the temporary scope ends with the statement.
+  project.edit()->application().set_property("iterations", 6);
+  EXPECT_EQ(project.generate().config.iterations_default, 6);
+
+  // Block form: invalidation happens when the scope closes.
+  {
+    Project::EditScope ws = project.edit();
+    ws->application().set_property("iterations", 3);
+    (*ws).application().set_property("iterations", 5);
+  }
+  EXPECT_EQ(project.generate().config.iterations_default, 5);
+}
+
+TEST(ProjectTest, OpenSessionDerivesPlatformFromHardwareModel) {
+  Project project(apps::make_cornerturn_workspace(64, 2));
+  auto session = project.open_session();
+  // Unset options were resolved from the hardware model.
+  ASSERT_TRUE(session->options().fabric.has_value());
+  EXPECT_EQ(session->options().fabric->name, "cspi-myrinet-160");
+  EXPECT_EQ(session->options().cpu_scales.size(), 2u);
+  // Explicit options pass through untouched.
+  runtime::ExecuteOptions options;
+  options.cpu_scales = {2.0, 2.0};
+  options.buffer_depth = 1;
+  auto tuned = project.open_session(options);
+  EXPECT_EQ(tuned->options().cpu_scales, options.cpu_scales);
+  EXPECT_EQ(tuned->options().buffer_depth, 1);
+}
+
+// The pre-session entry points must keep compiling (deprecated) and
+// behave identically.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ProjectTest, DeprecatedEntryPointsStillWork) {
+  Project project(apps::make_cornerturn_workspace(64, 2));
   project.workspace().application().set_property("iterations", 4);
   EXPECT_EQ(project.generate(/*force=*/true).config.iterations_default, 4);
+
+  core::ExecuteOptions options;  // deprecated alias of the unified struct
+  options.iterations = 2;
+  options.collect_trace = false;
+  EXPECT_EQ(project.execute(options).iterations, 2);
 }
+#pragma GCC diagnostic pop
 
 TEST(ProjectTest, ExecuteUsesHardwareModelParameters) {
   // Two projects differing only in cpu_scale: the slower platform's
@@ -40,7 +86,7 @@ TEST(ProjectTest, ExecuteUsesHardwareModelParameters) {
   }
   Project fast(std::move(fast_ws));
   Project slow(std::move(slow_ws));
-  ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.collect_trace = false;
   options.iterations = 3;
   fast.execute(options);  // warm-up both

@@ -279,7 +279,7 @@ TEST(EngineTest, BothBufferPoliciesDeliverIdenticalData) {
     GlueConfig config = two_stage_config(4, 4, model::Striping::kStriped, 0,
                                          model::Striping::kStriped, 1,
                                          {16, 16});
-    EngineOptions options;
+    ExecuteOptions options;
     options.buffer_policy = policy;
     Engine engine(config, test_registry(), options);
     const RunStats stats = engine.run();
@@ -303,7 +303,7 @@ TEST(EngineTest, UniquePolicyCostsMoreThanShared) {
   // the staged time must be clearly larger; comparing only the copy
   // path keeps unrelated kernel noise out of the assertion.
   auto copy_time = [&](BufferPolicy policy) {
-    EngineOptions options;
+    ExecuteOptions options;
     options.buffer_policy = policy;
     Engine engine(config, test_registry(), options);
     engine.run();  // warm-up: first-touch page faults land here
@@ -372,7 +372,7 @@ TEST(EngineTest, BoundedBuffersPreserveResults) {
                                        model::Striping::kStriped, 1, {16, 16});
   config.iterations_default = 6;
   for (const int depth : {1, 2, 3}) {
-    EngineOptions options;
+    ExecuteOptions options;
     options.buffer_depth = depth;
     Engine engine(config, test_registry(), options);
     const RunStats stats = engine.run();
@@ -439,7 +439,7 @@ TEST(EngineTest, BackpressureThrottlesAPipelinedProducer) {
   });
 
   auto producer_finish = [&](int depth) {
-    EngineOptions options;
+    ExecuteOptions options;
     options.buffer_depth = depth;
     options.collect_trace = false;
     Engine engine(config, registry, options);
@@ -464,7 +464,7 @@ TEST(EngineTest, KernelExceptionPropagatesToCaller) {
     if (ctx.thread() == 1) raise<RuntimeError>("kernel exploded");
   });
   config.functions[0].kernel = "test.bomb";
-  EngineOptions options;
+  ExecuteOptions options;
   options.recv_timeout_s = 2.0;  // peers stuck on the dead producer
   Engine engine(config, registry, options);
   EXPECT_THROW(engine.run(), Error);
@@ -502,7 +502,7 @@ TEST(EngineTest, WrongScheduleOrderIsDetectedAsDeadlock) {
   config.schedule[0] = {0, 2, 1};
   config.schedule[1] = {1, 2, 0};  // reversed
 
-  EngineOptions options;
+  ExecuteOptions options;
   options.recv_timeout_s = 0.3;
   options.collect_trace = false;
   Engine engine(config, test_registry(), options);
@@ -512,9 +512,10 @@ TEST(EngineTest, WrongScheduleOrderIsDetectedAsDeadlock) {
 TEST(EngineTest, ContentionFabricStillDeliversCorrectData) {
   GlueConfig config = two_stage_config(8, 8, model::Striping::kStriped, 0,
                                        model::Striping::kStriped, 1, {16, 16});
-  EngineOptions options;
-  options.fabric = net::myrinet_fabric();
-  options.fabric.model_contention = true;
+  ExecuteOptions options;
+  net::FabricModel contended = net::myrinet_fabric();
+  contended.model_contention = true;
+  options.fabric = contended;
   Engine engine(config, test_registry(), options);
   const RunStats stats = engine.run();
   EXPECT_NEAR(stats.results.at("sink")[0], expected_index_sum({16, 16}), 1.0);

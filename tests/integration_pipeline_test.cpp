@@ -16,7 +16,7 @@ TEST(PipelineTest, CornerTurnMatchesHandcodedChecksum) {
   constexpr int kNodes = 4;
 
   core::Project project(apps::make_cornerturn_workspace(kN, kNodes));
-  core::ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.iterations = 2;
   const runtime::RunStats stats = project.execute(options);
 
@@ -108,7 +108,7 @@ TEST(PipelineTest, GeneratedGlueArtifactsLookRight) {
 
 TEST(PipelineTest, LatencyAndPeriodArePositive) {
   core::Project project(apps::make_cornerturn_workspace(64, 4));
-  core::ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.iterations = 3;
   const runtime::RunStats stats = project.execute(options);
   ASSERT_EQ(stats.latencies.size(), 3u);
@@ -121,9 +121,9 @@ TEST(PipelineTest, LatencyAndPeriodArePositive) {
 
 TEST(PipelineTest, SharedBufferPolicyGivesSameResults) {
   core::Project project(apps::make_cornerturn_workspace(64, 4));
-  core::ExecuteOptions unique_options;
+  runtime::ExecuteOptions unique_options;
   unique_options.buffer_policy = runtime::BufferPolicy::kUniquePerFunction;
-  core::ExecuteOptions shared_options;
+  runtime::ExecuteOptions shared_options;
   shared_options.buffer_policy = runtime::BufferPolicy::kShared;
 
   const double a = project.execute(unique_options).results.at("sink")[0];

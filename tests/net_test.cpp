@@ -225,5 +225,69 @@ TEST(MachineTest, RejectsBadConfig) {
   EXPECT_THROW(Machine(2, ideal_fabric(), -1.0), CommError);
 }
 
+TEST(FabricTest, ResetDrainsMailboxesAndZeroesStats) {
+  Fabric fabric(2, ideal_fabric());
+  fabric.send(0, 1, 1, bytes_of("abcd"), 0.0);
+  fabric.send(1, 0, 2, bytes_of("ef"), 0.0);
+  ASSERT_EQ(fabric.pending(1), 1u);
+
+  fabric.reset();
+  EXPECT_EQ(fabric.pending(0), 0u);
+  EXPECT_EQ(fabric.pending(1), 0u);
+  EXPECT_EQ(fabric.total_messages(), 0u);
+  EXPECT_EQ(fabric.total_bytes(), 0u);
+  // The fabric stays usable after a reset.
+  fabric.send(0, 1, 1, bytes_of("xy"), 0.0);
+  EXPECT_EQ(fabric.recv(1, 0, 1).payload.size(), 2u);
+  EXPECT_EQ(fabric.total_messages(), 1u);
+}
+
+TEST(FabricTest, ResetClearsLinkContentionHistory) {
+  FabricModel model = myrinet_fabric();
+  model.model_contention = true;
+  Fabric fabric(8, model);
+  const std::vector<std::byte> payload(1 << 20);
+
+  fabric.send(0, 4, 1, payload, 0.0);
+  const double first = fabric.recv(4, 0, 1).arrival_vt;
+  fabric.reset();
+  // Without the reset this message would queue behind the first one's
+  // link reservation; after it, arrival matches a fresh fabric.
+  fabric.send(0, 4, 1, payload, 0.0);
+  EXPECT_NEAR(fabric.recv(4, 0, 1).arrival_vt, first, 1e-9);
+}
+
+TEST(MachineTest, ParkedWorkersServeRepeatedRuns) {
+  Machine machine(3, ideal_fabric());
+  EXPECT_FALSE(machine.started());
+  machine.start();
+  EXPECT_TRUE(machine.started());
+  machine.start();  // idempotent
+
+  std::vector<int> runs_by_rank(3, 0);
+  for (int run = 0; run < 5; ++run) {
+    machine.run([&](NodeContext& node) {
+      ++runs_by_rank[static_cast<std::size_t>(node.rank())];
+      // Each run gets a fresh clock.
+      EXPECT_DOUBLE_EQ(node.now(), 0.0);
+      node.clock().advance(0.001);
+    });
+  }
+  EXPECT_EQ(machine.runs_completed(), 5u);
+  for (int count : runs_by_rank) EXPECT_EQ(count, 5);
+}
+
+TEST(MachineTest, RecoversAfterNodeException) {
+  Machine machine(2, ideal_fabric());
+  EXPECT_THROW(machine.run([&](NodeContext& node) {
+                 if (node.rank() == 1) raise<CommError>("boom");
+               }),
+               CommError);
+  // The parked pool survives a failed run and serves the next one.
+  const MachineReport report = machine.run(
+      [](NodeContext& node) { node.clock().advance(0.002); });
+  EXPECT_NEAR(report.makespan(), 0.002, 1e-12);
+}
+
 }  // namespace
 }  // namespace sage::net

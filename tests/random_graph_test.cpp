@@ -132,7 +132,7 @@ TEST_P(RandomChainTest, IdentityChainDeliversEveryElement) {
 
   core::Project project(std::move(ws));
   project.set_registry(test_registry());
-  core::ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.iterations = 2;
   options.collect_trace = false;
   const runtime::RunStats stats = project.execute(options);

@@ -12,10 +12,11 @@
 //       run the AToT genetic mapper and write the mapping back
 //   sagec generate <model-file> [-o dir]
 //       run the Alter glue-code generator; write glue.cfg and glue.c
-//   sagec run <model-file> [-i iterations] [--policy unique|shared]
-//             [--trace file.json]
-//       generate and execute on the emulated platform; print the
-//       Visualizer summary
+//   sagec run <model-file> [-i iterations] [-r runs]
+//             [--policy unique|shared] [--depth d] [--trace file.json]
+//       generate and execute on the emulated platform through a warm
+//       run-time session (-r repeats the run warm); print the
+//       Visualizer summary and host cost
 //   sagec alter <script.alt> [-m model-file] [-o dir]
 //       run an Alter program (optionally against a model); print its
 //       (print ...) log and write its emit streams
@@ -49,8 +50,8 @@ using namespace sage;
                "  validate <model-file>\n"
                "  map <model-file> [-o file]\n"
                "  generate <model-file> [-o dir]\n"
-               "  run <model-file> [-i iters] [--policy unique|shared]"
-               " [--trace file.json]\n"
+               "  run <model-file> [-i iters] [-r runs] [--policy unique|shared]"
+               " [--depth d] [--trace file.json]\n"
                "  alter <script.alt> [-m model-file] [-o dir]\n"
                "  analyze <trace.csv> [--latency-bound ms]\n");
   std::exit(2);
@@ -161,12 +162,25 @@ int cmd_validate(const Args& args) {
     std::printf("%s\n", issue.to_string().c_str());
     if (issue.severity == model::Issue::Severity::kError) ++errors;
   }
-  if (errors == 0) {
-    std::printf("design is valid (%zu warning(s))\n", issues.size());
-    return 0;
+  if (errors != 0) {
+    std::printf("%d error(s)\n", errors);
+    return 1;
   }
-  std::printf("%d error(s)\n", errors);
-  return 1;
+  // Deep check: generate glue and open a run-time session. Session
+  // construction validates the glue config, resolves every kernel, and
+  // builds all transfer plans; the non-throwing path reports problems
+  // the structural validator cannot see.
+  core::Project project(std::move(ws));
+  auto session = project.try_open_session();
+  if (!session.ok()) {
+    std::printf("runtime check failed: %s\n", session.error().c_str());
+    return 1;
+  }
+  std::printf("design is valid (%zu warning(s)); runtime session opens"
+              " cleanly (%d nodes, %zu logical buffers)\n",
+              issues.size(), session.value()->config().nodes,
+              session.value()->config().buffers.size());
+  return 0;
 }
 
 int cmd_map(const Args& args) {
@@ -205,18 +219,31 @@ int cmd_generate(const Args& args) {
 int cmd_run(const Args& args) {
   auto ws = load(args);
   core::Project project(std::move(ws));
-  core::ExecuteOptions options;
+  runtime::ExecuteOptions options;
   options.iterations = std::stoi(args.flag_or("i", "3"));
+  options.buffer_depth = std::stoi(args.flag_or("depth", "0"));
   const std::string policy = args.flag_or("policy", "unique");
   options.buffer_policy = (policy == "shared")
                               ? runtime::BufferPolicy::kShared
                               : runtime::BufferPolicy::kUniquePerFunction;
+  const int runs = std::stoi(args.flag_or("r", "1"));
 
-  const runtime::RunStats stats = project.execute(options);
+  // One warm session serves every run; the first run carries the cold
+  // host cost, later runs reuse the machine and buffer pool.
+  auto session = project.open_session(options);
+  runtime::RunStats stats = session->run();
+  const double cold_host = stats.host_seconds;
+  for (int r = 1; r < runs; ++r) stats = session->run();
   std::printf("iterations: %d\n", stats.iterations);
   std::printf("mean latency: %.3f ms (virtual)\n",
               stats.mean_latency() * 1e3);
   std::printf("period:       %.3f ms (virtual)\n", stats.period * 1e3);
+  if (runs > 1) {
+    std::printf("host cost:    %.3f ms cold, %.3f ms warm (%d runs)\n",
+                cold_host * 1e3, stats.host_seconds * 1e3, runs);
+  } else {
+    std::printf("host cost:    %.3f ms\n", cold_host * 1e3);
+  }
   for (const auto& [fn, series] : stats.results) {
     std::printf("result[%s]:", fn.c_str());
     for (double v : series) std::printf(" %.4f", v);
