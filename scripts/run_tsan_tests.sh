@@ -1,9 +1,11 @@
 #!/bin/sh
 # Builds openSAGE with ThreadSanitizer and runs the concurrency-heavy
 # suites: the emulated machine (parked node threads), the fabric, the
-# MPI layer, and the engine/session execution paths. The warm-session
-# dispatch handshake (net::Machine) is exactly the kind of code TSan is
-# for -- run this after touching it.
+# MPI layer, the engine/session execution paths, and the fault-injection
+# chaos suite (retransmits and degraded-mode remaps exercise the fabric
+# from every node thread at once). The warm-session dispatch handshake
+# (net::Machine) is exactly the kind of code TSan is for -- run this
+# after touching it.
 #
 # Usage: scripts/run_tsan_tests.sh [build-dir]
 set -eu
@@ -13,7 +15,7 @@ build_dir=${1:-"$repo_root/build-tsan"}
 
 cmake -B "$build_dir" -S "$repo_root" -DSAGE_TSAN=ON
 cmake --build "$build_dir" -j \
-  --target net_test mpi_test engine_test session_test
+  --target net_test mpi_test engine_test session_test fault_test
 cd "$build_dir"
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --output-on-failure -R '(Machine|Fabric|Mpi|Engine|Session|Redistribution|WarmCold)'
+  ctest --output-on-failure -R '(Machine|Fabric|Mpi|Engine|Session|Redistribution|WarmCold|Fault|Degraded)'

@@ -11,6 +11,20 @@
 
 namespace sage::atot {
 
+bool MappingProblem::proc_alive(int p) const {
+  return std::find(proc_dead.begin(), proc_dead.end(), p) == proc_dead.end();
+}
+
+std::vector<int> MappingProblem::alive_procs() const {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(proc_count()));
+  for (int p = 0; p < proc_count(); ++p) {
+    if (proc_alive(p)) alive.push_back(p);
+  }
+  SAGE_CHECK(!alive.empty(), "every processor is marked dead");
+  return alive;
+}
+
 double MappingProblem::compute_seconds(int t, int p) const {
   const double flops = tasks[static_cast<std::size_t>(t)].work_flops;
   const double speed = proc_flops[static_cast<std::size_t>(p)];
@@ -154,12 +168,24 @@ CostBreakdown evaluate(const MappingProblem& problem,
     }
   }
 
+  // Degraded mode: tasks landing on dead processors are heavily
+  // penalized so any survivor-only placement dominates.
+  double dead_penalty = 0.0;
+  if (!problem.proc_dead.empty()) {
+    for (int t = 0; t < problem.task_count(); ++t) {
+      if (!problem.proc_alive(assignment[static_cast<std::size_t>(t)])) {
+        dead_penalty += weights.dead_task_penalty;
+      }
+    }
+  }
+
   cost.objective = weights.load * cost.max_load +
                    weights.comm * cost.total_comm +
                    weights.imbalance * cost.imbalance +
                    weights.mem_overflow_per_mib *
                        (static_cast<double>(cost.mem_overflow_bytes) /
-                        (1024.0 * 1024.0));
+                        (1024.0 * 1024.0)) +
+                   dead_penalty;
   return cost;
 }
 

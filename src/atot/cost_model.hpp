@@ -44,10 +44,19 @@ struct MappingProblem {
   std::vector<double> proc_flops;
   /// DRAM capacity of each processor (rank-ordered; 0 = unlimited).
   std::vector<std::size_t> proc_mem_bytes;
+  /// Processors excluded from mapping (degraded mode / failed nodes).
+  /// Empty means every processor is available. Mappers never place a
+  /// task on a dead processor; evaluate() penalizes assignments that do.
+  std::vector<int> proc_dead;
   net::FabricModel fabric;
 
   int task_count() const { return static_cast<int>(tasks.size()); }
   int proc_count() const { return static_cast<int>(proc_flops.size()); }
+
+  bool proc_alive(int p) const;
+  /// Surviving processor ranks, ascending. Throws sage::Error when the
+  /// dead set leaves no processor.
+  std::vector<int> alive_procs() const;
 
   /// Seconds task `t` takes on processor `p`.
   double compute_seconds(int t, int p) const;
@@ -82,6 +91,8 @@ struct ObjectiveWeights {
   /// Penalty in objective units per overflowed MiB; large by default so
   /// infeasible placements lose to any feasible one.
   double mem_overflow_per_mib = 100.0;
+  /// Penalty per task assigned to a dead processor (degraded mode).
+  double dead_task_penalty = 1e6;
 };
 
 CostBreakdown evaluate(const MappingProblem& problem,

@@ -13,11 +13,12 @@ namespace {
 
 using support::Rng;
 
-Assignment random_assignment(const MappingProblem& problem, Rng& rng) {
+Assignment random_assignment(const MappingProblem& problem,
+                             const std::vector<int>& alive, Rng& rng) {
   Assignment a(static_cast<std::size_t>(problem.task_count()));
   for (auto& gene : a) {
-    gene = static_cast<int>(
-        rng.below(static_cast<std::uint64_t>(problem.proc_count())));
+    gene = alive[static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(alive.size())))];
   }
   return a;
 }
@@ -26,13 +27,15 @@ Assignment random_assignment(const MappingProblem& problem, Rng& rng) {
 
 Assignment random_mapping(const MappingProblem& problem, std::uint64_t seed) {
   Rng rng(seed);
-  return random_assignment(problem, rng);
+  return random_assignment(problem, problem.alive_procs(), rng);
 }
 
 Assignment round_robin_mapping(const MappingProblem& problem) {
+  const std::vector<int> alive = problem.alive_procs();
   Assignment a(static_cast<std::size_t>(problem.task_count()));
   for (int t = 0; t < problem.task_count(); ++t) {
-    a[static_cast<std::size_t>(t)] = t % problem.proc_count();
+    a[static_cast<std::size_t>(t)] =
+        alive[static_cast<std::size_t>(t) % alive.size()];
   }
   return a;
 }
@@ -47,6 +50,7 @@ Assignment greedy_mapping(const MappingProblem& problem) {
            problem.tasks[static_cast<std::size_t>(b)].work_flops;
   });
 
+  const std::vector<int> alive = problem.alive_procs();
   Assignment assignment(static_cast<std::size_t>(problem.task_count()), -1);
   std::vector<double> load(static_cast<std::size_t>(problem.proc_count()),
                            0.0);
@@ -54,7 +58,7 @@ Assignment greedy_mapping(const MappingProblem& problem) {
   for (int t : order) {
     double best_cost = 0.0;
     int best_proc = -1;
-    for (int p = 0; p < problem.proc_count(); ++p) {
+    for (const int p : alive) {
       double cost = load[static_cast<std::size_t>(p)] +
                     problem.compute_seconds(t, p);
       for (const Traffic& edge : problem.traffic) {
@@ -82,6 +86,7 @@ GeneticResult genetic_mapping(const MappingProblem& problem,
                               const GeneticOptions& options) {
   SAGE_CHECK(options.population >= 4, "population too small");
   SAGE_CHECK(problem.task_count() > 0, "empty mapping problem");
+  const std::vector<int> alive = problem.alive_procs();
   Rng rng(options.seed);
 
   struct Individual {
@@ -108,7 +113,7 @@ GeneticResult genetic_mapping(const MappingProblem& problem,
   population.push_back({greedy_mapping(problem), 0.0});
   population.push_back({round_robin_mapping(problem), 0.0});
   while (static_cast<int>(population.size()) < options.population) {
-    population.push_back({random_assignment(problem, rng), 0.0});
+    population.push_back({random_assignment(problem, alive, rng), 0.0});
   }
   for (Individual& ind : population) ind.fitness = fitness_of(ind.genes);
 
@@ -166,8 +171,8 @@ GeneticResult genetic_mapping(const MappingProblem& problem,
       }
       for (auto& gene : child.genes) {
         if (rng.chance(options.mutation_rate)) {
-          gene = static_cast<int>(
-              rng.below(static_cast<std::uint64_t>(problem.proc_count())));
+          gene = alive[static_cast<std::size_t>(
+              rng.below(static_cast<std::uint64_t>(alive.size())))];
         }
       }
       child.fitness = fitness_of(child.genes);

@@ -1,5 +1,6 @@
 #include "core/project.hpp"
 
+#include "atot/mapper.hpp"
 #include "model/hardware.hpp"
 #include "support/error.hpp"
 
@@ -62,6 +63,16 @@ Result<std::unique_ptr<runtime::Session>> Project::try_open_session(
 
 runtime::RunStats Project::execute(const runtime::ExecuteOptions& options) {
   return open_session(options)->run();
+}
+
+atot::CostBreakdown Project::remap_on_survivors(
+    const std::vector<int>& dead_ranks) {
+  atot::MappingProblem problem = atot::build_problem(*workspace_);
+  problem.proc_dead = dead_ranks;
+  const atot::Assignment assignment = atot::greedy_mapping(problem);
+  atot::apply_assignment(*workspace_, problem, assignment);
+  invalidate();
+  return atot::evaluate(problem, assignment);
 }
 
 }  // namespace sage::core

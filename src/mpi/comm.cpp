@@ -66,6 +66,11 @@ Status Communicator::raw_recv(std::span<std::byte> data, int src_comm_rank,
   net::Message msg =
       node_.fabric().recv(world_rank_of(rank_), world_src, match_tag,
                           recv_timeout_s_);
+  SAGE_CHECK_AS(CommError, msg.fault == net::FaultKind::kNone,
+                "recv: got a ", net::to_string(msg.fault),
+                "-faulted message on the unreliable MPI path (rank ", rank_,
+                ", tag ", tag, "); the mpi layer has no recovery -- exempt "
+                "this traffic from the fault plan or use the session layer");
   SAGE_CHECK_AS(CommError, msg.payload.size() <= data.size(),
                 "recv: message of ", msg.payload.size(),
                 " bytes overflows buffer of ", data.size(), " bytes");
@@ -100,6 +105,11 @@ std::vector<std::byte> Communicator::recv_any_bytes(int src, int tag,
   net::Message msg =
       node_.fabric().recv(world_rank_of(rank_), world_src, match_tag,
                           recv_timeout_s_);
+  SAGE_CHECK_AS(CommError, msg.fault == net::FaultKind::kNone,
+                "recv: got a ", net::to_string(msg.fault),
+                "-faulted message on the unreliable MPI path (rank ", rank_,
+                ", tag ", tag, "); the mpi layer has no recovery -- exempt "
+                "this traffic from the fault plan or use the session layer");
   node_.clock().join(msg.arrival_vt);
   if (status_out != nullptr) {
     status_out->source = comm_rank_of_world(msg.src);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace sage::net {
 
@@ -12,10 +14,22 @@ Fabric::Fabric(int node_count, FabricModel model)
   SAGE_CHECK_AS(CommError, node_count > 0, "fabric needs at least one node");
 }
 
-support::VirtualSeconds Fabric::send(int src, int dst, int tag,
-                                     std::span<const std::byte> bytes,
-                                     support::VirtualSeconds now_vt,
-                                     SendOptions options) {
+void Fabric::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+  plan_ = std::move(plan);
+}
+
+std::uint64_t Fabric::next_link_seq_(int src, int dst) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return link_seq_[{src, dst}]++;
+}
+
+support::VirtualSeconds Fabric::enqueue_(int src, int dst, int tag,
+                                         std::span<const std::byte> bytes,
+                                         support::VirtualSeconds now_vt,
+                                         const SendOptions& options,
+                                         const FaultOutcome& outcome,
+                                         double extra_arrival_vt,
+                                         int attempt) {
   SAGE_CHECK_AS(CommError, src >= 0 && src < node_count_, "bad src rank ", src);
   SAGE_CHECK_AS(CommError, dst >= 0 && dst < node_count_, "bad dst rank ", dst);
 
@@ -28,7 +42,22 @@ support::VirtualSeconds Fabric::send(int src, int dst, int tag,
   Parcel parcel;
   parcel.src = src;
   parcel.tag = tag;
-  parcel.payload.assign(bytes.begin(), bytes.end());
+  parcel.fault = outcome.kind;
+  parcel.attempt = attempt;
+  if (outcome.kind == FaultKind::kDrop) {
+    // Tombstone: the payload was transmitted and lost; the receiver
+    // learns of the loss only after its detection timeout.
+    parcel.payload.clear();
+  } else {
+    parcel.payload.assign(bytes.begin(), bytes.end());
+    if (outcome.kind == FaultKind::kCorrupt && !parcel.payload.empty()) {
+      std::uint64_t state = outcome.draw;
+      for (std::size_t i = 0; i < outcome.corrupt_bytes; ++i) {
+        const std::uint64_t pos = support::splitmix64(state);
+        parcel.payload[pos % parcel.payload.size()] ^= std::byte{0xFF};
+      }
+    }
+  }
 
   if (model_.model_contention && !model_.same_board(src, dst)) {
     // The board-pair channel serializes transfers: the bytes move when
@@ -56,6 +85,17 @@ support::VirtualSeconds Fabric::send(int src, int dst, int tag,
     ++total_messages_;
     total_bytes_ += bytes.size();
   }
+  parcel.arrival_vt += extra_arrival_vt;
+
+  if (outcome.kind != FaultKind::kNone) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (outcome.kind) {
+      case FaultKind::kDrop: ++fault_counters_.drops; break;
+      case FaultKind::kCorrupt: ++fault_counters_.corruptions; break;
+      case FaultKind::kDelay: ++fault_counters_.delays; break;
+      case FaultKind::kNone: break;
+    }
+  }
 
   {
     Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
@@ -64,6 +104,65 @@ support::VirtualSeconds Fabric::send(int src, int dst, int tag,
     box.cv.notify_all();
   }
   return sender_after;
+}
+
+support::VirtualSeconds Fabric::send(int src, int dst, int tag,
+                                     std::span<const std::byte> bytes,
+                                     support::VirtualSeconds now_vt,
+                                     SendOptions options) {
+  FaultOutcome outcome;
+  double extra = 0.0;
+  if (plan_ && plan_->active() && !options.fault_exempt) {
+    outcome = plan_->link_outcome(src, dst, next_link_seq_(src, dst));
+    if (outcome.kind == FaultKind::kDrop) extra = plan_->detect_timeout_vt;
+    if (outcome.kind == FaultKind::kDelay) extra = outcome.delay_vt;
+  }
+  return enqueue_(src, dst, tag, bytes, now_vt, options, outcome, extra, 0);
+}
+
+SendReceipt Fabric::send_reliable(int src, int dst, int tag,
+                                  std::span<const std::byte> bytes,
+                                  support::VirtualSeconds now_vt,
+                                  SendOptions options) {
+  SendReceipt receipt;
+  if (!plan_ || !plan_->active() || options.fault_exempt) {
+    receipt.sender_after =
+        enqueue_(src, dst, tag, bytes, now_vt, options, {}, 0.0, 0);
+    return receipt;
+  }
+
+  // Analytic ARQ: every attempt is resolved and enqueued right now, so
+  // the receiver sees the full (deterministic) sequence of faulted
+  // attempts followed by the clean one, and the sender pays the
+  // detection timeout plus exponential backoff in virtual time without
+  // ever blocking for an acknowledgement (sends stay eager, so the
+  // fault layer introduces no new deadlock modes).
+  support::VirtualSeconds t = now_vt;
+  double backoff = plan_->detect_timeout_vt;
+  for (int attempt = 0;; ++attempt) {
+    SAGE_CHECK_AS(CommError, attempt < plan_->max_attempts, "link ", src,
+                  "->", dst, " tag ", tag, ": transfer still failing after ",
+                  plan_->max_attempts,
+                  " attempts (unrecoverable link failure under fault plan)");
+    const FaultOutcome outcome =
+        plan_->link_outcome(src, dst, next_link_seq_(src, dst));
+    double extra = 0.0;
+    if (outcome.kind == FaultKind::kDrop) extra = plan_->detect_timeout_vt;
+    if (outcome.kind == FaultKind::kDelay) extra = outcome.delay_vt;
+    t = enqueue_(src, dst, tag, bytes, t, options, outcome, extra, attempt);
+    receipt.attempts = attempt + 1;
+    if (outcome.kind == FaultKind::kDrop ||
+        outcome.kind == FaultKind::kCorrupt) {
+      t += backoff;
+      backoff *= plan_->backoff_factor;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++fault_counters_.retransmits;
+      continue;
+    }
+    break;
+  }
+  receipt.sender_after = t;
+  return receipt;
 }
 
 Message Fabric::recv(int dst, int src, int tag, double timeout_wall_s) {
@@ -82,6 +181,8 @@ Message Fabric::recv(int dst, int src, int tag, double timeout_wall_s) {
       out.tag = it->tag;
       out.payload = std::move(it->payload);
       out.arrival_vt = it->arrival_vt;
+      out.fault = it->fault;
+      out.attempt = it->attempt;
       box.queue.erase(it);
       return out;
     }
@@ -105,6 +206,8 @@ std::optional<Message> Fabric::try_recv(int dst, int src, int tag) {
   out.tag = it->tag;
   out.payload = std::move(it->payload);
   out.arrival_vt = it->arrival_vt;
+  out.fault = it->fault;
+  out.attempt = it->attempt;
   box.queue.erase(it);
   return out;
 }
@@ -125,6 +228,11 @@ std::uint64_t Fabric::total_bytes() const {
   return total_bytes_;
 }
 
+FaultCounters Fabric::fault_counters() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return fault_counters_;
+}
+
 void Fabric::reset() {
   for (Mailbox& box : boxes_) {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -133,6 +241,8 @@ void Fabric::reset() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   total_messages_ = 0;
   total_bytes_ = 0;
+  fault_counters_ = {};
+  link_seq_.clear();
   link_free_.clear();
 }
 

@@ -7,6 +7,16 @@
 // plus the send overhead. recv() blocks on the mailbox until a matching
 // message arrives and returns the timestamp at which the message is
 // available at the receiver under the fabric cost model.
+//
+// Fault injection: when a FaultPlan is attached, every non-exempt send
+// consults it. Faulted parcels are still delivered -- marked with their
+// FaultKind so the receiver can detect, count, and recover -- because a
+// silently vanishing message would turn injected loss into a wall-clock
+// hang instead of a testable behaviour. send_reliable() layers the
+// emulated ARQ on top: it retransmits dropped/corrupted attempts with
+// exponential virtual-time backoff until delivery or the plan's attempt
+// bound, computing the whole exchange analytically so sends stay eager
+// (no new deadlock modes) and every counter is deterministic.
 #pragma once
 
 #include <condition_variable>
@@ -14,12 +24,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "net/fabric_model.hpp"
+#include "net/fault.hpp"
 #include "support/clock.hpp"
 
 namespace sage::net {
@@ -35,12 +47,39 @@ struct Message {
   std::vector<std::byte> payload;
   /// Virtual time at which the payload is fully available at the receiver.
   support::VirtualSeconds arrival_vt = 0.0;
+  /// Injected fault carried by this delivery (kNone on clean paths).
+  /// kDrop deliveries have an empty payload: they are tombstones whose
+  /// arrival_vt models the receiver's loss-detection timeout.
+  FaultKind fault = FaultKind::kNone;
+  /// Retransmit attempt index this delivery belongs to (0 = first try).
+  int attempt = 0;
 };
 
 /// Delivery options for modeling differently-tuned transfer paths.
 struct SendOptions {
   /// True for the vendor bulk path (DMA-aggregated, reduced overhead).
   bool vendor_bulk = false;
+  /// True to bypass the attached FaultPlan (control-plane traffic that
+  /// the fault model should not touch).
+  bool fault_exempt = false;
+};
+
+/// Aggregate injected-fault counters (diagnostics / RunStats).
+struct FaultCounters {
+  std::uint64_t drops = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t retransmits = 0;
+
+  bool operator==(const FaultCounters&) const = default;
+};
+
+/// What send_reliable() settled on for one transfer.
+struct SendReceipt {
+  /// Sender's virtual time after the last attempt (backoff included).
+  support::VirtualSeconds sender_after = 0.0;
+  /// Attempts issued, first try included (1 on the clean path).
+  int attempts = 1;
 };
 
 class Fabric {
@@ -53,13 +92,34 @@ class Fabric {
   int node_count() const { return node_count_; }
   const FabricModel& model() const { return model_; }
 
+  /// Attaches (or clears, with nullptr) the fault plan consulted by
+  /// every non-exempt send. Must not race with in-flight traffic --
+  /// callers attach between runs, while the node threads are parked.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan);
+  const FaultPlan* fault_plan() const { return plan_.get(); }
+
   /// Copies `bytes` into a message for `dst`. `now_vt` is the sender's
   /// virtual time when the send is issued. Returns the sender's virtual
-  /// time after the send call (send-side overhead added).
+  /// time after the send call (send-side overhead added). With an
+  /// active fault plan the single attempt may be delivered faulted
+  /// (marked on Message::fault); use send_reliable() for retransmits.
   support::VirtualSeconds send(int src, int dst, int tag,
                                std::span<const std::byte> bytes,
                                support::VirtualSeconds now_vt,
                                SendOptions options = {});
+
+  /// Fault-tolerant send: resolves the whole retransmit exchange
+  /// analytically at send time. Every attempt the plan faults with
+  /// kDrop/kCorrupt is enqueued as a marked delivery (so the receiver
+  /// observes and counts it) followed by a clean retransmit, with the
+  /// plan's detection timeout and exponential backoff charged to the
+  /// sender's virtual time. Throws sage::CommError once
+  /// FaultPlan::max_attempts is exhausted. Without an active plan this
+  /// is exactly send().
+  SendReceipt send_reliable(int src, int dst, int tag,
+                            std::span<const std::byte> bytes,
+                            support::VirtualSeconds now_vt,
+                            SendOptions options = {});
 
   /// Blocks until a message matching (src, tag) is available for `dst`
   /// (kAnySource / kAnyTag act as wildcards). Throws sage::CommError if
@@ -76,8 +136,12 @@ class Fabric {
   std::size_t pending(int dst) const;
 
   /// Total messages and bytes ever accepted (diagnostics / benches).
+  /// Faulted attempts count too: they crossed the emulated wire.
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes() const;
+
+  /// Injected-fault totals since construction or the last reset().
+  FaultCounters fault_counters() const;
 
   /// Returns the fabric to its just-constructed state: drains every
   /// mailbox (e.g. unclaimed flow-control credits from a finished run),
@@ -92,6 +156,8 @@ class Fabric {
     int tag;
     std::vector<std::byte> payload;
     support::VirtualSeconds arrival_vt;
+    FaultKind fault = FaultKind::kNone;
+    int attempt = 0;
   };
 
   struct Mailbox {
@@ -105,12 +171,31 @@ class Fabric {
            (tag == kAnyTag || p.tag == tag);
   }
 
+  /// Next fault-eligible message index on (src, dst); feeds the plan's
+  /// counter-mode draws.
+  std::uint64_t next_link_seq_(int src, int dst);
+
+  /// Shared enqueue path: applies the fabric cost model, marks the
+  /// parcel with `outcome`, and delivers it. `extra_arrival_vt` models
+  /// fault-dependent lateness (detection timeout for drops, delay_vt
+  /// for latency spikes). Returns the sender's post-send virtual time.
+  support::VirtualSeconds enqueue_(int src, int dst, int tag,
+                                   std::span<const std::byte> bytes,
+                                   support::VirtualSeconds now_vt,
+                                   const SendOptions& options,
+                                   const FaultOutcome& outcome,
+                                   double extra_arrival_vt, int attempt);
+
   int node_count_;
   FabricModel model_;
   std::vector<Mailbox> boxes_;
+  std::shared_ptr<const FaultPlan> plan_;
   mutable std::mutex stats_mu_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
+  FaultCounters fault_counters_;
+  // Per-link fault-eligible message counters (guarded by stats_mu_).
+  std::map<std::pair<int, int>, std::uint64_t> link_seq_;
   // Contention model: per board-pair channel, the virtual time at which
   // the link becomes free (guarded by stats_mu_).
   std::map<std::pair<int, int>, double> link_free_;

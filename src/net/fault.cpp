@@ -1,0 +1,287 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace sage::net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+bool FaultPlan::node_dead(int rank) const {
+  return std::find(dead_nodes.begin(), dead_nodes.end(), rank) !=
+         dead_nodes.end();
+}
+
+FaultOutcome FaultPlan::link_outcome(int src, int dst,
+                                     std::uint64_t link_seq) const {
+  FaultOutcome outcome;
+  if (link_rules.empty()) return outcome;
+
+  // Counter-mode draws: the generator state is a hash of (seed, src,
+  // dst, link_seq), so the verdict does not depend on the host-time
+  // order in which links are exercised. One draw is consumed per
+  // probabilistic rule considered, keeping rules independent.
+  std::uint64_t state = seed;
+  state ^= 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(src + 1);
+  state ^= 0xBF58476D1CE4E5B9ull * static_cast<std::uint64_t>(dst + 1);
+  state ^= 0x94D049BB133111EBull * (link_seq + 1);
+
+  for (const LinkFaultRule& rule : link_rules) {
+    if (rule.src != -1 && rule.src != src) continue;
+    if (rule.dst != -1 && rule.dst != dst) continue;
+    bool fire = false;
+    if (rule.at_index >= 0) {
+      fire = static_cast<std::uint64_t>(rule.at_index) == link_seq;
+    }
+    if (!fire && rule.probability > 0.0) {
+      const std::uint64_t draw = support::splitmix64(state);
+      const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+      fire = u < rule.probability;
+    }
+    if (!fire) continue;
+    outcome.kind = rule.kind;
+    outcome.delay_vt = rule.delay_vt;
+    outcome.corrupt_bytes = rule.corrupt_bytes;
+    outcome.draw = support::splitmix64(state);
+    return outcome;
+  }
+  return outcome;
+}
+
+double FaultPlan::stall_vt(int node, int iteration) const {
+  double total = 0.0;
+  for (const StallRule& rule : stall_rules) {
+    if (rule.node != -1 && rule.node != node) continue;
+    if (rule.iteration != -1 && rule.iteration != iteration) continue;
+    total += rule.stall_vt;
+  }
+  return total;
+}
+
+namespace {
+
+/// Parses "a->b" / "*" / "*->b" / "a->*" into (src, dst); -1 = any.
+void parse_link(std::string_view spec, int& src, int& dst) {
+  src = dst = -1;
+  if (spec == "*") return;
+  const auto arrow = spec.find("->");
+  SAGE_CHECK_AS(ConfigError, arrow != std::string_view::npos,
+                "fault plan: bad link spec '", std::string(spec),
+                "' (want 'src->dst' or '*')");
+  const std::string_view a = spec.substr(0, arrow);
+  const std::string_view b = spec.substr(arrow + 2);
+  if (a != "*") src = static_cast<int>(support::parse_int(a));
+  if (b != "*") dst = static_cast<int>(support::parse_int(b));
+}
+
+/// Splits "key=value"; throws on missing '='.
+std::pair<std::string, std::string> key_value(const std::string& token,
+                                              int line) {
+  const auto eq = token.find('=');
+  SAGE_CHECK_AS(ConfigError, eq != std::string::npos, "fault plan line ",
+                line, ": expected key=value, got '", token, "'");
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  bool saw_header = false;
+  int line_number = 0;
+  for (const std::string& raw : support::split(text, '\n')) {
+    ++line_number;
+    std::string_view line = support::trim(raw);
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = support::trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    const std::vector<std::string> tokens = support::split_ws(line);
+    const std::string& word = tokens[0];
+
+    if (word == "fault-plan") {
+      SAGE_CHECK_AS(ConfigError,
+                    tokens.size() == 2 && support::parse_int(tokens[1]) == 1,
+                    "fault plan line ", line_number,
+                    ": unsupported version");
+      saw_header = true;
+      continue;
+    }
+    SAGE_CHECK_AS(ConfigError, saw_header, "fault plan line ", line_number,
+                  ": missing 'fault-plan 1' header");
+
+    if (word == "seed") {
+      SAGE_CHECK_AS(ConfigError, tokens.size() == 2, "fault plan line ",
+                    line_number, ": seed wants one value");
+      plan.seed = static_cast<std::uint64_t>(support::parse_int(tokens[1]));
+    } else if (word == "detect-timeout") {
+      SAGE_CHECK_AS(ConfigError, tokens.size() == 2, "fault plan line ",
+                    line_number, ": detect-timeout wants one value");
+      plan.detect_timeout_vt = support::parse_double(tokens[1]);
+      SAGE_CHECK_AS(ConfigError, plan.detect_timeout_vt >= 0,
+                    "fault plan line ", line_number,
+                    ": detect-timeout must be >= 0");
+    } else if (word == "backoff") {
+      SAGE_CHECK_AS(ConfigError, tokens.size() == 2, "fault plan line ",
+                    line_number, ": backoff wants one value");
+      plan.backoff_factor = support::parse_double(tokens[1]);
+      SAGE_CHECK_AS(ConfigError, plan.backoff_factor >= 1.0,
+                    "fault plan line ", line_number,
+                    ": backoff must be >= 1");
+    } else if (word == "max-attempts") {
+      SAGE_CHECK_AS(ConfigError, tokens.size() == 2, "fault plan line ",
+                    line_number, ": max-attempts wants one value");
+      plan.max_attempts = static_cast<int>(support::parse_int(tokens[1]));
+      SAGE_CHECK_AS(ConfigError, plan.max_attempts >= 1, "fault plan line ",
+                    line_number, ": max-attempts must be >= 1");
+    } else if (word == "drop" || word == "corrupt" || word == "delay") {
+      LinkFaultRule rule;
+      rule.kind = (word == "drop")      ? FaultKind::kDrop
+                  : (word == "corrupt") ? FaultKind::kCorrupt
+                                        : FaultKind::kDelay;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto [key, value] = key_value(tokens[i], line_number);
+        if (key == "link") {
+          parse_link(value, rule.src, rule.dst);
+        } else if (key == "p") {
+          rule.probability = support::parse_double(value);
+          SAGE_CHECK_AS(ConfigError,
+                        rule.probability >= 0 && rule.probability <= 1,
+                        "fault plan line ", line_number,
+                        ": probability outside [0, 1]");
+        } else if (key == "at") {
+          rule.at_index = support::parse_int(value);
+        } else if (key == "vt") {
+          rule.delay_vt = support::parse_double(value);
+        } else if (key == "bytes") {
+          rule.corrupt_bytes =
+              static_cast<std::size_t>(support::parse_int(value));
+          SAGE_CHECK_AS(ConfigError, rule.corrupt_bytes > 0,
+                        "fault plan line ", line_number,
+                        ": corrupt bytes must be > 0");
+        } else {
+          raise<ConfigError>("fault plan line ", line_number,
+                             ": unknown field '", key, "'");
+        }
+      }
+      SAGE_CHECK_AS(ConfigError,
+                    rule.probability > 0 || rule.at_index >= 0,
+                    "fault plan line ", line_number,
+                    ": rule needs p=... or at=...");
+      SAGE_CHECK_AS(ConfigError,
+                    rule.kind != FaultKind::kDelay || rule.delay_vt > 0,
+                    "fault plan line ", line_number,
+                    ": delay rule needs vt=...");
+      plan.link_rules.push_back(rule);
+    } else if (word == "stall") {
+      StallRule rule;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto [key, value] = key_value(tokens[i], line_number);
+        if (key == "node") {
+          rule.node = (value == "*")
+                          ? -1
+                          : static_cast<int>(support::parse_int(value));
+        } else if (key == "iter") {
+          rule.iteration = (value == "*")
+                               ? -1
+                               : static_cast<int>(support::parse_int(value));
+        } else if (key == "vt") {
+          rule.stall_vt = support::parse_double(value);
+        } else {
+          raise<ConfigError>("fault plan line ", line_number,
+                             ": unknown field '", key, "'");
+        }
+      }
+      SAGE_CHECK_AS(ConfigError, rule.stall_vt > 0, "fault plan line ",
+                    line_number, ": stall rule needs vt=...");
+      plan.stall_rules.push_back(rule);
+    } else if (word == "dead") {
+      SAGE_CHECK_AS(ConfigError, tokens.size() == 2, "fault plan line ",
+                    line_number, ": dead wants node=<rank>");
+      const auto [key, value] = key_value(tokens[1], line_number);
+      SAGE_CHECK_AS(ConfigError, key == "node", "fault plan line ",
+                    line_number, ": dead wants node=<rank>");
+      plan.dead_nodes.push_back(static_cast<int>(support::parse_int(value)));
+    } else {
+      raise<ConfigError>("fault plan line ", line_number,
+                         ": unknown directive '", word, "'");
+    }
+  }
+  SAGE_CHECK_AS(ConfigError, saw_header,
+                "fault plan: missing 'fault-plan 1' header");
+  return plan;
+}
+
+namespace {
+
+std::string link_spec(int src, int dst) {
+  if (src == -1 && dst == -1) return "*";
+  std::ostringstream os;
+  if (src == -1) {
+    os << "*";
+  } else {
+    os << src;
+  }
+  os << "->";
+  if (dst == -1) {
+    os << "*";
+  } else {
+    os << dst;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string FaultPlan::serialize() const {
+  std::ostringstream os;
+  os << "fault-plan 1\n";
+  os << "seed " << seed << "\n";
+  os << "detect-timeout " << detect_timeout_vt << "\n";
+  os << "backoff " << backoff_factor << "\n";
+  os << "max-attempts " << max_attempts << "\n";
+  for (const LinkFaultRule& rule : link_rules) {
+    os << to_string(rule.kind) << " link=" << link_spec(rule.src, rule.dst);
+    if (rule.probability > 0) os << " p=" << rule.probability;
+    if (rule.at_index >= 0) os << " at=" << rule.at_index;
+    if (rule.kind == FaultKind::kDelay) os << " vt=" << rule.delay_vt;
+    if (rule.kind == FaultKind::kCorrupt) {
+      os << " bytes=" << rule.corrupt_bytes;
+    }
+    os << "\n";
+  }
+  for (const StallRule& rule : stall_rules) {
+    os << "stall node=";
+    if (rule.node == -1) {
+      os << "*";
+    } else {
+      os << rule.node;
+    }
+    os << " iter=";
+    if (rule.iteration == -1) {
+      os << "*";
+    } else {
+      os << rule.iteration;
+    }
+    os << " vt=" << rule.stall_vt << "\n";
+  }
+  for (const int rank : dead_nodes) {
+    os << "dead node=" << rank << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sage::net

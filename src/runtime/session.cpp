@@ -55,12 +55,19 @@ struct Session::NodeState {
   std::map<std::tuple<int, int, int>, std::vector<std::byte>> logical;
   // Pack buffer for outgoing fabric messages.
   std::vector<std::byte> message_scratch;
+  // Frame buffer for the fault-mode reliable path (header + payload).
+  std::vector<std::byte> frame_scratch;
   viz::EventBuffer events;
   std::vector<std::tuple<int, int, double>> results;  // (fn, iter, value)
   std::vector<support::VirtualSeconds> iter_start;    // source nodes
   std::vector<support::VirtualSeconds> iter_end;      // sink nodes
   bool hosts_source = false;
   std::vector<int> order;  // this node's schedule (function ids)
+  // Fault-mode observations (receiver/iteration side; sender-side
+  // injection counts live on the fabric).
+  std::uint64_t observed_timeouts = 0;
+  std::uint64_t observed_corruptions = 0;
+  std::uint64_t stalls = 0;
 };
 
 namespace {
@@ -108,6 +115,53 @@ void copy_segments(const std::vector<Segment>& segments,
                 src.data() + seg.src_offset * elem_bytes,
                 seg.length * elem_bytes);
   }
+}
+
+// --- fault-mode transfer framing -------------------------------------------
+// Under an active fault plan every remote payload (data and flow-control
+// credits) travels inside a checksummed frame, so receivers can reject
+// corrupted deliveries without trusting fabric metadata: a corruption
+// whose byte flips happen to cancel leaves the payload intact and is
+// rightly accepted. Header: magic u32 | payload length u32 | FNV-1a u64.
+
+constexpr std::uint32_t kFrameMagic = 0x46454753u;  // "SGEF"
+constexpr std::size_t kFrameHeaderBytes = 16;
+
+std::uint64_t fnv1a_hash(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : data) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void build_frame(std::span<const std::byte> payload,
+                 std::vector<std::byte>& frame) {
+  frame.resize(kFrameHeaderBytes + payload.size());
+  const std::uint32_t magic = kFrameMagic;
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t checksum = fnv1a_hash(payload);
+  std::memcpy(frame.data(), &magic, sizeof magic);
+  std::memcpy(frame.data() + 4, &length, sizeof length);
+  std::memcpy(frame.data() + 8, &checksum, sizeof checksum);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+}
+
+bool frame_valid(std::span<const std::byte> frame) {
+  if (frame.size() < kFrameHeaderBytes) return false;
+  std::uint32_t magic = 0;
+  std::uint32_t length = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&magic, frame.data(), sizeof magic);
+  std::memcpy(&length, frame.data() + 4, sizeof length);
+  std::memcpy(&checksum, frame.data() + 8, sizeof checksum);
+  if (magic != kFrameMagic) return false;
+  if (length != frame.size() - kFrameHeaderBytes) return false;
+  return fnv1a_hash(frame.subspan(kFrameHeaderBytes)) == checksum;
 }
 
 }  // namespace
@@ -165,8 +219,16 @@ Session::Session(GlueConfig config, const FunctionRegistry& registry,
                                               options_.cpu_scales);
   }
 
+  allocate_states_();
+
+  machine_->start();
+}
+
+void Session::allocate_states_() {
   // Pre-allocate every staging buffer and the logical-buffer pool, so
-  // warm runs reuse memory instead of reallocating it.
+  // warm runs reuse memory instead of reallocating it. Also called by
+  // recover(), which changes thread->node placements.
+  states_.clear();
   states_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int r = 0; r < config_.nodes; ++r) {
     auto state = std::make_unique<NodeState>(r);
@@ -203,8 +265,77 @@ Session::Session(GlueConfig config, const FunctionRegistry& registry,
       }
     }
   }
+}
 
-  machine_->start();
+RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
+  SAGE_CHECK_AS(RuntimeError, !closed(),
+                "Session::recover on a closed session");
+  RecoveryReport report;
+  for (const int rank : dead_ranks) {
+    SAGE_CHECK_AS(RuntimeError, rank >= 0 && rank < config_.nodes,
+                  "recover: rank ", rank, " outside machine of ",
+                  config_.nodes, " nodes");
+    if (std::find(dead_nodes_.begin(), dead_nodes_.end(), rank) ==
+        dead_nodes_.end()) {
+      dead_nodes_.push_back(rank);
+      report.dead_nodes.push_back(rank);
+    }
+  }
+  if (report.dead_nodes.empty()) return report;  // idempotent per rank
+  std::sort(dead_nodes_.begin(), dead_nodes_.end());
+  std::sort(report.dead_nodes.begin(), report.dead_nodes.end());
+  SAGE_CHECK_AS(RuntimeError,
+                static_cast<int>(dead_nodes_.size()) < config_.nodes,
+                "recover: no surviving node left");
+
+  const auto is_dead = [&](int rank) {
+    return std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), rank);
+  };
+
+  // Deterministic greedy remap: move each stranded thread, in function-id
+  // then thread order, to the survivor with the fewest assigned threads
+  // (ties to the lowest rank). Mirrors the atot greedy mapper's
+  // tie-breaking so remapped placements stay reproducible.
+  std::vector<int> load(static_cast<std::size_t>(config_.nodes), 0);
+  for (const FunctionConfig& fn : config_.functions) {
+    for (const int node : fn.thread_nodes) {
+      if (!is_dead(node)) ++load[static_cast<std::size_t>(node)];
+    }
+  }
+  for (FunctionConfig& fn : config_.functions) {
+    for (int& node : fn.thread_nodes) {
+      if (!is_dead(node)) continue;
+      int best = -1;
+      for (int r = 0; r < config_.nodes; ++r) {
+        if (is_dead(r)) continue;
+        if (best == -1 || load[static_cast<std::size_t>(r)] <
+                              load[static_cast<std::size_t>(best)]) {
+          best = r;
+        }
+      }
+      node = best;
+      ++load[static_cast<std::size_t>(best)];
+      ++report.moved_threads;
+    }
+  }
+
+  // Rebuild the per-node schedules the way the code generator emits
+  // them: function-table ids in id order, filtered to the node.
+  config_.schedule.clear();
+  for (int r = 0; r < config_.nodes; ++r) {
+    std::vector<int> order;
+    for (const FunctionConfig& fn : config_.functions) {
+      if (std::find(fn.thread_nodes.begin(), fn.thread_nodes.end(), r) !=
+          fn.thread_nodes.end()) {
+        order.push_back(fn.id);
+      }
+    }
+    if (!order.empty()) config_.schedule[r] = std::move(order);
+  }
+  config_.validate();
+  allocate_states_();
+  pending_recoveries_.push_back(report);
+  return report;
 }
 
 Session::~Session() = default;
@@ -232,6 +363,9 @@ void Session::reset_between_runs_() {
     state->results.clear();
     state->iter_start.clear();
     state->iter_end.clear();
+    state->observed_timeouts = 0;
+    state->observed_corruptions = 0;
+    state->stalls = 0;
     // Staging starts zeroed on a cold run (vector value-init); match it
     // so a kernel that reads-before-write sees identical bytes.
     for (auto& [key, storage] : state->staging) {
@@ -252,8 +386,38 @@ RunStats Session::run(const RunRequest& request) {
   run_iterations_ = iterations;
   run_policy_ = request.buffer_policy.value_or(options_.buffer_policy);
   run_trace_ = request.collect_trace.value_or(options_.collect_trace);
+  run_plan_ = request.fault_plan.value_or(options_.fault_plan);
+  const bool faulty = run_plan_ != nullptr && run_plan_->active();
+
+  // A plan naming dead nodes runs degraded: remap before dispatch
+  // (idempotent -- already-applied ranks are skipped).
+  if (faulty && !run_plan_->dead_nodes.empty()) {
+    recover(run_plan_->dead_nodes);
+  }
 
   reset_between_runs_();
+  // An inactive plan must leave the fabric on the exact fault-free code
+  // path (bit-identical contract), so only an active plan is attached.
+  machine_->fabric().set_fault_plan(faulty ? run_plan_ : nullptr);
+
+  // Surface recoveries applied since the last run on this run's trace.
+  if (run_trace_) {
+    for (const RecoveryReport& recovery : pending_recoveries_) {
+      for (int r = 0; r < config_.nodes; ++r) {
+        if (std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), r)) {
+          continue;
+        }
+        viz::Event e;
+        e.kind = viz::EventKind::kRecovery;
+        e.label = "recover: moved " +
+                  std::to_string(recovery.moved_threads) + " threads off " +
+                  std::to_string(recovery.dead_nodes.size()) + " dead nodes";
+        states_[static_cast<std::size_t>(r)]->events.record(e);
+        break;  // one event, attributed to the lowest surviving rank
+      }
+    }
+  }
+  pending_recoveries_.clear();
 
   const net::MachineReport report =
       machine_->run([this](net::NodeContext& node) { node_program_(node); });
@@ -264,6 +428,18 @@ RunStats Session::run(const RunRequest& request) {
   stats.makespan = report.makespan();
   stats.fabric_messages = machine_->fabric().total_messages();
   stats.fabric_bytes = machine_->fabric().total_bytes();
+
+  const net::FaultCounters fault_counters = machine_->fabric().fault_counters();
+  stats.faults.injected_drops = fault_counters.drops;
+  stats.faults.injected_corruptions = fault_counters.corruptions;
+  stats.faults.injected_delays = fault_counters.delays;
+  stats.faults.retries = fault_counters.retransmits;
+  for (const auto& state : states_) {
+    stats.faults.timeouts += state->observed_timeouts;
+    stats.faults.corruptions_detected += state->observed_corruptions;
+    stats.faults.stalls += state->stalls;
+  }
+  stats.faults.degraded_nodes = static_cast<int>(dead_nodes_.size());
 
   // Latency: min source start / max sink end per iteration.
   std::vector<double> starts(static_cast<std::size_t>(iterations), 0.0);
@@ -367,7 +543,110 @@ void Session::node_program_(net::NodeContext& node) {
 
   std::vector<std::byte>& message_scratch = state.message_scratch;
 
+  // Fault mode: with an active plan, every remote transfer (data and
+  // flow-control credits) switches from the mpi layer to framed
+  // reliable fabric exchanges. The happy path below is untouched when
+  // `faulty` is false -- that is the bit-identical contract.
+  const net::FaultPlan* plan = run_plan_.get();
+  const bool faulty = plan != nullptr && plan->active();
+  net::Fabric& fabric = node.fabric();
+
+  const auto record_fault = [&](int fn_id, int t, int iter, double start_vt,
+                                std::uint64_t bytes, std::string label) {
+    if (!trace) return;
+    viz::Event e;
+    e.kind = viz::EventKind::kFault;
+    e.function_id = fn_id;
+    e.thread = t;
+    e.iteration = iter;
+    e.start_vt = start_vt;
+    e.end_vt = node.now();
+    e.bytes = bytes;
+    e.label = std::move(label);
+    state.events.record(e);
+  };
+
+  /// Reliable framed send (fault mode only). The fabric resolves the
+  /// whole retransmit exchange; the sender's clock joins the post-ARQ
+  /// time and each retransmit is surfaced as a kRetry event.
+  const auto send_framed = [&](int dst_node, int tag,
+                               std::span<const std::byte> payload, int fn_id,
+                               int t, int iter, const std::string& label) {
+    {
+      support::ComputeScope scope(node.clock(), node.cpu_scale());
+      build_frame(payload, state.frame_scratch);
+    }
+    const double t_before = node.now();
+    const net::SendReceipt receipt = fabric.send_reliable(
+        rank, dst_node, tag, state.frame_scratch, node.now());
+    node.clock().join(receipt.sender_after);
+    if (trace) {
+      for (int attempt = 1; attempt < receipt.attempts; ++attempt) {
+        viz::Event e;
+        e.kind = viz::EventKind::kRetry;
+        e.function_id = fn_id;
+        e.thread = t;
+        e.iteration = iter;
+        e.start_vt = t_before;
+        e.end_vt = node.now();
+        e.bytes = payload.size();
+        e.label = label;
+        state.events.record(e);
+      }
+    }
+  };
+
+  /// Reliable framed receive (fault mode only): consumes deliveries in
+  /// arrival order, counting drop tombstones (loss-detection timeouts)
+  /// and rejecting invalid frames until a clean one lands. The frame
+  /// checksum -- not the fabric's fault flag -- is the integrity oracle,
+  /// so corruption whose flips cancel is rightly accepted.
+  const auto recv_framed = [&](int src_node, int tag, int fn_id, int t,
+                               int iter,
+                               const std::string& label) -> std::vector<std::byte> {
+    for (;;) {
+      const double t_before = node.now();
+      net::Message msg =
+          fabric.recv(rank, src_node, tag, options_.recv_timeout_s);
+      node.clock().join(msg.arrival_vt);
+      if (msg.fault == net::FaultKind::kDrop) {
+        ++state.observed_timeouts;
+        record_fault(fn_id, t, iter, t_before, 0, label + " [timeout]");
+        continue;
+      }
+      bool valid = false;
+      {
+        support::ComputeScope scope(node.clock(), node.cpu_scale());
+        valid = frame_valid(msg.payload);
+      }
+      if (!valid) {
+        ++state.observed_corruptions;
+        record_fault(fn_id, t, iter, t_before, msg.payload.size(),
+                     label + " [corrupt]");
+        continue;
+      }
+      if (msg.fault == net::FaultKind::kDelay) {
+        record_fault(fn_id, t, iter, t_before, msg.payload.size(),
+                     label + " [delay]");
+      }
+      msg.payload.erase(msg.payload.begin(),
+                        msg.payload.begin() + kFrameHeaderBytes);
+      return std::move(msg.payload);
+    }
+  };
+
   for (int iter = 0; iter < iterations; ++iter) {
+    if (faulty) {
+      // Modeled node hiccup entering this iteration (thermal event,
+      // competing load, GC pause on the emulated host...).
+      const double stall = plan->stall_vt(rank, iter);
+      if (stall > 0) {
+        const double t_before = node.now();
+        node.clock().advance(stall);
+        ++state.stalls;
+        record_fault(-1, 0, iter, t_before, 0, "stall");
+      }
+    }
     if (state.hosts_source) {
       state.iter_start.push_back(node.now());
       if (trace) {
@@ -402,7 +681,8 @@ void Session::node_program_(net::NodeContext& node) {
                 transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
             const double t_before = node.now();
             std::vector<std::byte> payload =
-                comm.recv_any_bytes(src_node, tag);
+                faulty ? recv_framed(src_node, tag, fn_id, t, iter, buf.label)
+                       : comm.recv_any_bytes(src_node, tag);
             if (trace) {
               viz::Event e;
               e.kind = viz::EventKind::kReceive;
@@ -432,8 +712,13 @@ void Session::node_program_(net::NodeContext& node) {
             if (buffer_depth > 0) {
               // Flow control: return a credit for the drained slot.
               const std::byte credit{};
-              comm.send_bytes(std::span<const std::byte>(&credit, 1),
-                              src_node, tag);
+              const std::span<const std::byte> credit_span(&credit, 1);
+              if (faulty) {
+                send_framed(src_node, tag, credit_span, fn_id, t, iter,
+                            buf.label + " credit");
+              } else {
+                comm.send_bytes(credit_span, src_node, tag);
+              }
             }
           }
         }
@@ -542,9 +827,14 @@ void Session::node_program_(net::NodeContext& node) {
               if (buffer_depth > 0 && iter >= buffer_depth) {
                 // Wait for a free physical-buffer slot (credit from
                 // the consumer for iteration iter - depth).
-                std::byte credit{};
-                comm.recv_bytes(std::span<std::byte>(&credit, 1), dst_node,
-                                tag);
+                if (faulty) {
+                  (void)recv_framed(dst_node, tag, fn_id, t, iter,
+                                    buf.label + " credit");
+                } else {
+                  std::byte credit{};
+                  comm.recv_bytes(std::span<std::byte>(&credit, 1), dst_node,
+                                  tag);
+                }
               }
               const double t_before = node.now();
               message_scratch.resize(bytes);
@@ -562,7 +852,12 @@ void Session::node_program_(net::NodeContext& node) {
                                 message_scratch);
                 }
               }
-              comm.send_bytes(message_scratch, dst_node, tag);
+              if (faulty) {
+                send_framed(dst_node, tag, message_scratch, fn_id, t, iter,
+                            buf.label);
+              } else {
+                comm.send_bytes(message_scratch, dst_node, tag);
+              }
               if (trace) {
                 viz::Event e;
                 e.kind = viz::EventKind::kSend;

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/machine.hpp"
 #include "runtime/glue_config.hpp"
 #include "runtime/registry.hpp"
@@ -75,6 +76,38 @@ struct ExecuteOptions {
   /// schedule). Models the finite physical buffers the paper's runtime
   /// allocated per logical buffer.
   int buffer_depth = 0;
+  /// Deterministic fault schedule (see net/fault.hpp). nullptr or an
+  /// empty (inactive) plan leaves every run bit-identical to today's
+  /// fault-free path. An active plan switches remote transfers --
+  /// including flow-control credits -- onto the framed reliable path
+  /// (checksummed frames, per-transfer loss detection, bounded
+  /// retransmits with exponential virtual-time backoff); plans naming
+  /// dead nodes trigger a degraded-mode remap before the run (see
+  /// Session::recover()).
+  std::shared_ptr<const net::FaultPlan> fault_plan;
+};
+
+/// Fault-injection and recovery counters for one run. All counters are
+/// deterministic for a given (config, plan, seed): they depend only on
+/// the plan's counter-mode draws and the per-link message order, never
+/// on host timing.
+struct FaultStats {
+  /// Faults injected by the fabric (sender side).
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_corruptions = 0;
+  std::uint64_t injected_delays = 0;
+  /// Retransmit attempts issued after a detected loss/corruption.
+  std::uint64_t retries = 0;
+  /// Loss-detection timeouts waited out by receivers (drop tombstones).
+  std::uint64_t timeouts = 0;
+  /// Frames rejected by receivers (corruption caught by checksum/flag).
+  std::uint64_t corruptions_detected = 0;
+  /// Modeled node stalls applied at iteration boundaries.
+  std::uint64_t stalls = 0;
+  /// Nodes the session is running without (degraded mode).
+  int degraded_nodes = 0;
+
+  bool operator==(const FaultStats&) const = default;
 };
 
 struct RunStats {
@@ -98,6 +131,9 @@ struct RunStats {
   /// warm-run comparison the bench harness reports. Virtual time is
   /// unaffected.
   double host_seconds = 0.0;
+  /// Fault-injection and recovery counters (all zero without an active
+  /// fault plan).
+  FaultStats faults;
 
   support::VirtualSeconds mean_latency() const;
 };
@@ -109,6 +145,17 @@ struct RunRequest {
   int iterations = 0;
   std::optional<BufferPolicy> buffer_policy;
   std::optional<bool> collect_trace;
+  /// Per-run fault plan; unset inherits the session's plan, an explicit
+  /// nullptr disables faults for this run.
+  std::optional<std::shared_ptr<const net::FaultPlan>> fault_plan;
+};
+
+/// What Session::recover() did.
+struct RecoveryReport {
+  /// Ranks excluded by this recovery call.
+  std::vector<int> dead_nodes;
+  /// Function threads moved off dead nodes onto survivors.
+  int moved_threads = 0;
 };
 
 /// A persistent execution context over the emulated machine. Thread
@@ -145,6 +192,20 @@ class Session {
   /// Number of completed runs since construction.
   int runs_completed() const { return runs_completed_; }
 
+  /// Degraded-mode recovery: marks `dead_ranks` dead and deterministically
+  /// moves every function thread mapped there onto the least-loaded
+  /// surviving node (ties to the lowest rank), rebuilds the per-node
+  /// schedules in function-id order (matching the code generator's
+  /// emission), revalidates the config, and reallocates node-local
+  /// buffers. The emulated machine keeps its size; dead nodes simply
+  /// receive no work. Idempotent per rank; throws sage::RuntimeError if
+  /// no survivor would remain. Runs whose fault plan names dead nodes
+  /// invoke this automatically.
+  RecoveryReport recover(const std::vector<int>& dead_ranks);
+
+  /// Ranks currently excluded by recover() (sorted).
+  const std::vector<int>& dead_nodes() const { return dead_nodes_; }
+
   /// Parks down the emulated machine (joins node threads). Further run()
   /// calls throw sage::RuntimeError. Idempotent; the destructor closes
   /// implicitly.
@@ -157,6 +218,7 @@ class Session {
 
   void node_program_(net::NodeContext& node);
   void reset_between_runs_();
+  void allocate_states_();
 
   GlueConfig config_;
   ExecuteOptions options_;
@@ -174,6 +236,12 @@ class Session {
   int run_iterations_ = 0;
   BufferPolicy run_policy_ = BufferPolicy::kUniquePerFunction;
   bool run_trace_ = true;
+  std::shared_ptr<const net::FaultPlan> run_plan_;
+
+  // Degraded-mode state: ranks excluded by recover(), and a pending
+  // report to surface as kRecovery trace events on the next run.
+  std::vector<int> dead_nodes_;
+  std::vector<RecoveryReport> pending_recoveries_;
 
   int runs_completed_ = 0;
 };

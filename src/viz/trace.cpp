@@ -18,6 +18,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kIterationStart: return "iteration_start";
     case EventKind::kIterationEnd: return "iteration_end";
     case EventKind::kMarker: return "marker";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -72,7 +75,8 @@ EventKind kind_from_string(std::string_view s) {
        {EventKind::kFunctionStart, EventKind::kFunctionEnd, EventKind::kSend,
         EventKind::kReceive, EventKind::kBufferCopy,
         EventKind::kIterationStart, EventKind::kIterationEnd,
-        EventKind::kMarker}) {
+        EventKind::kMarker, EventKind::kFault, EventKind::kRetry,
+        EventKind::kRecovery}) {
     if (s == to_string(kind)) return kind;
   }
   raise("unknown trace event kind '", std::string(s), "'");

@@ -27,6 +27,9 @@ enum class EventKind : std::uint8_t {
   kIterationStart,
   kIterationEnd,
   kMarker,
+  kFault,     // injected fault observed (drop/corrupt/delay/stall)
+  kRetry,     // retransmit issued after a detected loss/corruption
+  kRecovery,  // degraded-mode remap (dead node, work moved to survivors)
 };
 
 const char* to_string(EventKind kind);

@@ -1,0 +1,236 @@
+// Golden-file tests pinning the Alter glue-code generator's output --
+// the function table and logical buffer definitions (glue.cfg and the
+// illustrative glue.c) -- for the quickstart and radar example
+// pipelines. Any intentional change to the generator's emission must be
+// reviewed by regenerating the goldens:
+//
+//   SAGE_UPDATE_GOLDEN=1 ./build/tests/codegen_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/generator.hpp"
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/mapping.hpp"
+#include "support/error.hpp"
+
+#ifndef SAGE_GOLDEN_DIR
+#error "SAGE_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace sage {
+namespace {
+
+using model::ModelObject;
+
+/// The quickstart example's design: src -> row FFT -> sink on a 256x256
+/// complex matrix, four nodes, one thread of each function per node.
+std::unique_ptr<model::Workspace> make_quickstart_workspace() {
+  auto workspace = std::make_unique<model::Workspace>("quickstart");
+  ModelObject& root = workspace->root();
+  model::add_cspi_platform(root, 4);
+
+  ModelObject& app = model::add_application(root, "quickstart_app");
+  const std::vector<std::size_t> dims{256, 256};
+
+  ModelObject& src = model::add_function(app, "src", "matrix_source", 4);
+  src.set_property("role", "source");
+  model::add_port(src, "out", model::PortDirection::kOut,
+                  model::Striping::kStriped, "cfloat", dims, 0);
+
+  ModelObject& fft =
+      model::add_function(app, "fft", "isspl.fft_rows", 4, 256 * 256 * 10.0);
+  model::add_port(fft, "in", model::PortDirection::kIn,
+                  model::Striping::kStriped, "cfloat", dims, 0);
+  model::add_port(fft, "out", model::PortDirection::kOut,
+                  model::Striping::kStriped, "cfloat", dims, 0);
+
+  ModelObject& sink = model::add_function(app, "sink", "matrix_sink", 4);
+  sink.set_property("role", "sink");
+  model::add_port(sink, "in", model::PortDirection::kIn,
+                  model::Striping::kStriped, "cfloat", dims, 0);
+
+  model::connect(app, "src.out", "fft.in");
+  model::connect(app, "fft.out", "sink.in");
+
+  ModelObject& mapping = model::add_mapping(root, "mapping", "cspi");
+  for (const char* fn : {"src", "fft", "sink"}) {
+    model::assign_ranks(root, mapping, fn, {0, 1, 2, 3});
+  }
+  return workspace;
+}
+
+/// The radar example's design: the eight-stage range-Doppler chain on a
+/// 256x512 pulse cube over eight nodes, corner turn via port striping.
+std::unique_ptr<model::Workspace> make_radar_workspace() {
+  constexpr std::size_t kPulses = 256;
+  constexpr std::size_t kRange = 512;
+  constexpr int kNodes = 8;
+
+  auto workspace = std::make_unique<model::Workspace>("radar");
+  ModelObject& root = workspace->root();
+  model::add_cspi_platform(root, kNodes);
+
+  ModelObject& app = model::add_application(root, "range_doppler");
+  const std::vector<std::size_t> cube{kPulses, kRange};
+  const std::vector<std::size_t> turned{kRange, kPulses};
+
+  auto add_stage = [&](const char* name, const char* kernel,
+                       const char* in_type, const char* out_type,
+                       std::vector<std::size_t> in_dims,
+                       std::vector<std::size_t> out_dims, int in_stripe_dim,
+                       int out_stripe_dim, double work) -> ModelObject& {
+    ModelObject& fn = model::add_function(app, name, kernel, kNodes, work);
+    model::add_port(fn, "in", model::PortDirection::kIn,
+                    model::Striping::kStriped, in_type, std::move(in_dims),
+                    in_stripe_dim);
+    model::add_port(fn, "out", model::PortDirection::kOut,
+                    model::Striping::kStriped, out_type, std::move(out_dims),
+                    out_stripe_dim);
+    return fn;
+  };
+
+  ModelObject& src = model::add_function(app, "pulses", "matrix_source",
+                                         kNodes);
+  src.set_property("role", "source");
+  model::add_port(src, "out", model::PortDirection::kOut,
+                  model::Striping::kStriped, "cfloat", cube, 0);
+
+  ModelObject& window =
+      add_stage("window", "isspl.window_rows", "cfloat", "cfloat", cube, cube,
+                0, 0, kPulses * kRange * 2.0);
+  window.set_property("param_window", 2.0);
+
+  add_stage("range_fft", "isspl.fft_rows", "cfloat", "cfloat", cube, cube, 0,
+            0, kPulses * kRange * 10.0);
+  add_stage("corner_turn", "isspl.corner_turn_local", "cfloat", "cfloat",
+            cube, turned, 1, 0, kPulses * kRange * 1.0);
+  add_stage("doppler_fft", "isspl.fft_rows", "cfloat", "cfloat", turned,
+            turned, 0, 0, kPulses * kRange * 10.0);
+  add_stage("magnitude", "isspl.magnitude", "cfloat", "float", turned, turned,
+            0, 0, kPulses * kRange * 2.0);
+
+  ModelObject& threshold =
+      add_stage("threshold", "isspl.threshold", "float", "float", turned,
+                turned, 0, 0, kPulses * kRange * 1.0);
+  threshold.set_property("param_cutoff", 40.0);
+
+  ModelObject& sink =
+      model::add_function(app, "detections", "float_sink", kNodes);
+  sink.set_property("role", "sink");
+  model::add_port(sink, "in", model::PortDirection::kIn,
+                  model::Striping::kStriped, "float", turned, 0);
+
+  model::connect(app, "pulses.out", "window.in");
+  model::connect(app, "window.out", "range_fft.in");
+  model::connect(app, "range_fft.out", "corner_turn.in");
+  model::connect(app, "corner_turn.out", "doppler_fft.in");
+  model::connect(app, "doppler_fft.out", "magnitude.in");
+  model::connect(app, "magnitude.out", "threshold.in");
+  model::connect(app, "threshold.out", "detections.in");
+
+  ModelObject& mapping = model::add_mapping(root, "mapping", "cspi");
+  std::vector<int> ranks;
+  for (int r = 0; r < kNodes; ++r) ranks.push_back(r);
+  for (const char* fn : {"pulses", "window", "range_fft", "corner_turn",
+                         "doppler_fft", "magnitude", "threshold",
+                         "detections"}) {
+    model::assign_ranks(root, mapping, fn, ranks);
+  }
+  return workspace;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(SAGE_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SAGE_CHECK(in.good(), "cannot read golden file ", path,
+             " (set SAGE_UPDATE_GOLDEN=1 to (re)generate)");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool update_goldens() {
+  const char* env = std::getenv("SAGE_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// Compares `actual` against the committed golden, or rewrites the
+/// golden when SAGE_UPDATE_GOLDEN is set. Diffs are reported line by
+/// line so a generator change is reviewable from the test log.
+void expect_matches_golden(const std::string& actual,
+                           const std::string& name) {
+  const std::string path = golden_path(name);
+  if (update_goldens()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "updated golden " << path;
+    return;
+  }
+  const std::string expected = read_file(path);
+  if (actual == expected) return;
+
+  std::istringstream actual_lines(actual);
+  std::istringstream expected_lines(expected);
+  std::string a;
+  std::string e;
+  int line = 0;
+  while (true) {
+    const bool have_a = static_cast<bool>(std::getline(actual_lines, a));
+    const bool have_e = static_cast<bool>(std::getline(expected_lines, e));
+    ++line;
+    if (!have_a && !have_e) break;
+    if (!have_a || !have_e || a != e) {
+      ADD_FAILURE() << name << " diverges from golden at line " << line
+                    << "\n  golden: " << (have_e ? e : "<end of file>")
+                    << "\n  actual: " << (have_a ? a : "<end of file>");
+      return;
+    }
+  }
+  ADD_FAILURE() << name << " differs from golden (whitespace-only change?)";
+}
+
+TEST(CodegenGoldenTest, QuickstartGlueConfig) {
+  auto ws = make_quickstart_workspace();
+  const codegen::GeneratedArtifacts artifacts = codegen::generate_glue(*ws);
+  expect_matches_golden(artifacts.glue_config_text(), "quickstart_glue.cfg");
+}
+
+TEST(CodegenGoldenTest, QuickstartGlueSource) {
+  auto ws = make_quickstart_workspace();
+  const codegen::GeneratedArtifacts artifacts = codegen::generate_glue(*ws);
+  expect_matches_golden(artifacts.glue_source_text(), "quickstart_glue.c");
+}
+
+TEST(CodegenGoldenTest, RadarGlueConfig) {
+  auto ws = make_radar_workspace();
+  const codegen::GeneratedArtifacts artifacts = codegen::generate_glue(*ws);
+  expect_matches_golden(artifacts.glue_config_text(), "radar_glue.cfg");
+}
+
+TEST(CodegenGoldenTest, RadarGlueSource) {
+  auto ws = make_radar_workspace();
+  const codegen::GeneratedArtifacts artifacts = codegen::generate_glue(*ws);
+  expect_matches_golden(artifacts.glue_source_text(), "radar_glue.c");
+}
+
+TEST(CodegenGoldenTest, GenerationIsDeterministic) {
+  auto a = make_radar_workspace();
+  auto b = make_radar_workspace();
+  const codegen::GeneratedArtifacts first = codegen::generate_glue(*a);
+  const codegen::GeneratedArtifacts second = codegen::generate_glue(*b);
+  EXPECT_EQ(first.outputs, second.outputs);
+}
+
+}  // namespace
+}  // namespace sage

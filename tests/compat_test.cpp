@@ -1,0 +1,65 @@
+// Compatibility pins for the deprecated PR-1 surface: the
+// runtime::EngineOptions and core::ExecuteOptions aliases, the
+// boolean-trap Project::generate(bool), and the one-shot Engine wrapper
+// over Session. These must keep compiling and keep their cold-run
+// equivalence until the aliases are removed.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "apps/benchmarks.hpp"
+#include "core/project.hpp"
+#include "runtime/engine.hpp"
+
+// The whole point of this file is to exercise deprecated names.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace sage {
+namespace {
+
+TEST(CompatTest, DeprecatedOptionAliasesAreTheUnifiedStruct) {
+  static_assert(
+      std::is_same_v<runtime::EngineOptions, runtime::ExecuteOptions>);
+  static_assert(std::is_same_v<core::ExecuteOptions, runtime::ExecuteOptions>);
+
+  // Old-style call sites spell the options through the aliases and pass
+  // them anywhere the unified struct is accepted.
+  runtime::EngineOptions engine_options;
+  engine_options.iterations = 2;
+  core::ExecuteOptions core_options = engine_options;
+  EXPECT_EQ(core_options.iterations, 2);
+}
+
+TEST(CompatTest, EngineWrapperMatchesSessionRuns) {
+  core::Project project(apps::make_cornerturn_workspace(64, 4));
+  runtime::ExecuteOptions options;
+  options.iterations = 2;
+  const runtime::RunStats direct = project.execute(options);
+
+  runtime::Engine engine(project.generate().config,
+                         project.registry(), options);
+  EXPECT_EQ(engine.options().iterations, 2);
+  EXPECT_EQ(engine.config().nodes, project.generate().config.nodes);
+
+  const runtime::RunStats first = engine.run();
+  EXPECT_EQ(first.results, direct.results);
+  EXPECT_EQ(first.fabric_messages, direct.fabric_messages);
+  EXPECT_EQ(first.fabric_bytes, direct.fabric_bytes);
+
+  // Repeated Engine::run() stays cold-equivalent.
+  const runtime::RunStats second = engine.run();
+  EXPECT_EQ(second.results, first.results);
+  EXPECT_EQ(second.fabric_messages, first.fabric_messages);
+}
+
+TEST(CompatTest, DeprecatedForceGenerateStillRegenerates) {
+  core::Project project(apps::make_cornerturn_workspace(32, 2));
+  const std::string before = project.generate().glue_config_text();
+  const std::string after = project.generate(true).glue_config_text();
+  EXPECT_EQ(after, before);  // same model -> same glue, regenerated
+}
+
+}  // namespace
+}  // namespace sage

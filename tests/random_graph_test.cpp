@@ -6,8 +6,11 @@
 // Also covers fan-out/fan-in (diamond) topologies.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "codegen/generator.hpp"
 #include "core/project.hpp"
+#include "net/fault.hpp"
 #include "model/app.hpp"
 #include "model/hardware.hpp"
 #include "model/mapping.hpp"
@@ -142,6 +145,18 @@ TEST_P(RandomChainTest, IdentityChainDeliversEveryElement) {
         << "seed " << GetParam() << " nodes " << nodes << " stages "
         << stages;
   }
+
+  // Bit-identity contract: the same graph run with an inactive (zero
+  // fault) FaultPlan attached takes the exact unfaulted code path and
+  // must reproduce the baseline checksums and fabric totals.
+  runtime::ExecuteOptions with_plan = options;
+  with_plan.fault_plan = std::make_shared<const net::FaultPlan>();
+  const runtime::RunStats planned = project.execute(with_plan);
+  EXPECT_EQ(planned.results, stats.results)
+      << "zero-fault plan changed results, seed " << GetParam();
+  EXPECT_EQ(planned.fabric_messages, stats.fabric_messages);
+  EXPECT_EQ(planned.fabric_bytes, stats.fabric_bytes);
+  EXPECT_EQ(planned.faults, runtime::FaultStats());
 }
 
 TEST(DiamondTest, FanOutAndJoinSumTwice) {

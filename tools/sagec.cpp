@@ -14,9 +14,12 @@
 //       run the Alter glue-code generator; write glue.cfg and glue.c
 //   sagec run <model-file> [-i iterations] [-r runs]
 //             [--policy unique|shared] [--depth d] [--trace file.json]
+//             [--fault-plan plan.txt] [--fault-seed N]
 //       generate and execute on the emulated platform through a warm
 //       run-time session (-r repeats the run warm); print the
-//       Visualizer summary and host cost
+//       Visualizer summary and host cost. --fault-plan attaches a
+//       deterministic fault schedule (see net/fault.hpp for the
+//       format); --fault-seed overrides the plan's seed.
 //   sagec alter <script.alt> [-m model-file] [-o dir]
 //       run an Alter program (optionally against a model); print its
 //       (print ...) log and write its emit streams
@@ -51,7 +54,8 @@ using namespace sage;
                "  map <model-file> [-o file]\n"
                "  generate <model-file> [-o dir]\n"
                "  run <model-file> [-i iters] [-r runs] [--policy unique|shared]"
-               " [--depth d] [--trace file.json]\n"
+               " [--depth d] [--trace file.json]"
+               " [--fault-plan plan.txt] [--fault-seed N]\n"
                "  alter <script.alt> [-m model-file] [-o dir]\n"
                "  analyze <trace.csv> [--latency-bound ms]\n");
   std::exit(2);
@@ -228,6 +232,14 @@ int cmd_run(const Args& args) {
                               : runtime::BufferPolicy::kUniquePerFunction;
   const int runs = std::stoi(args.flag_or("r", "1"));
 
+  const std::string plan_path = args.flag_or("fault-plan", "");
+  if (!plan_path.empty()) {
+    net::FaultPlan plan = net::FaultPlan::parse(read_file(plan_path));
+    const std::string seed = args.flag_or("fault-seed", "");
+    if (!seed.empty()) plan.seed = std::stoull(seed);
+    options.fault_plan = std::make_shared<const net::FaultPlan>(std::move(plan));
+  }
+
   // One warm session serves every run; the first run carries the cold
   // host cost, later runs reuse the machine and buffer pool.
   auto session = project.open_session(options);
@@ -247,6 +259,23 @@ int cmd_run(const Args& args) {
   for (const auto& [fn, series] : stats.results) {
     std::printf("result[%s]:", fn.c_str());
     for (double v : series) std::printf(" %.4f", v);
+    std::printf("\n");
+  }
+  if (options.fault_plan != nullptr) {
+    const runtime::FaultStats& f = stats.faults;
+    std::printf("faults:       %llu drops, %llu corruptions, %llu delays"
+                " injected; %llu retries, %llu timeouts, %llu corrupt"
+                " frames detected, %llu stalls",
+                static_cast<unsigned long long>(f.injected_drops),
+                static_cast<unsigned long long>(f.injected_corruptions),
+                static_cast<unsigned long long>(f.injected_delays),
+                static_cast<unsigned long long>(f.retries),
+                static_cast<unsigned long long>(f.timeouts),
+                static_cast<unsigned long long>(f.corruptions_detected),
+                static_cast<unsigned long long>(f.stalls));
+    if (f.degraded_nodes > 0) {
+      std::printf("; degraded (%d dead nodes)", f.degraded_nodes);
+    }
     std::printf("\n");
   }
   std::printf("%s", viz::summary_report(stats.trace).c_str());
