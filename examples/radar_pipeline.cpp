@@ -123,8 +123,9 @@ int main() {
   std::printf("\n\n%s", viz::summary_report(stats.trace).c_str());
 
   // The Visualizer's bottleneck finder, as the paper describes using it.
-  const viz::FunctionStats bn = viz::bottleneck(stats.trace);
-  std::printf("\nbottleneck stage: %s (%.3f ms total)\n", bn.name.c_str(),
-              bn.total_time * 1e3);
+  if (const auto bn = viz::bottleneck(stats.trace)) {
+    std::printf("\nbottleneck stage: %s (%.3f ms total)\n", bn->name.c_str(),
+                bn->total_time * 1e3);
+  }
   return 0;
 }

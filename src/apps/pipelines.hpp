@@ -1,0 +1,29 @@
+// openSAGE -- the two tutorial pipelines (the quickstart FFT chain and
+// the range-Doppler radar chain) as reusable workspace builders, so the
+// CLI (`sagec demo quickstart|radar`, `sagec stats`) and the tests can
+// instantiate them without duplicating the examples' model-building
+// code. The examples stay standalone as narrated tutorials.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "model/workspace.hpp"
+
+namespace sage::apps {
+
+/// Quickstart pipeline: src -> row FFT -> sink over an n x n complex
+/// matrix, one thread of every function per node.
+std::unique_ptr<model::Workspace> make_quickstart_workspace(
+    std::size_t n = 256, int nodes = 4);
+
+/// Range-Doppler radar chain (the paper's motivating application class):
+///   pulses -> window -> range FFT -> corner turn -> Doppler FFT
+///          -> magnitude -> threshold -> detections
+/// over a pulses x range complex cube. The corner turn is expressed
+/// purely as port striping (rows in, columns out); the magnitude stage
+/// switches the data type from complex to float mid-pipeline.
+std::unique_ptr<model::Workspace> make_radar_workspace(
+    std::size_t pulses = 256, std::size_t range = 512, int nodes = 8);
+
+}  // namespace sage::apps

@@ -77,6 +77,10 @@ support::VirtualSeconds Fabric::enqueue_(int src, int dst, int tag,
         start + serialization + model_.latency_s(src, dst) + recv_cost;
     ++total_messages_;
     total_bytes_ += bytes.size();
+    LinkStats& link = link_stats_[{src, dst}];
+    ++link.messages;
+    link.bytes += bytes.size();
+    link.busy_vt += serialization;
   } else {
     parcel.arrival_vt = sender_after +
                         model_.transfer_seconds(src, dst, bytes.size()) +
@@ -84,6 +88,9 @@ support::VirtualSeconds Fabric::enqueue_(int src, int dst, int tag,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++total_messages_;
     total_bytes_ += bytes.size();
+    LinkStats& link = link_stats_[{src, dst}];
+    ++link.messages;
+    link.bytes += bytes.size();
   }
   parcel.arrival_vt += extra_arrival_vt;
 
@@ -157,6 +164,7 @@ SendReceipt Fabric::send_reliable(int src, int dst, int tag,
       backoff *= plan_->backoff_factor;
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++fault_counters_.retransmits;
+      ++link_stats_[{src, dst}].retransmits;
       continue;
     }
     break;
@@ -233,6 +241,11 @@ FaultCounters Fabric::fault_counters() const {
   return fault_counters_;
 }
 
+std::map<std::pair<int, int>, LinkStats> Fabric::link_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return link_stats_;
+}
+
 void Fabric::reset() {
   for (Mailbox& box : boxes_) {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -243,6 +256,7 @@ void Fabric::reset() {
   total_bytes_ = 0;
   fault_counters_ = {};
   link_seq_.clear();
+  link_stats_.clear();
   link_free_.clear();
 }
 

@@ -74,6 +74,21 @@ struct FaultCounters {
   bool operator==(const FaultCounters&) const = default;
 };
 
+/// Per-directed-link traffic totals (diagnostics / metrics export).
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  /// Retransmit attempts issued on this link by send_reliable().
+  std::uint64_t retransmits = 0;
+  /// Virtual seconds the board-pair channel spent serializing this
+  /// link's payloads (contention model only; 0 for same-board traffic
+  /// or when contention modeling is off). Purely model-derived
+  /// (bytes / bandwidth), so it is deterministic.
+  double busy_vt = 0.0;
+
+  bool operator==(const LinkStats&) const = default;
+};
+
 /// What send_reliable() settled on for one transfer.
 struct SendReceipt {
   /// Sender's virtual time after the last attempt (backoff included).
@@ -143,6 +158,10 @@ class Fabric {
   /// Injected-fault totals since construction or the last reset().
   FaultCounters fault_counters() const;
 
+  /// Per-directed-link totals since construction or the last reset(),
+  /// keyed (src, dst). Only links that carried traffic appear.
+  std::map<std::pair<int, int>, LinkStats> link_stats() const;
+
   /// Returns the fabric to its just-constructed state: drains every
   /// mailbox (e.g. unclaimed flow-control credits from a finished run),
   /// zeroes the message/byte totals, and clears the per-link contention
@@ -196,6 +215,8 @@ class Fabric {
   FaultCounters fault_counters_;
   // Per-link fault-eligible message counters (guarded by stats_mu_).
   std::map<std::pair<int, int>, std::uint64_t> link_seq_;
+  // Per-directed-link traffic totals (guarded by stats_mu_).
+  std::map<std::pair<int, int>, LinkStats> link_stats_;
   // Contention model: per board-pair channel, the virtual time at which
   // the link becomes free (guarded by stats_mu_).
   std::map<std::pair<int, int>, double> link_free_;

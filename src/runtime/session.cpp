@@ -221,7 +221,130 @@ Session::Session(GlueConfig config, const FunctionRegistry& registry,
 
   allocate_states_();
 
+  metrics_ = viz::MetricsRegistry(config_.nodes);
+  define_metrics_();
+
   machine_->start();
+}
+
+void Session::define_metrics_() {
+  using viz::Aggregation;
+  namespace fam = viz::families;
+  // One family at a time (not one function at a time) so each family's
+  // series stay contiguous in snapshot order -- the Prometheus
+  // exposition groups by family.
+  fn_busy_ids_.reserve(config_.functions.size());
+  for (const FunctionConfig& fn : config_.functions) {
+    fn_busy_ids_.push_back(metrics_.counter(
+        fam::kFunctionBusySeconds,
+        "Virtual seconds spent executing this function's kernel",
+        {{"function", fn.name}}, /*time_based=*/true));
+  }
+  fn_calls_ids_.reserve(config_.functions.size());
+  for (const FunctionConfig& fn : config_.functions) {
+    fn_calls_ids_.push_back(metrics_.counter(
+        fam::kFunctionInvocations,
+        "Kernel invocations (every thread of every iteration)",
+        {{"function", fn.name}}));
+  }
+  iterations_id_ =
+      metrics_.counter(fam::kIterations, "Iterations completed by the run");
+  latency_hist_id_ = metrics_.histogram(
+      fam::kIterationLatency,
+      "End-to-end iteration latency (source start to sink end)",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0}, {},
+      /*time_based=*/true);
+  violations_id_ = metrics_.counter(
+      fam::kLatencyViolations,
+      "Iterations whose latency exceeded the configured threshold", {},
+      /*time_based=*/true);
+  threshold_id_ = metrics_.gauge(
+      fam::kLatencyThreshold, "Configured latency threshold (0 = disabled)");
+  makespan_id_ =
+      metrics_.gauge(fam::kMakespan, "Modeled end-to-end run time",
+                     Aggregation::kSum, {}, /*time_based=*/true);
+  fault_drop_id_ = metrics_.counter(
+      fam::kFaultsInjected, "Faults injected by the fabric, by kind",
+      {{"kind", "drop"}});
+  fault_corrupt_id_ = metrics_.counter(fam::kFaultsInjected, "",
+                                       {{"kind", "corrupt"}});
+  fault_delay_id_ =
+      metrics_.counter(fam::kFaultsInjected, "", {{"kind", "delay"}});
+  fault_retries_id_ = metrics_.counter(
+      fam::kFaultRetries, "Retransmit attempts after a detected loss");
+  fault_timeouts_id_ = metrics_.counter(
+      fam::kFaultTimeouts, "Loss-detection timeouts waited out by receivers");
+  fault_frames_id_ = metrics_.counter(
+      fam::kFaultCorruptFrames, "Frames rejected by receiver checksums");
+  fault_stalls_id_ = metrics_.counter(
+      fam::kFaultStalls, "Modeled node stalls at iteration boundaries");
+  degraded_id_ = metrics_.gauge(
+      fam::kDegradedNodes, "Nodes the session is running without");
+}
+
+const std::array<int, 4>& Session::link_metric_ids_(int src, int dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = link_ids_.find(key);
+  if (it != link_ids_.end()) return it->second;
+  namespace fam = viz::families;
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"src", std::to_string(src)}, {"dst", std::to_string(dst)}};
+  std::array<int, 4> ids = {
+      metrics_.counter(fam::kLinkMessages,
+                       "Messages accepted on this directed link", labels),
+      metrics_.counter(fam::kLinkBytes,
+                       "Payload bytes accepted on this directed link", labels),
+      metrics_.counter(fam::kLinkRetransmits,
+                       "Retransmit attempts issued on this directed link",
+                       labels),
+      metrics_.counter(
+          fam::kLinkBusySeconds,
+          "Virtual seconds the board-pair channel spent serializing this "
+          "link's payloads (contention model)",
+          labels),
+  };
+  return link_ids_.emplace(key, ids).first->second;
+}
+
+void Session::export_metrics_(RunStats& stats) {
+  metrics_.add(0, iterations_id_, static_cast<double>(stats.iterations));
+  for (const auto lat : stats.latencies) {
+    metrics_.observe(0, latency_hist_id_, lat);
+    if (run_threshold_ > 0.0 && lat > run_threshold_) {
+      metrics_.add(0, violations_id_, 1.0);
+    }
+  }
+  metrics_.set(0, threshold_id_, run_threshold_);
+  metrics_.set(0, makespan_id_, stats.makespan);
+
+  metrics_.add(0, fault_drop_id_,
+               static_cast<double>(stats.faults.injected_drops));
+  metrics_.add(0, fault_corrupt_id_,
+               static_cast<double>(stats.faults.injected_corruptions));
+  metrics_.add(0, fault_delay_id_,
+               static_cast<double>(stats.faults.injected_delays));
+  metrics_.add(0, fault_retries_id_,
+               static_cast<double>(stats.faults.retries));
+  metrics_.add(0, fault_timeouts_id_,
+               static_cast<double>(stats.faults.timeouts));
+  metrics_.add(0, fault_frames_id_,
+               static_cast<double>(stats.faults.corruptions_detected));
+  metrics_.add(0, fault_stalls_id_, static_cast<double>(stats.faults.stalls));
+  metrics_.set(0, degraded_id_,
+               static_cast<double>(stats.faults.degraded_nodes));
+
+  // std::map iteration -> (src, dst) order, so first-sight definition
+  // order (and with it snapshot order) matches across warm runs and
+  // fresh sessions with the same traffic pattern.
+  for (const auto& [key, link] : machine_->fabric().link_stats()) {
+    const std::array<int, 4>& ids = link_metric_ids_(key.first, key.second);
+    metrics_.add(0, ids[0], static_cast<double>(link.messages));
+    metrics_.add(0, ids[1], static_cast<double>(link.bytes));
+    metrics_.add(0, ids[2], static_cast<double>(link.retransmits));
+    metrics_.add(0, ids[3], link.busy_vt);
+  }
+
+  stats.metrics = metrics_.snapshot();
 }
 
 void Session::allocate_states_() {
@@ -358,6 +481,8 @@ void Session::reset_between_runs_() {
   // run, accumulated totals, and link contention history; a cold engine
   // would start from scratch.
   machine_->fabric().reset();
+  // Metric values restart at zero; definitions (and ids) persist.
+  metrics_.reset();
   for (const auto& state : states_) {
     state->events.clear();
     state->results.clear();
@@ -386,6 +511,9 @@ RunStats Session::run(const RunRequest& request) {
   run_iterations_ = iterations;
   run_policy_ = request.buffer_policy.value_or(options_.buffer_policy);
   run_trace_ = request.collect_trace.value_or(options_.collect_trace);
+  run_metrics_ = request.collect_metrics.value_or(options_.collect_metrics);
+  run_threshold_ =
+      request.latency_threshold.value_or(options_.latency_threshold);
   run_plan_ = request.fault_plan.value_or(options_.fault_plan);
   const bool faulty = run_plan_ != nullptr && run_plan_->active();
 
@@ -515,6 +643,8 @@ RunStats Session::run(const RunRequest& request) {
     stats.trace = viz::Trace::merge(buffers);
   }
 
+  if (run_metrics_) export_metrics_(stats);
+
   stats.host_seconds = support::wall_seconds() - host_start;
   ++runs_completed_;
   return stats;
@@ -536,6 +666,7 @@ void Session::node_program_(net::NodeContext& node) {
   const int iterations = run_iterations_;
   const BufferPolicy policy = run_policy_;
   const bool trace = run_trace_;
+  const bool metrics = run_metrics_;
   const int buffer_depth = options_.buffer_depth;
 
   mpi::Communicator comm(node);
@@ -746,6 +877,14 @@ void Session::node_program_(net::NodeContext& node) {
         {
           support::ComputeScope scope(node.clock(), node.cpu_scale());
           kernels_[static_cast<std::size_t>(fn_id)](kctx);
+        }
+        if (metrics) {
+          // Two fixed-slot shard writes: far cheaper than a trace event
+          // and, like the probes, charged to host time only.
+          metrics_.add(rank, fn_busy_ids_[static_cast<std::size_t>(fn_id)],
+                       node.now() - exec_start);
+          metrics_.add(rank, fn_calls_ids_[static_cast<std::size_t>(fn_id)],
+                       1.0);
         }
         if (trace && cfg.probed(fn_id)) {
           viz::Event start;

@@ -28,6 +28,7 @@
 // series are cleared, and staging memory is rezeroed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,6 +41,7 @@
 #include "runtime/glue_config.hpp"
 #include "runtime/registry.hpp"
 #include "support/error.hpp"
+#include "viz/metrics.hpp"
 #include "viz/trace.hpp"
 
 namespace sage::runtime {
@@ -59,6 +61,16 @@ struct ExecuteOptions {
   /// Collect a Visualizer trace (small overhead in host time only; probe
   /// costs are excluded from virtual time).
   bool collect_trace = true;
+  /// Collect the always-on metrics (per-function busy time and
+  /// invocations, per-link fabric traffic, iteration latency histogram,
+  /// fault counters) into RunStats::metrics. Cheaper than tracing --
+  /// fixed-size shard cells instead of per-event records -- and like
+  /// probes the cost lands in host time only, never in virtual time.
+  bool collect_metrics = true;
+  /// Latency threshold monitor: iterations whose end-to-end latency
+  /// exceeds this are counted in the sage_latency_violations_total
+  /// metric (the paper's "violated latency thresholds"). 0 disables.
+  support::VirtualSeconds latency_threshold = 0.0;
   /// Interconnect model. Unset: the Project facade derives it from the
   /// hardware model; a bare Session/Engine falls back to the CSPI-like
   /// net::myrinet_fabric().
@@ -123,6 +135,11 @@ struct RunStats {
   std::map<std::string, std::vector<double>> results;
   /// Merged Visualizer trace (empty when collect_trace is false).
   viz::Trace trace;
+  /// Merged metrics snapshot (empty when collect_metrics is false).
+  /// Export with viz::prometheus_text / viz::metrics_csv / viz::report;
+  /// metrics.deterministic_subset() is bit-identical across cold runs,
+  /// warm re-runs, and fresh sessions.
+  viz::MetricsSnapshot metrics;
   /// Fabric totals for the whole run (data messages + flow-control
   /// credits).
   std::uint64_t fabric_messages = 0;
@@ -145,6 +162,8 @@ struct RunRequest {
   int iterations = 0;
   std::optional<BufferPolicy> buffer_policy;
   std::optional<bool> collect_trace;
+  std::optional<bool> collect_metrics;
+  std::optional<support::VirtualSeconds> latency_threshold;
   /// Per-run fault plan; unset inherits the session's plan, an explicit
   /// nullptr disables faults for this run.
   std::optional<std::shared_ptr<const net::FaultPlan>> fault_plan;
@@ -219,6 +238,13 @@ class Session {
   void node_program_(net::NodeContext& node);
   void reset_between_runs_();
   void allocate_states_();
+  void define_metrics_();
+  /// Folds iteration latencies, fault counters, and the fabric's
+  /// per-link totals into the registry and snapshots it into `stats`.
+  void export_metrics_(RunStats& stats);
+  /// Ids of the four per-link series for (src, dst), defining them on
+  /// first sight (ids persist across warm runs; values reset).
+  const std::array<int, 4>& link_metric_ids_(int src, int dst);
 
   GlueConfig config_;
   ExecuteOptions options_;
@@ -231,11 +257,37 @@ class Session {
   std::unique_ptr<net::Machine> machine_;
   std::vector<std::unique_ptr<NodeState>> states_;
 
+  // Always-on metrics. Definitions are made once (construction for the
+  // static set, first sight for per-link series) so series ids -- and
+  // therefore snapshot order -- are stable across warm runs; values are
+  // zeroed by reset_between_runs_(). One shard per node, written
+  // lock-free by that node's thread (the EventBuffer threading model).
+  viz::MetricsRegistry metrics_;
+  std::vector<int> fn_busy_ids_;   // by function id
+  std::vector<int> fn_calls_ids_;  // by function id
+  int iterations_id_ = -1;
+  int latency_hist_id_ = -1;
+  int violations_id_ = -1;
+  int threshold_id_ = -1;
+  int makespan_id_ = -1;
+  int fault_drop_id_ = -1;
+  int fault_corrupt_id_ = -1;
+  int fault_delay_id_ = -1;
+  int fault_retries_id_ = -1;
+  int fault_timeouts_id_ = -1;
+  int fault_frames_id_ = -1;
+  int fault_stalls_id_ = -1;
+  int degraded_id_ = -1;
+  // (src, dst) -> {messages, bytes, retransmits, busy seconds} ids.
+  std::map<std::pair<int, int>, std::array<int, 4>> link_ids_;
+
   // Per-run parameters, written by run() before dispatch; the machine's
   // dispatch handshake publishes them to the node threads.
   int run_iterations_ = 0;
   BufferPolicy run_policy_ = BufferPolicy::kUniquePerFunction;
   bool run_trace_ = true;
+  bool run_metrics_ = true;
+  support::VirtualSeconds run_threshold_ = 0.0;
   std::shared_ptr<const net::FaultPlan> run_plan_;
 
   // Degraded-mode state: ranks excluded by recover(), and a pending

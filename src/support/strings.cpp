@@ -92,6 +92,15 @@ long long parse_int(std::string_view s) {
   return value;
 }
 
+std::uint64_t parse_uint(std::string_view s) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    raise("parse_uint: malformed unsigned integer '", std::string(s), "'");
+  }
+  return value;
+}
+
 double parse_double(std::string_view s) {
   double value = 0;
   auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);

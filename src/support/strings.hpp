@@ -2,6 +2,7 @@
 // glue-config parser and report writers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,11 @@ bool is_integer(std::string_view s);
 
 /// Parses an integer, throwing sage::Error on malformed input.
 long long parse_int(std::string_view s);
+
+/// Parses an unsigned 64-bit integer, throwing sage::Error on malformed
+/// input (including a leading '-'). Use for byte counts and other
+/// values that must survive the full uint64 range.
+std::uint64_t parse_uint(std::string_view s);
 
 /// Parses a double, throwing sage::Error on malformed input.
 double parse_double(std::string_view s);

@@ -62,9 +62,9 @@ std::vector<FunctionStats> function_stats(const Trace& trace) {
   return out;
 }
 
-FunctionStats bottleneck(const Trace& trace) {
+std::optional<FunctionStats> bottleneck(const Trace& trace) {
   const auto stats = function_stats(trace);
-  SAGE_CHECK(!stats.empty(), "bottleneck: trace has no function events");
+  if (stats.empty()) return std::nullopt;
   return *std::max_element(stats.begin(), stats.end(),
                            [](const FunctionStats& a, const FunctionStats& b) {
                              return a.total_time < b.total_time;
@@ -72,21 +72,39 @@ FunctionStats bottleneck(const Trace& trace) {
 }
 
 std::vector<NodeUtilization> node_utilization(const Trace& trace) {
-  std::map<int, NodeUtilization> by_node;
+  // Collect raw intervals per node, then take the union: threads of one
+  // node execute concurrently, so summing their intervals directly
+  // double-counts overlap and can report utilization > 1.0.
+  std::map<int, std::vector<std::pair<double, double>>> by_node;
   double span_start = 0.0;
   double span_end = 0.0;
   bool any = false;
   for (const Interval& iv : function_intervals(trace)) {
-    NodeUtilization& u = by_node[iv.node];
-    u.node = iv.node;
-    u.busy += iv.end - iv.start;
+    by_node[iv.node].emplace_back(iv.start, iv.end);
     if (!any || iv.start < span_start) span_start = iv.start;
     if (!any || iv.end > span_end) span_end = iv.end;
     any = true;
   }
   std::vector<NodeUtilization> out;
-  for (auto& [node, u] : by_node) {
+  for (auto& [node, intervals] : by_node) {
+    std::sort(intervals.begin(), intervals.end());
+    NodeUtilization u;
+    u.node = node;
     u.span = span_end - span_start;
+    double cur_start = 0.0;
+    double cur_end = 0.0;
+    bool open = false;
+    for (const auto& [start, end] : intervals) {
+      if (open && start <= cur_end) {
+        cur_end = std::max(cur_end, end);
+      } else {
+        if (open) u.busy += cur_end - cur_start;
+        cur_start = start;
+        cur_end = end;
+        open = true;
+      }
+    }
+    if (open) u.busy += cur_end - cur_start;
     out.push_back(u);
   }
   return out;
@@ -217,8 +235,8 @@ std::string summary_report(const Trace& trace) {
        << ", mean " << support::format_seconds(s.mean_time()) << ", max "
        << support::format_seconds(s.max_time) << "\n";
   }
-  if (!stats.empty()) {
-    os << "bottleneck: " << bottleneck(trace).name << "\n";
+  if (const auto bn = bottleneck(trace)) {
+    os << "bottleneck: " << bn->name << "\n";
   }
   os << "utilization:\n";
   for (const NodeUtilization& u : node_utilization(trace)) {

@@ -5,6 +5,7 @@
 // the system, such as bottlenecks or violated latency thresholds."
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,10 +47,15 @@ struct IterationLatency {
 /// Per-function aggregate (from paired function start/end events).
 std::vector<FunctionStats> function_stats(const Trace& trace);
 
-/// The bottleneck: the function with the largest total busy time.
-FunctionStats bottleneck(const Trace& trace);
+/// The bottleneck: the function with the largest total busy time, or
+/// std::nullopt when the trace carries no paired function events (e.g.
+/// a marker- or fault-only trace).
+std::optional<FunctionStats> bottleneck(const Trace& trace);
 
-/// Busy/span per node (busy = time inside function execution events).
+/// Busy/span per node. Busy time is the union of that node's function
+/// execution intervals: overlapping per-thread intervals are merged
+/// before summing, so utilization never exceeds 1.0 on multi-threaded
+/// nodes.
 std::vector<NodeUtilization> node_utilization(const Trace& trace);
 
 /// Latency of each iteration, from iteration start/end markers.

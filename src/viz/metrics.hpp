@@ -1,0 +1,181 @@
+// openSAGE -- Visualizer metrics: the numeric half of the observability
+// layer (the Trace is the event half).
+//
+// The paper's Visualizer "allows the designer to configure the
+// instrumentation probes to measure application performance"; traces
+// answer *when*, metrics answer *how much*. A MetricsRegistry holds a
+// fixed set of metric definitions (counters, gauges, fixed-bucket
+// histograms, optionally labeled) and one value shard per emulated
+// node. Node threads append to their own shard without locking --
+// exactly the EventBuffer threading model -- and snapshot() merges the
+// shards after the run, when the node threads are parked.
+//
+// Threading model: define*() before the run (single-threaded);
+// add/set/observe during the run, each shard touched by exactly one
+// thread; reset()/snapshot() between runs only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sage::viz {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// Conventional family names emitted by the runtime's always-on probes
+/// (runtime::Session) and consumed by the exporters' report().
+namespace families {
+inline constexpr const char* kFunctionBusySeconds =
+    "sage_function_busy_seconds_total";
+inline constexpr const char* kFunctionInvocations =
+    "sage_function_invocations_total";
+inline constexpr const char* kIterations = "sage_iterations_total";
+inline constexpr const char* kIterationLatency =
+    "sage_iteration_latency_seconds";
+inline constexpr const char* kLatencyViolations =
+    "sage_latency_violations_total";
+inline constexpr const char* kLatencyThreshold =
+    "sage_latency_threshold_seconds";
+inline constexpr const char* kMakespan = "sage_run_makespan_seconds";
+inline constexpr const char* kLinkMessages = "sage_link_messages_total";
+inline constexpr const char* kLinkBytes = "sage_link_bytes_total";
+inline constexpr const char* kLinkRetransmits = "sage_link_retransmits_total";
+inline constexpr const char* kLinkBusySeconds = "sage_link_busy_seconds_total";
+inline constexpr const char* kFaultsInjected = "sage_faults_injected_total";
+inline constexpr const char* kFaultRetries = "sage_fault_retries_total";
+inline constexpr const char* kFaultTimeouts = "sage_fault_timeouts_total";
+inline constexpr const char* kFaultCorruptFrames =
+    "sage_fault_corrupt_frames_total";
+inline constexpr const char* kFaultStalls = "sage_fault_stalls_total";
+inline constexpr const char* kDegradedNodes = "sage_degraded_nodes";
+}  // namespace families
+
+/// How per-shard values fold into one series value at snapshot time.
+/// Counters and histograms always sum; gauges choose.
+enum class Aggregation : std::uint8_t { kSum, kMax, kMin };
+
+/// One labeled metric series. Same name + different labels = distinct
+/// series of one family (the Prometheus data model).
+struct MetricSpec {
+  std::string name;  // snake_case family name, e.g. sage_fabric_bytes_total
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  Aggregation aggregation = Aggregation::kSum;
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Histogram bucket upper bounds, strictly increasing; an implicit
+  /// +Inf bucket is always appended.
+  std::vector<double> buckets;
+  /// True for series derived from measured host time (busy seconds,
+  /// latencies): they jitter run to run and are excluded from
+  /// MetricsSnapshot::deterministic_subset().
+  bool time_based = false;
+};
+
+/// Merged histogram state: counts per bucket (the last entry is +Inf),
+/// total count, and sum of observations.
+struct HistogramValue {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramValue&) const = default;
+};
+
+/// One merged series in a snapshot.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<std::pair<std::string, std::string>> labels;
+  bool time_based = false;
+  double value = 0.0;         // counters and gauges
+  HistogramValue histogram;   // histograms only
+
+  bool operator==(const MetricValue&) const = default;
+};
+
+/// Point-in-time merged view of a registry, in definition order.
+struct MetricsSnapshot {
+  std::vector<MetricValue> series;
+
+  bool empty() const { return series.empty(); }
+
+  /// First series of the family `name` (any labels), or nullptr.
+  const MetricValue* find(std::string_view name) const;
+  /// Series with exactly these labels, or nullptr.
+  const MetricValue* find(
+      std::string_view name,
+      const std::vector<std::pair<std::string, std::string>>& labels) const;
+
+  /// The snapshot without time-based series: invocation counts, fabric
+  /// traffic, fault counters... everything that must be bit-identical
+  /// across cold runs, warm re-runs, and fresh sessions.
+  MetricsSnapshot deterministic_subset() const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// `shards` is the number of writer threads (one per emulated node);
+  /// at least one.
+  explicit MetricsRegistry(int shards = 1);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int size() const { return static_cast<int>(specs_.size()); }
+
+  /// Registers a series and returns its id. Throws sage::Error on a
+  /// duplicate (name, labels) pair or non-increasing histogram buckets.
+  int define(MetricSpec spec);
+
+  /// Convenience definers.
+  int counter(std::string name, std::string help,
+              std::vector<std::pair<std::string, std::string>> labels = {},
+              bool time_based = false);
+  int gauge(std::string name, std::string help,
+            Aggregation aggregation = Aggregation::kSum,
+            std::vector<std::pair<std::string, std::string>> labels = {},
+            bool time_based = false);
+  int histogram(std::string name, std::string help,
+                std::vector<double> buckets,
+                std::vector<std::pair<std::string, std::string>> labels = {},
+                bool time_based = false);
+
+  /// Existing id for (name, labels), if defined.
+  std::optional<int> lookup(
+      std::string_view name,
+      const std::vector<std::pair<std::string, std::string>>& labels) const;
+
+  // --- hot path (lock-free: one thread per shard) --------------------------
+  void add(int shard, int id, double delta);      // counters, gauges
+  void set(int shard, int id, double value);      // gauges
+  void observe(int shard, int id, double value);  // histograms
+
+  /// Zeroes every shard cell; definitions persist (the warm-run reset).
+  void reset();
+
+  /// Merged view across shards. Call only while writer threads are
+  /// parked.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Cell {
+    double value = 0.0;
+    bool touched = false;  // gauge kMax/kMin: untouched shards don't vote
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<MetricSpec> specs_;
+  std::vector<std::vector<Cell>> shards_;  // [shard][metric id]
+};
+
+}  // namespace sage::viz

@@ -1,6 +1,8 @@
 #include "viz/trace.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -51,6 +53,10 @@ std::vector<Event> Trace::events_of_kind(EventKind kind) const {
 
 std::string Trace::to_chrome_json() const {
   std::ostringstream os;
+  // Default ostream precision is 6 significant digits, which collapses
+  // distinct events once timestamps pass ~1 virtual second (1e6 us);
+  // max_digits10 keeps every double exactly representable in the JSON.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "[";
   bool first = true;
   for (const Event& e : events_) {
@@ -89,11 +95,17 @@ Trace Trace::from_csv(std::string_view csv) {
   int line_number = 0;
   for (const std::string& line : support::split(csv, '\n')) {
     ++line_number;
-    const std::string_view trimmed = support::trim(line);
-    if (trimmed.empty() || support::starts_with(trimmed, "kind,")) continue;
-    const auto fields = support::split(trimmed, ',');
-    SAGE_CHECK(fields.size() == 9, "trace CSV line ", line_number,
-               ": expected 9 fields, got ", fields.size());
+    // Only strip the line terminator: the label is the trailing field,
+    // and a full trim would eat its leading/trailing whitespace.
+    std::string_view row = line;
+    if (!row.empty() && row.back() == '\r') row.remove_suffix(1);
+    if (support::trim(row).empty() ||
+        support::starts_with(support::trim(row), "kind,")) {
+      continue;
+    }
+    const auto fields = support::split(row, ',');
+    SAGE_CHECK(fields.size() >= 9, "trace CSV line ", line_number,
+               ": expected at least 9 fields, got ", fields.size());
     Event e;
     e.kind = kind_from_string(fields[0]);
     e.node = static_cast<int>(support::parse_int(fields[1]));
@@ -102,8 +114,13 @@ Trace Trace::from_csv(std::string_view csv) {
     e.iteration = static_cast<int>(support::parse_int(fields[4]));
     e.start_vt = support::parse_double(fields[5]);
     e.end_vt = support::parse_double(fields[6]);
-    e.bytes = static_cast<std::uint64_t>(support::parse_int(fields[7]));
-    e.label = fields[8];
+    // Unsigned: byte counts >= 2^63 must not wrap through a signed parse.
+    e.bytes = support::parse_uint(fields[7]);
+    // The label is everything after the eighth comma: rejoin the split
+    // so labels containing commas survive, then undo escape()'s
+    // newline/tab/quote/backslash escapes.
+    std::vector<std::string> label_fields(fields.begin() + 8, fields.end());
+    e.label = support::unescape(support::join(label_fields, ","));
     trace.events_.push_back(std::move(e));
   }
   std::stable_sort(trace.events_.begin(), trace.events_.end(),
@@ -115,11 +132,13 @@ Trace Trace::from_csv(std::string_view csv) {
 
 std::string Trace::to_csv() const {
   std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "kind,node,function_id,thread,iteration,start_vt,end_vt,bytes,label\n";
   for (const Event& e : events_) {
     os << to_string(e.kind) << ',' << e.node << ',' << e.function_id << ','
        << e.thread << ',' << e.iteration << ',' << e.start_vt << ','
-       << e.end_vt << ',' << e.bytes << ',' << e.label << '\n';
+       << e.end_vt << ',' << e.bytes << ',' << support::escape(e.label)
+       << '\n';
   }
   return os.str();
 }

@@ -82,11 +82,16 @@ class Trace {
   /// Chrome trace-event JSON (open in a trace viewer).
   std::string to_chrome_json() const;
 
-  /// Flat CSV: kind,node,function_id,thread,iteration,start,end,bytes,label
+  /// Flat CSV: kind,node,function_id,thread,iteration,start,end,bytes,label.
+  /// The label is the trailing field: embedded commas pass through
+  /// verbatim (the reader rejoins everything after the eighth comma) and
+  /// newlines/tabs/quotes/backslashes are escaped with support::escape so
+  /// one event always stays one line. Times are written with max_digits10
+  /// precision; to_csv -> from_csv round-trips bit-identically.
   std::string to_csv() const;
 
   /// Parses to_csv output back into a trace (offline analysis); throws
-  /// sage::Error on malformed input. Labels must not contain commas.
+  /// sage::Error on malformed input.
   static Trace from_csv(std::string_view csv);
 
  private:

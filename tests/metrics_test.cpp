@@ -1,0 +1,362 @@
+// Metrics tests: the registry (definitions, shard merging, histogram
+// bucketing, reset semantics), the exporters (Prometheus exposition,
+// metrics CSV, human report), and the runtime::Session always-on probes
+// (per-function counters, latency monitors, per-link fabric series) --
+// including the bit-identical determinism contract across warm re-runs
+// and fresh sessions, mirroring session_test's warm/cold matrix.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/benchmarks.hpp"
+#include "apps/pipelines.hpp"
+#include "core/project.hpp"
+#include "runtime/session.hpp"
+#include "support/error.hpp"
+#include "viz/exporters.hpp"
+#include "viz/metrics.hpp"
+
+namespace sage::viz {
+namespace {
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersSumAcrossShards) {
+  MetricsRegistry registry(3);
+  const int id = registry.counter("sage_test_total", "help");
+  registry.add(0, id, 1.0);
+  registry.add(1, id, 2.0);
+  registry.add(2, id, 4.0);
+  registry.add(2, id, 8.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.series.size(), 1u);
+  EXPECT_EQ(snap.series[0].name, "sage_test_total");
+  EXPECT_EQ(snap.series[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap.series[0].value, 15.0);
+}
+
+TEST(MetricsRegistryTest, GaugeAggregations) {
+  MetricsRegistry registry(3);
+  const int max_id =
+      registry.gauge("sage_max", "", Aggregation::kMax);
+  const int min_id =
+      registry.gauge("sage_min", "", Aggregation::kMin);
+  registry.set(0, max_id, 5.0);
+  registry.set(2, max_id, -3.0);  // shard 1 untouched: it doesn't vote
+  registry.set(0, min_id, 5.0);
+  registry.set(2, min_id, -3.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("sage_max")->value, 5.0);
+  EXPECT_DOUBLE_EQ(snap.find("sage_min")->value, -3.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry(2);
+  const int id = registry.histogram("sage_h", "", {1.0, 2.0, 4.0});
+  registry.observe(0, id, 0.5);   // le=1
+  registry.observe(0, id, 2.0);   // le=2 (inclusive, Prometheus style)
+  registry.observe(1, id, 3.0);   // le=4
+  registry.observe(1, id, 100.0); // +Inf
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramValue& h = snap.series[0].histogram;
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 105.5);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishSeriesOfOneFamily) {
+  MetricsRegistry registry(1);
+  const int a = registry.counter("sage_fam", "", {{"k", "a"}});
+  const int b = registry.counter("sage_fam", "", {{"k", "b"}});
+  EXPECT_NE(a, b);
+  registry.add(0, a, 1.0);
+  registry.add(0, b, 2.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("sage_fam", {{"k", "a"}})->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.find("sage_fam", {{"k", "b"}})->value, 2.0);
+  EXPECT_EQ(snap.find("sage_fam", {{"k", "c"}}), nullptr);
+  EXPECT_EQ(registry.lookup("sage_fam", {{"k", "b"}}), b);
+  EXPECT_EQ(registry.lookup("sage_nope", {}), std::nullopt);
+}
+
+TEST(MetricsRegistryTest, BadDefinitionsThrow) {
+  MetricsRegistry registry(1);
+  registry.counter("sage_dup", "", {{"k", "a"}});
+  EXPECT_THROW(registry.counter("sage_dup", "", {{"k", "a"}}), Error);
+  EXPECT_THROW(registry.counter("", ""), Error);
+  EXPECT_THROW(registry.histogram("sage_h_bad", "", {2.0, 1.0}), Error);
+  EXPECT_THROW(registry.histogram("sage_h_bad2", "", {1.0, 1.0}), Error);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsDefinitions) {
+  MetricsRegistry registry(2);
+  const int c = registry.counter("sage_c", "");
+  const int h = registry.histogram("sage_h", "", {1.0});
+  registry.add(0, c, 7.0);
+  registry.observe(1, h, 0.5);
+  registry.reset();
+  EXPECT_EQ(registry.size(), 2);  // ids survive
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("sage_c")->value, 0.0);
+  EXPECT_EQ(snap.find("sage_h")->histogram.count, 0u);
+  // The zeroed snapshot equals a never-touched registry's snapshot.
+  registry.add(0, c, 7.0);
+  registry.reset();
+  EXPECT_EQ(registry.snapshot(), snap);
+}
+
+TEST(MetricsSnapshotTest, DeterministicSubsetDropsTimeBasedSeries) {
+  MetricsRegistry registry(1);
+  registry.counter("sage_busy_seconds", "", {}, /*time_based=*/true);
+  registry.counter("sage_calls", "");
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.series.size(), 2u);
+  const MetricsSnapshot det = snap.deterministic_subset();
+  ASSERT_EQ(det.series.size(), 1u);
+  EXPECT_EQ(det.series[0].name, "sage_calls");
+}
+
+// --- exporters --------------------------------------------------------------
+
+MetricsSnapshot exporter_sample() {
+  MetricsRegistry registry(1);
+  // Interleaved families, as the per-link series are defined.
+  const int a0 = registry.counter("sage_a_total", "family a", {{"l", "0"}});
+  const int b0 = registry.counter("sage_b_total", "family b", {{"l", "0"}});
+  const int a1 = registry.counter("sage_a_total", "", {{"l", "1"}});
+  const int b1 = registry.counter("sage_b_total", "", {{"l", "1"}});
+  const int h = registry.histogram("sage_lat", "latency", {0.1, 1.0});
+  registry.add(0, a0, 1.0);
+  registry.add(0, b0, 2.0);
+  registry.add(0, a1, 3.0);
+  registry.add(0, b1, 4.0);
+  registry.observe(0, h, 0.05);
+  registry.observe(0, h, 0.5);
+  registry.observe(0, h, 5.0);
+  return registry.snapshot();
+}
+
+TEST(ExportersTest, PrometheusTextGroupsFamilies) {
+  const std::string text = prometheus_text(exporter_sample());
+  // One TYPE header per family, even though definitions interleaved.
+  std::size_t type_a = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE sage_a_total", pos)) != std::string::npos) {
+    ++type_a;
+    ++pos;
+  }
+  EXPECT_EQ(type_a, 1u);
+  EXPECT_NE(text.find("# HELP sage_a_total family a"), std::string::npos);
+  EXPECT_NE(text.find("sage_a_total{l=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("sage_a_total{l=\"1\"} 3"), std::string::npos);
+  // Both sage_a series appear before the sage_b header (grouped).
+  EXPECT_LT(text.find("sage_a_total{l=\"1\"}"), text.find("# TYPE sage_b"));
+}
+
+TEST(ExportersTest, PrometheusHistogramIsCumulative) {
+  const std::string text = prometheus_text(exporter_sample());
+  // Bounds print at max_digits10 (0.1 -> "0.10000000000000001").
+  EXPECT_NE(text.find("sage_lat_bucket{le=\"0.100"), std::string::npos);
+  EXPECT_NE(text.find("\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sage_lat_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("sage_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("sage_lat_sum 5.5"), std::string::npos);
+  EXPECT_NE(text.find("sage_lat_count 3"), std::string::npos);
+}
+
+TEST(ExportersTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry(1);
+  registry.counter("sage_esc_total", "", {{"f", "a\"b\\c\nd"}});
+  const std::string text = prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("f=\"a\\\"b\\\\c\\nd\""), std::string::npos) << text;
+}
+
+TEST(ExportersTest, MetricsCsvListsEverySeries) {
+  const std::string csv = metrics_csv(exporter_sample());
+  EXPECT_NE(csv.find("name,labels,kind,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("sage_a_total,l=0,counter,value,1"), std::string::npos);
+  EXPECT_NE(csv.find("sage_lat,,histogram,le:0.100"), std::string::npos);
+  EXPECT_NE(csv.find("sage_lat,,histogram,count,3"), std::string::npos);
+}
+
+// --- Session integration ----------------------------------------------------
+
+runtime::ExecuteOptions fast_options(int iterations = 3) {
+  runtime::ExecuteOptions options;
+  options.iterations = iterations;
+  options.collect_trace = false;
+  return options;
+}
+
+TEST(SessionMetricsTest, RunStatsCarriesStructuralSeries) {
+  core::Project project(apps::make_fft2d_workspace(64, 2));
+  const runtime::RunStats stats = project.execute(fast_options());
+  ASSERT_FALSE(stats.metrics.empty());
+
+  // Every function ran 2 threads x 3 iterations.
+  const MetricValue* calls = stats.metrics.find(
+      families::kFunctionInvocations, {{"function", "src"}});
+  ASSERT_NE(calls, nullptr);
+  EXPECT_DOUBLE_EQ(calls->value, 6.0);
+
+  EXPECT_DOUBLE_EQ(stats.metrics.find(families::kIterations)->value, 3.0);
+  EXPECT_EQ(stats.metrics.find(families::kIterationLatency)->histogram.count,
+            stats.latencies.size());
+  EXPECT_DOUBLE_EQ(stats.metrics.find(families::kMakespan)->value,
+                   stats.makespan);
+
+  // The corner turn goes cross-node on 2 nodes: link series must exist
+  // and agree with the fabric totals.
+  double link_bytes = 0.0;
+  for (const MetricValue& v : stats.metrics.series) {
+    if (v.name == families::kLinkBytes) link_bytes += v.value;
+  }
+  EXPECT_DOUBLE_EQ(link_bytes, static_cast<double>(stats.fabric_bytes));
+
+  // No fault plan: every fault series is zero.
+  for (const MetricValue& v : stats.metrics.series) {
+    if (v.name == families::kFaultsInjected ||
+        v.name == families::kFaultRetries) {
+      EXPECT_DOUBLE_EQ(v.value, 0.0);
+    }
+  }
+}
+
+TEST(SessionMetricsTest, CollectMetricsOffLeavesSnapshotEmpty) {
+  core::Project project(apps::make_fft2d_workspace(64, 2));
+  runtime::ExecuteOptions options = fast_options();
+  options.collect_metrics = false;
+  const runtime::RunStats stats = project.execute(options);
+  EXPECT_TRUE(stats.metrics.empty());
+
+  // And per-run override on a warm session.
+  core::Project warm_project(apps::make_fft2d_workspace(64, 2));
+  auto session = warm_project.open_session(fast_options());
+  runtime::RunRequest off;
+  off.collect_metrics = false;
+  EXPECT_TRUE(session->run(off).metrics.empty());
+  EXPECT_FALSE(session->run().metrics.empty());
+}
+
+TEST(SessionMetricsTest, LatencyThresholdMonitorCounts) {
+  core::Project project(apps::make_fft2d_workspace(64, 2));
+  runtime::ExecuteOptions options = fast_options();
+  options.latency_threshold = 1e-12;  // every iteration violates
+  const runtime::RunStats stats = project.execute(options);
+  EXPECT_DOUBLE_EQ(stats.metrics.find(families::kLatencyViolations)->value,
+                   static_cast<double>(stats.latencies.size()));
+  EXPECT_DOUBLE_EQ(stats.metrics.find(families::kLatencyThreshold)->value,
+                   1e-12);
+
+  // A generous threshold records zero violations.
+  options.latency_threshold = 1e6;
+  const runtime::RunStats calm = project.execute(options);
+  EXPECT_DOUBLE_EQ(calm.metrics.find(families::kLatencyViolations)->value,
+                   0.0);
+}
+
+TEST(SessionMetricsTest, ReportRendersSessionMetrics) {
+  core::Project project(apps::make_radar_workspace(64, 128, 2));
+  runtime::ExecuteOptions options;
+  options.iterations = 2;
+  options.latency_threshold = 1e-12;
+  const runtime::RunStats stats = project.execute(options);
+  ReportOptions report_options;
+  report_options.latency_threshold = options.latency_threshold;
+  const std::string text = report(stats.trace, stats.metrics, report_options);
+  EXPECT_NE(text.find("bottleneck:"), std::string::npos);
+  EXPECT_NE(text.find("node utilization:"), std::string::npos);
+  EXPECT_NE(text.find("latency violations"), std::string::npos);
+  EXPECT_NE(text.find("fabric links"), std::string::npos);
+}
+
+// --- determinism matrix (mirrors session_test's warm/cold pattern) ----------
+
+struct MetricsCase {
+  std::string app;  // "fft2d" or "cornerturn"
+  runtime::BufferPolicy policy = runtime::BufferPolicy::kUniquePerFunction;
+  int buffer_depth = 0;
+};
+
+std::string metrics_case_name(
+    const ::testing::TestParamInfo<MetricsCase>& info) {
+  const bool shared = info.param.policy == runtime::BufferPolicy::kShared;
+  return info.param.app + (shared ? "_shared_depth" : "_unique_depth") +
+         std::to_string(info.param.buffer_depth);
+}
+
+std::unique_ptr<model::Workspace> metrics_workspace(const std::string& app) {
+  if (app == "fft2d") return apps::make_fft2d_workspace(64, 2);
+  return apps::make_cornerturn_workspace(64, 2);
+}
+
+runtime::ExecuteOptions metrics_options(const MetricsCase& param) {
+  runtime::ExecuteOptions options;
+  options.buffer_policy = param.policy;
+  options.iterations = 3;
+  options.buffer_depth = param.buffer_depth;
+  options.collect_trace = false;
+  return options;
+}
+
+class MetricsDeterminismTest
+    : public ::testing::TestWithParam<MetricsCase> {};
+
+TEST_P(MetricsDeterminismTest, DeterministicSubsetIsBitIdentical) {
+  const MetricsCase& param = GetParam();
+  constexpr int kRuns = 3;
+
+  // Warm path: one session, kRuns runs.
+  core::Project warm_project(metrics_workspace(param.app));
+  auto session = warm_project.open_session(metrics_options(param));
+  const std::vector<runtime::RunStats> warm = session->run_batch(kRuns);
+
+  const MetricsSnapshot reference = warm[0].metrics.deterministic_subset();
+  ASSERT_FALSE(reference.empty());
+
+  // Warm re-runs: bit-identical deterministic subset (operator== compares
+  // doubles exactly).
+  for (int r = 1; r < kRuns; ++r) {
+    EXPECT_EQ(warm[static_cast<std::size_t>(r)].metrics.deterministic_subset(),
+              reference)
+        << "warm run " << r;
+  }
+
+  // Fresh sessions (the cold path): same subset again.
+  core::Project cold_project(metrics_workspace(param.app));
+  for (int r = 0; r < 2; ++r) {
+    const runtime::RunStats cold =
+        cold_project.execute(metrics_options(param));
+    EXPECT_EQ(cold.metrics.deterministic_subset(), reference)
+        << "cold run " << r;
+  }
+
+  // Time-based series exist and are positive -- they are excluded from
+  // the subset because they jitter, not because they are missing.
+  for (const runtime::RunStats& stats : warm) {
+    const MetricValue* busy = stats.metrics.find(
+        families::kFunctionBusySeconds);
+    ASSERT_NE(busy, nullptr);
+    EXPECT_TRUE(busy->time_based);
+    EXPECT_GT(busy->value, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsPoliciesDepths, MetricsDeterminismTest,
+    ::testing::Values(
+        MetricsCase{"fft2d", runtime::BufferPolicy::kUniquePerFunction, 0},
+        MetricsCase{"fft2d", runtime::BufferPolicy::kShared, 0},
+        MetricsCase{"fft2d", runtime::BufferPolicy::kUniquePerFunction, 2},
+        MetricsCase{"cornerturn", runtime::BufferPolicy::kUniquePerFunction,
+                    0},
+        MetricsCase{"cornerturn", runtime::BufferPolicy::kShared, 2}),
+    metrics_case_name);
+
+}  // namespace
+}  // namespace sage::viz

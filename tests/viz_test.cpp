@@ -3,6 +3,10 @@
 // the export formats.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
+
 #include "support/error.hpp"
 #include "viz/analysis.hpp"
 #include "viz/trace.hpp"
@@ -77,8 +81,75 @@ TEST(AnalysisTest, FunctionStatsAggregate) {
 }
 
 TEST(AnalysisTest, BottleneckIsLargestTotal) {
-  EXPECT_EQ(bottleneck(sample_trace()).name, "b");
-  EXPECT_THROW(bottleneck(Trace{}), Error);
+  const auto bn = bottleneck(sample_trace());
+  ASSERT_TRUE(bn.has_value());
+  EXPECT_EQ(bn->name, "b");
+}
+
+TEST(AnalysisTest, BottleneckEmptyWithoutFunctionEvents) {
+  // Regression: an empty trace -- or one that carries only non-function
+  // events (marker/fault-only traces) -- used to raise instead of
+  // reporting "no bottleneck".
+  EXPECT_EQ(bottleneck(Trace{}), std::nullopt);
+  EventBuffer node0(0);
+  node0.record(fn_event(EventKind::kMarker, -1, 0, 0, 1.0, "m"));
+  node0.record(fn_event(EventKind::kFault, -1, 0, 0, 2.0, "stall"));
+  EXPECT_EQ(bottleneck(Trace::merge({&node0})), std::nullopt);
+}
+
+TEST(AnalysisTest, UtilizationMergesOverlappingThreadIntervals) {
+  // Regression: two threads of one node executing concurrently used to
+  // have their busy intervals summed independently, reporting >100%
+  // utilization. Busy time is the union of the intervals.
+  EventBuffer node0(0);
+  node0.record(fn_event(EventKind::kFunctionStart, 0, 0, 0, 0.0, "a"));
+  node0.record(fn_event(EventKind::kFunctionEnd, 0, 0, 0, 10.0, "a"));
+  node0.record(fn_event(EventKind::kFunctionStart, 0, 1, 0, 5.0, "a"));
+  node0.record(fn_event(EventKind::kFunctionEnd, 0, 1, 0, 15.0, "a"));
+  const auto util = node_utilization(Trace::merge({&node0}));
+  ASSERT_EQ(util.size(), 1u);
+  EXPECT_NEAR(util[0].span, 15.0, 1e-12);
+  EXPECT_NEAR(util[0].busy, 15.0, 1e-12);  // union of [0,10] and [5,15]
+  EXPECT_LE(util[0].utilization(), 1.0);
+  EXPECT_NEAR(util[0].utilization(), 1.0, 1e-12);
+}
+
+TEST(AnalysisTest, UtilizationCountsDisjointIntervalsSeparately) {
+  EventBuffer node0(0);
+  node0.record(fn_event(EventKind::kFunctionStart, 0, 0, 0, 0.0, "a"));
+  node0.record(fn_event(EventKind::kFunctionEnd, 0, 0, 0, 2.0, "a"));
+  node0.record(fn_event(EventKind::kFunctionStart, 0, 1, 0, 6.0, "a"));
+  node0.record(fn_event(EventKind::kFunctionEnd, 0, 1, 0, 10.0, "a"));
+  const auto util = node_utilization(Trace::merge({&node0}));
+  ASSERT_EQ(util.size(), 1u);
+  EXPECT_NEAR(util[0].busy, 6.0, 1e-12);  // 2 + 4, gap not counted
+}
+
+TEST(AnalysisTest, DegenerateTracesDoNotThrow) {
+  // Every analysis handles an empty trace gracefully.
+  const Trace empty;
+  EXPECT_TRUE(function_stats(empty).empty());
+  EXPECT_EQ(bottleneck(empty), std::nullopt);
+  EXPECT_TRUE(node_utilization(empty).empty());
+  EXPECT_TRUE(iteration_latencies(empty).empty());
+  EXPECT_TRUE(latency_violations(empty, 1.0).empty());
+  EXPECT_EQ(mean_period(empty), 0.0);
+  EXPECT_EQ(total_transfer_bytes(empty), 0u);
+  EXPECT_TRUE(transfer_stats(empty).empty());
+  EXPECT_FALSE(summary_report(empty).empty());
+
+  // A start without a matching end (truncated trace) must not blow up.
+  EventBuffer node0(0);
+  node0.record(fn_event(EventKind::kFunctionStart, 0, 0, 0, 1.0, "a"));
+  node0.record(fn_event(EventKind::kIterationStart, -1, 0, 0, 0.0, ""));
+  const Trace truncated = Trace::merge({&node0});
+  EXPECT_NO_THROW(function_stats(truncated));
+  EXPECT_NO_THROW(node_utilization(truncated));
+  // A start-only iteration reports zero latency, not garbage.
+  const auto latencies = iteration_latencies(truncated);
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_EQ(latencies[0].latency(), 0.0);
+  EXPECT_NO_THROW(summary_report(truncated));
 }
 
 TEST(AnalysisTest, UtilizationPerNode) {
@@ -162,8 +233,71 @@ TEST(ExportTest, CsvRoundTripsThroughFromCsv) {
     EXPECT_EQ(a.label, b.label);
   }
   // The analyses agree on the reloaded trace.
-  EXPECT_EQ(bottleneck(reloaded).name, bottleneck(original).name);
+  EXPECT_EQ(bottleneck(reloaded)->name, bottleneck(original)->name);
   EXPECT_DOUBLE_EQ(mean_period(reloaded), mean_period(original));
+}
+
+/// Round-trips `original` through CSV and checks field-for-field
+/// equality (bit-identical doubles included).
+void expect_csv_round_trip(const Trace& original) {
+  const Trace reloaded = Trace::from_csv(original.to_csv());
+  ASSERT_EQ(reloaded.events().size(), original.events().size());
+  for (std::size_t i = 0; i < original.events().size(); ++i) {
+    const Event& a = original.events()[i];
+    const Event& b = reloaded.events()[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.node, b.node) << "event " << i;
+    EXPECT_EQ(a.function_id, b.function_id) << "event " << i;
+    EXPECT_EQ(a.thread, b.thread) << "event " << i;
+    EXPECT_EQ(a.iteration, b.iteration) << "event " << i;
+    EXPECT_EQ(a.start_vt, b.start_vt) << "event " << i;  // bit-exact
+    EXPECT_EQ(a.end_vt, b.end_vt) << "event " << i;
+    EXPECT_EQ(a.bytes, b.bytes) << "event " << i;
+    EXPECT_EQ(a.label, b.label) << "event " << i;
+  }
+}
+
+TEST(ExportTest, CsvRoundTripsAwkwardLabels) {
+  // Regression: labels with embedded commas used to shift the column
+  // split and get rejected (or silently truncated).
+  EventBuffer node0(0);
+  for (const std::string& label :
+       {std::string("a,b->c,d"), std::string("fft.out->sink.in"),
+        std::string("quoted \"label\""), std::string("tab\there"),
+        std::string("newline\nhere"), std::string("back\\slash"),
+        std::string("  padded  "), std::string("trailing,"),
+        std::string(",leading"), std::string("")}) {
+    node0.record(fn_event(EventKind::kSend, 0, 0, 0, 1.0, label));
+  }
+  expect_csv_round_trip(Trace::merge({&node0}));
+}
+
+TEST(ExportTest, CsvRoundTripsHugeByteCounts) {
+  // Regression: bytes >= 2^63 used to go through a signed parse and come
+  // back mangled.
+  EventBuffer node0(0);
+  for (const std::uint64_t bytes :
+       {std::uint64_t{0}, std::uint64_t{1} << 62, std::uint64_t{1} << 63,
+        (std::uint64_t{1} << 63) + 12345,
+        std::numeric_limits<std::uint64_t>::max()}) {
+    Event e = fn_event(EventKind::kSend, 0, 0, 0, 1.0, "big");
+    e.bytes = bytes;
+    node0.record(e);
+  }
+  expect_csv_round_trip(Trace::merge({&node0}));
+}
+
+TEST(ExportTest, CsvRoundTripsFullPrecisionTimes) {
+  EventBuffer node0(0);
+  Event e = fn_event(EventKind::kFunctionStart, 0, 0, 0, 0.0, "p");
+  e.start_vt = 1.0 + std::numeric_limits<double>::epsilon();  // 17 digits
+  e.end_vt = 1e6 + 1e-7;  // collapses at default 6-digit precision
+  node0.record(e);
+  expect_csv_round_trip(Trace::merge({&node0}));
+}
+
+TEST(ExportTest, FromCsvRejectsNegativeBytes) {
+  EXPECT_THROW(Trace::from_csv("marker,0,-1,0,0,0,0,-1,x\n"), Error);
 }
 
 TEST(ExportTest, FromCsvRejectsGarbage) {
@@ -184,6 +318,21 @@ TEST(ExportTest, ChromeJsonWellFormedish) {
     if (c == '}') --depth;
   }
   EXPECT_EQ(depth, 0);
+}
+
+TEST(ExportTest, ChromeJsonKeepsFullTimestampPrecision) {
+  // Regression: the default 6-significant-digit stream precision
+  // collapsed distinct timestamps once they passed ~1 virtual second
+  // (1e6 microseconds).
+  EventBuffer node0(0);
+  // 2.0000001 s = 2000000.1 us: the .1 vanishes at 6 significant digits.
+  Event a = fn_event(EventKind::kFunctionStart, 0, 0, 0, 2.0000001, "p");
+  node0.record(a);
+  const std::string json = Trace::merge({&node0}).to_chrome_json();
+  // Full precision: the fractional microsecond survives (the exact
+  // digits are the double's shortest round-trip form).
+  EXPECT_NE(json.find("\"ts\":2000000.0999999999"), std::string::npos)
+      << json;
 }
 
 TEST(ExportTest, AsciiTimelineShowsBusyCells) {

@@ -20,6 +20,15 @@
 //       Visualizer summary and host cost. --fault-plan attaches a
 //       deterministic fault schedule (see net/fault.hpp for the
 //       format); --fault-seed overrides the plan's seed.
+//   sagec stats <model-file|quickstart|radar|fft2d|cornerturn>
+//             [-i iterations] [--run N] [--threshold seconds]
+//             [--format text|prom|csv|chrome] [-o file]
+//             [--fault-plan plan.txt] [--fault-seed N]
+//       run on the emulated platform and export the observability data:
+//       the human report (text), Prometheus exposition (prom), flat
+//       metrics CSV (csv), or the Chrome trace (chrome). --run N repeats
+//       the run warm and reports the last one; --threshold feeds the
+//       latency-violation monitor.
 //   sagec alter <script.alt> [-m model-file] [-o dir]
 //       run an Alter program (optionally against a model); print its
 //       (print ...) log and write its emit streams
@@ -32,6 +41,7 @@
 
 #include "alter/interp.hpp"
 #include "apps/benchmarks.hpp"
+#include "apps/pipelines.hpp"
 #include "atot/mapper.hpp"
 #include "codegen/generator.hpp"
 #include "core/project.hpp"
@@ -40,6 +50,7 @@
 #include "model/serialize.hpp"
 #include "support/error.hpp"
 #include "viz/analysis.hpp"
+#include "viz/exporters.hpp"
 
 namespace {
 
@@ -48,7 +59,8 @@ using namespace sage;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: sagec <command> [args]\n"
-               "  demo <fft2d|cornerturn> [-n size] [-p nodes] [-o file]\n"
+               "  demo <fft2d|cornerturn|quickstart|radar> [-n size]"
+               " [-p nodes] [-o file]\n"
                "  info <model-file>\n"
                "  validate <model-file>\n"
                "  map <model-file> [-o file]\n"
@@ -56,6 +68,11 @@ using namespace sage;
                "  run <model-file> [-i iters] [-r runs] [--policy unique|shared]"
                " [--depth d] [--trace file.json]"
                " [--fault-plan plan.txt] [--fault-seed N]\n"
+               "  stats <model-file|quickstart|radar|fft2d|cornerturn>"
+               " [-i iters] [--run N]\n"
+               "        [--threshold seconds] [--format text|prom|csv|chrome]"
+               " [-o file]\n"
+               "        [--fault-plan plan.txt] [--fault-seed N]\n"
                "  alter <script.alt> [-m model-file] [-o dir]\n"
                "  analyze <trace.csv> [--latency-bound ms]\n");
   std::exit(2);
@@ -105,20 +122,31 @@ Args parse_args(int argc, char** argv, int start) {
   return args;
 }
 
+/// Builds one of the ready-made designs by name, or returns nullptr.
+std::unique_ptr<model::Workspace> make_demo(const std::string& which,
+                                            std::size_t n, int nodes) {
+  if (which == "fft2d") return apps::make_fft2d_workspace(n, nodes);
+  if (which == "cornerturn") return apps::make_cornerturn_workspace(n, nodes);
+  if (which == "quickstart") return apps::make_quickstart_workspace(n, nodes);
+  if (which == "radar") {
+    // n is the pulse count; range gates stay at the tutorial's 2n.
+    return apps::make_radar_workspace(n, 2 * n, nodes);
+  }
+  return nullptr;
+}
+
 int cmd_demo(const Args& args) {
   if (args.positional.empty()) usage();
   const std::string& which = args.positional[0];
   const auto n =
       static_cast<std::size_t>(std::stoul(args.flag_or("n", "256")));
-  const int nodes = std::stoi(args.flag_or("p", "4"));
+  const int nodes =
+      std::stoi(args.flag_or("p", which == "radar" ? "8" : "4"));
 
-  std::unique_ptr<model::Workspace> ws;
-  if (which == "fft2d") {
-    ws = apps::make_fft2d_workspace(n, nodes);
-  } else if (which == "cornerturn") {
-    ws = apps::make_cornerturn_workspace(n, nodes);
-  } else {
-    raise<Error>("unknown demo '", which, "' (want fft2d or cornerturn)");
+  std::unique_ptr<model::Workspace> ws = make_demo(which, n, nodes);
+  if (ws == nullptr) {
+    raise<Error>("unknown demo '", which,
+                 "' (want fft2d, cornerturn, quickstart, or radar)");
   }
 
   const std::string out = args.flag_or("o", "");
@@ -293,6 +321,61 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+int cmd_stats(const Args& args) {
+  if (args.positional.empty()) usage();
+  // The target is a model-repository file, or one of the ready-made
+  // designs by name (built at their tutorial sizes).
+  const std::string& target = args.positional[0];
+  std::unique_ptr<model::Workspace> ws =
+      make_demo(target, 256, target == "radar" ? 8 : 4);
+  if (ws == nullptr) ws = model::load_workspace(read_file(target));
+
+  core::Project project(std::move(ws));
+  runtime::ExecuteOptions options;
+  options.iterations = std::stoi(args.flag_or("i", "3"));
+  options.latency_threshold = std::stod(args.flag_or("threshold", "0"));
+  const std::string plan_path = args.flag_or("fault-plan", "");
+  if (!plan_path.empty()) {
+    net::FaultPlan plan = net::FaultPlan::parse(read_file(plan_path));
+    const std::string seed = args.flag_or("fault-seed", "");
+    if (!seed.empty()) plan.seed = std::stoull(seed);
+    options.fault_plan = std::make_shared<const net::FaultPlan>(std::move(plan));
+  }
+
+  // --run N exercises the warm path; the exported run is the last one
+  // (each run's metrics restart at zero -- the warm-session contract).
+  const int runs = std::stoi(args.flag_or("run", "1"));
+  auto session = project.open_session(options);
+  runtime::RunStats stats = session->run();
+  for (int r = 1; r < runs; ++r) stats = session->run();
+
+  const std::string format = args.flag_or("format", "text");
+  std::string out;
+  if (format == "chrome") {
+    out = stats.trace.to_chrome_json();
+  } else if (format == "prom") {
+    out = viz::prometheus_text(stats.metrics);
+  } else if (format == "csv") {
+    out = viz::metrics_csv(stats.metrics);
+  } else if (format == "text") {
+    viz::ReportOptions report_options;
+    report_options.latency_threshold = options.latency_threshold;
+    out = viz::report(stats.trace, stats.metrics, report_options);
+  } else {
+    raise<Error>("unknown format '", format,
+                 "' (want text, prom, csv, or chrome)");
+  }
+
+  const std::string path = args.flag_or("o", "");
+  if (path.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    write_file(path, out);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), out.size());
+  }
+  return 0;
+}
+
 int cmd_analyze(const Args& args) {
   if (args.positional.empty()) usage();
   const viz::Trace trace = viz::Trace::from_csv(read_file(args.positional[0]));
@@ -357,6 +440,7 @@ int main(int argc, char** argv) {
     if (command == "map") return cmd_map(args);
     if (command == "generate") return cmd_generate(args);
     if (command == "run") return cmd_run(args);
+    if (command == "stats") return cmd_stats(args);
     if (command == "alter") return cmd_alter(args);
     if (command == "analyze") return cmd_analyze(args);
     usage();
