@@ -130,4 +130,58 @@ inline void print_host_cost(const HostCost& cost) {
               cost.speedup());
 }
 
+/// Machine-readable results for one benchmark binary, written by
+/// `--json <file>` and consumed by scripts/check_bench_regression.py,
+/// which gates warm host-time regressions against the committed
+/// BENCH_baseline.json.
+struct JsonReport {
+  std::string bench;  // binary name, e.g. "table1_fft2d"
+  int runs = 0;
+  int iterations = 0;
+  std::vector<HostCost> hosts;
+  std::vector<ComparisonRow> rows;
+};
+
+/// The file following a `--json` flag, or nullptr when absent.
+inline const char* json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Writes the report as JSON. Returns false (with a note on stderr) when
+/// the file cannot be opened; benches treat that as a fatal error so CI
+/// never silently skips the gate.
+inline bool write_json(const JsonReport& report, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"runs\": %d,\n"
+               "  \"iterations\": %d,\n  \"host\": [\n",
+               report.bench.c_str(), report.runs, report.iterations);
+  for (std::size_t i = 0; i < report.hosts.size(); ++i) {
+    const HostCost& h = report.hosts[i];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"cold_seconds\": %.6f, "
+                 "\"warm_seconds\": %.6f, \"warm_runs\": %d}%s\n",
+                 h.label.c_str(), h.cold_seconds, h.warm_seconds, h.warm_runs,
+                 i + 1 < report.hosts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"comparison\": [\n");
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const ComparisonRow& r = report.rows[i];
+    std::fprintf(f,
+                 "    {\"application\": \"%s\", \"size\": %zu, \"nodes\": %d, "
+                 "\"hand_seconds\": %.6f, \"sage_seconds\": %.6f}%s\n",
+                 r.application.c_str(), r.size, r.nodes, r.hand_seconds,
+                 r.sage_seconds, i + 1 < report.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace sage::bench

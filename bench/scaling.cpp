@@ -10,6 +10,7 @@
 #include "apps/handcoded.hpp"
 #include "bench_util.hpp"
 #include "core/project.hpp"
+#include "support/clock.hpp"
 
 namespace {
 
@@ -23,7 +24,7 @@ double mean(const std::vector<double>& xs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::bench_env();
   const std::size_t size = env.sizes.back();
 
@@ -32,6 +33,8 @@ int main() {
   std::printf("%-6s %12s %9s %7s %12s %9s %7s %9s\n", "Nodes", "hand(ms)",
               "speedup", "eff", "sage(ms)", "speedup", "eff", "%ofHand");
 
+  std::vector<bench::ComparisonRow> rows;
+  std::vector<bench::HostCost> hosts;
   double hand_base = 0.0;
   double sage_base = 0.0;
   for (int nodes : {1, 2, 4, 8}) {
@@ -46,9 +49,21 @@ int main() {
     runtime::ExecuteOptions options;
     options.iterations = env.iterations;
     options.collect_trace = false;
+    std::vector<double> host_seconds;
+    std::vector<double> sage_lat;
+    const double cold_start = support::wall_seconds();
     auto session = project.open_session(options);
-    session->run();  // warm-up
-    const double sage = mean(session->run().latencies);
+    session->run();  // cold run: construction + first dispatch
+    host_seconds.push_back(support::wall_seconds() - cold_start);
+    for (int run = 1; run < std::max(2, env.runs); ++run) {
+      const runtime::RunStats stats = session->run();
+      for (double lat : stats.latencies) sage_lat.push_back(lat);
+      host_seconds.push_back(stats.host_seconds);
+    }
+    const double sage = mean(sage_lat);
+    hosts.push_back(bench::host_cost(
+        "scaling/" + std::to_string(size) + "x" + std::to_string(nodes) + "n",
+        host_seconds));
 
     if (nodes == 1) {
       hand_base = hand;
@@ -62,11 +77,24 @@ int main() {
                 sage_speedup / nodes * 100.0,
                 sage > 0 ? hand / sage * 100.0 : 0.0);
     std::printf("csv,scaling,%zu,%d,%.6f,%.6f\n", size, nodes, hand, sage);
+    bench::ComparisonRow row;
+    row.application = "scaling";
+    row.size = size;
+    row.nodes = nodes;
+    row.hand_seconds = hand;
+    row.sage_seconds = sage;
+    rows.push_back(row);
   }
+  std::printf("\n");
+  for (const bench::HostCost& cost : hosts) bench::print_host_cost(cost);
   std::printf("\nSpeedups reflect two competing effects: per-node working\n"
               "sets shrinking into cache (helps) vs the all-to-all's\n"
               "per-message costs growing relative to per-node compute\n"
               "(hurts). The generated code's fixed overheads amortize less\n"
               "at scale, so the %%-of-hand column trends down with nodes.\n");
+  if (const char* path = bench::json_path(argc, argv)) {
+    bench::JsonReport report{"scaling", env.runs, env.iterations, hosts, rows};
+    if (!bench::write_json(report, path)) return 1;
+  }
   return 0;
 }

@@ -27,7 +27,7 @@ double mean(const std::vector<double>& xs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::BenchEnv env = bench::bench_env();
   if (std::getenv("SAGE_BENCH_NODES") == nullptr) {
     env.nodes = {2, 4, 8};  // the paper discusses the 2-node anomaly
@@ -91,5 +91,11 @@ int main() {
       "Comparison of hand-coded and auto-generated code (Corner Turn)", rows);
   std::printf("\nWarm-session host cost (first run cold, rest warm)\n");
   for (const bench::HostCost& cost : hosts) bench::print_host_cost(cost);
+
+  if (const char* path = bench::json_path(argc, argv)) {
+    bench::JsonReport report{"table1_cornerturn", env.runs, env.iterations,
+                             hosts, rows};
+    if (!bench::write_json(report, path)) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the warm-session data plane.
+
+Compares the `--json` output of the benchmark binaries against the
+committed baseline (BENCH_baseline.json at the repo root) and fails when
+any warm host time regresses by more than the allowed threshold.
+
+Usage:
+    scripts/check_bench_regression.py CURRENT.json [CURRENT2.json ...]
+        [--baseline BENCH_baseline.json] [--threshold 0.10]
+
+    # Typical CI flow (from the build directory):
+    bench/table1_fft2d --json fft2d.json
+    bench/table1_cornerturn --json cornerturn.json
+    bench/scaling --json scaling.json
+    ../scripts/check_bench_regression.py fft2d.json cornerturn.json \
+        scaling.json
+
+Each CURRENT file is one benchmark binary's report (bench name inside
+the file). The gate only inspects warm host seconds -- virtual-time
+results are deterministic and covered by unit tests; host time is what
+the zero-copy data plane optimises, and what silently regresses.
+
+Host timings on small configurations are noisy, so labels whose
+baseline warm time is below --min-seconds (default 1 ms) are reported
+but never fail the gate.
+
+Exit status: 0 when every label is within threshold, 1 on regression,
+2 on usage/baseline mismatch errors.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.10
+DEFAULT_MIN_SECONDS = 0.001
+GATED_BENCHES = ("table1_fft2d", "table1_cornerturn", "scaling")
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+
+
+def warm_times(report):
+    """Maps host label -> warm seconds for one bench report."""
+    out = {}
+    for host in report.get("host", []):
+        out[host["label"]] = float(host["warm_seconds"])
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", nargs="+",
+                        help="--json output files from the bench binaries")
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        help="committed baseline file (default: "
+                             "BENCH_baseline.json)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max allowed relative warm-time regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--min-seconds", type=float,
+                        default=DEFAULT_MIN_SECONDS,
+                        help="baseline warm times below this are too noisy "
+                             "to gate (default 0.001)")
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    baseline_benches = baseline.get("benches", {})
+    if not baseline_benches:
+        print(f"error: {args.baseline} has no 'benches' table", file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    seen_benches = set()
+    for path in args.current:
+        report = load_report(path)
+        bench = report.get("bench", "")
+        seen_benches.add(bench)
+        if bench not in GATED_BENCHES:
+            print(f"note: {path}: bench '{bench}' is not gated, skipping")
+            continue
+        base = baseline_benches.get(bench)
+        if base is None:
+            print(f"error: baseline has no entry for bench '{bench}'",
+                  file=sys.stderr)
+            return 2
+        base_warm = warm_times(base)
+        for label, warm in sorted(warm_times(report).items()):
+            if label not in base_warm:
+                print(f"note: {bench}/{label}: new configuration, no baseline")
+                continue
+            ref = base_warm[label]
+            delta = (warm - ref) / ref if ref > 0 else 0.0
+            tag = "ok"
+            if ref < args.min_seconds:
+                tag = "noisy (below min-seconds, not gated)"
+            elif delta > args.threshold:
+                tag = "REGRESSION"
+                failures.append((bench, label, ref, warm, delta))
+            else:
+                checked += 1
+            print(f"{bench:18s} {label:24s} baseline {ref * 1e3:9.3f} ms  "
+                  f"current {warm * 1e3:9.3f} ms  {delta * 100.0:+6.1f}%  "
+                  f"{tag}")
+
+    missing = [b for b in GATED_BENCHES if b not in seen_benches]
+    if missing:
+        print(f"warning: no current report supplied for: {', '.join(missing)}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} warm host-time regression(s) above "
+              f"{args.threshold * 100.0:.0f}%:", file=sys.stderr)
+        for bench, label, ref, warm, delta in failures:
+            print(f"  {bench}/{label}: {ref * 1e3:.3f} ms -> "
+                  f"{warm * 1e3:.3f} ms ({delta * 100.0:+.1f}%)",
+                  file=sys.stderr)
+        return 1
+    print(f"\nOK: {checked} gated configuration(s) within "
+          f"{args.threshold * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

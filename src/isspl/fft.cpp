@@ -44,15 +44,29 @@ FftPlan::FftPlan(std::size_t n, FftDirection direction,
   SAGE_CHECK(is_power_of_two(n) && n >= 2,
              "FFT size must be a power of two >= 2, got ", n);
   if (algorithm_ == FftAlgorithm::kAuto) {
-    algorithm_ = is_power_of_four(n) ? FftAlgorithm::kRadix4
-                                     : FftAlgorithm::kRadix2;
+    if (is_power_of_four(n)) {
+      algorithm_ = FftAlgorithm::kRadix4;
+    } else if (n >= 8) {
+      algorithm_ = FftAlgorithm::kMixed42;
+    } else {
+      algorithm_ = FftAlgorithm::kRadix2;
+    }
   }
-  if (algorithm_ == FftAlgorithm::kRadix4) {
-    SAGE_CHECK(is_power_of_four(n),
-               "radix-4 FFT needs a power-of-four size, got ", n);
-    build_radix4();
-  } else {
-    build_radix2();
+  switch (algorithm_) {
+    case FftAlgorithm::kRadix4:
+      SAGE_CHECK(is_power_of_four(n),
+                 "radix-4 FFT needs a power-of-four size, got ", n);
+      build_radix4();
+      break;
+    case FftAlgorithm::kMixed42:
+      SAGE_CHECK(n >= 8 && !is_power_of_four(n),
+                 "mixed radix-4/2 FFT needs a power-of-two size >= 8 that is "
+                 "not a power of four, got ", n);
+      build_mixed42();
+      break;
+    default:
+      build_radix2();
+      break;
   }
 }
 
@@ -103,18 +117,94 @@ void FftPlan::build_radix4() {
   }
 }
 
+void FftPlan::build_mixed42() {
+  // Factorization, smallest stage first: one radix-2 seed stage on
+  // adjacent pairs, then radix-4 stages m = 8, 32, ..., n. The matching
+  // input permutation is the reversed mixed-radix digit order, built by
+  // the DIT recursion: split into 4 interleaved subsequences, permute
+  // each recursively, lay them out contiguously. (The innermost
+  // length-2 split is the radix-2 seed.)
+  rev_.resize(n_);
+  const auto lay_out = [this](auto&& self, std::size_t out0,
+                              std::size_t base_in, std::size_t stride_in,
+                              std::size_t len) -> void {
+    if (len == 2) {
+      rev_[out0] = static_cast<std::uint32_t>(base_in);
+      rev_[out0 + 1] = static_cast<std::uint32_t>(base_in + stride_in);
+      return;
+    }
+    const std::size_t sub = len / 4;
+    for (std::size_t j = 0; j < 4; ++j) {
+      self(self, out0 + j * sub, base_in + j * stride_in, stride_in * 4, sub);
+    }
+  };
+  lay_out(lay_out, 0, 0, 1, n_);
+
+  // Unlike the pure-radix bit/digit reversals this permutation is not an
+  // involution, so realize it as a precomputed swap sequence for the
+  // in-place path: consecutive transpositions along each cycle of
+  // out[i] = in[rev_[i]].
+  perm_swaps_.clear();
+  std::vector<std::uint32_t> cur(n_);  // element currently at position j
+  std::vector<std::uint32_t> pos(n_);  // position of element e
+  for (std::uint32_t j = 0; j < n_; ++j) cur[j] = pos[j] = j;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const std::uint32_t at = pos[rev_[i]];
+    if (at != i) {
+      perm_swaps_.emplace_back(i, at);
+      std::swap(cur[i], cur[at]);
+      pos[cur[i]] = i;
+      pos[cur[at]] = at;
+    }
+  }
+
+  // Twiddles for the radix-4 stages, same per-stage layout as
+  // build_radix4: for each j < m/4 the powers w^j, w^(2j), w^(3j).
+  const double sign = (direction_ == FftDirection::kForward) ? -1.0 : 1.0;
+  for (std::size_t m = 8; m <= n_; m <<= 2) {
+    const double theta = sign * 2.0 * std::numbers::pi / static_cast<double>(m);
+    for (std::size_t j = 0; j < m / 4; ++j) {
+      for (int power = 1; power <= 3; ++power) {
+        const double angle = theta * static_cast<double>(j * power);
+        twiddles_.emplace_back(static_cast<float>(std::cos(angle)),
+                               static_cast<float>(std::sin(angle)));
+      }
+    }
+  }
+}
+
 void FftPlan::execute(std::span<Complex> data) const {
   SAGE_CHECK(data.size() == n_, "FFT buffer size ", data.size(),
              " does not match plan size ", n_);
 
   Complex* x = data.data();
-  for (std::size_t i = 0; i < n_; ++i) {
-    const std::uint32_t j = rev_[i];
-    if (i < j) std::swap(x[i], x[j]);
+  if (perm_swaps_.empty()) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::uint32_t j = rev_[i];
+      if (i < j) std::swap(x[i], x[j]);
+    }
+  } else {
+    for (const auto& [a, b] : perm_swaps_) std::swap(x[a], x[b]);
   }
+  run_stages_(x);
+}
 
+void FftPlan::execute(std::span<const Complex> in,
+                      std::span<Complex> out) const {
+  SAGE_CHECK(in.size() == n_ && out.size() == n_,
+             "FFT buffer sizes ", in.size(), "/", out.size(),
+             " do not match plan size ", n_);
+  const Complex* s = in.data();
+  Complex* x = out.data();
+  for (std::size_t i = 0; i < n_; ++i) x[i] = s[rev_[i]];
+  run_stages_(x);
+}
+
+void FftPlan::run_stages_(Complex* x) const {
   if (algorithm_ == FftAlgorithm::kRadix4) {
     execute_radix4(x);
+  } else if (algorithm_ == FftAlgorithm::kMixed42) {
+    execute_mixed42(x);
   } else {
     execute_radix2(x);
   }
@@ -127,10 +217,53 @@ void FftPlan::execute(std::span<Complex> data) const {
 
 void FftPlan::execute_radix2(Complex* x) const {
   const Complex* stage_tw = twiddles_.data();
-  for (std::size_t m = 2; m <= n_; m <<= 1) {
+  const bool forward = direction_ == FftDirection::kForward;
+
+  // Stage m == 2: the only twiddle is w^0 == 1, so the whole stage is a
+  // multiply-free add/sub pass.
+  if (n_ >= 2) {
+    for (std::size_t base = 0; base < n_; base += 2) {
+      const Complex u = x[base];
+      const Complex t = x[base + 1];
+      x[base] = u + t;
+      x[base + 1] = u - t;
+    }
+    stage_tw += 1;
+  }
+
+  // Stage m == 4: twiddles are w^0 == 1 and w^1 == -+i; the latter is an
+  // exact component swap, so this stage needs no multiplies either.
+  if (n_ >= 4) {
+    for (std::size_t base = 0; base < n_; base += 4) {
+      {
+        const Complex u = x[base];
+        const Complex t = x[base + 2];
+        x[base] = u + t;
+        x[base + 2] = u - t;
+      }
+      {
+        const Complex u = x[base + 1];
+        const Complex v = x[base + 3];
+        const Complex t = forward ? Complex(v.imag(), -v.real())
+                                  : Complex(-v.imag(), v.real());
+        x[base + 1] = u + t;
+        x[base + 3] = u - t;
+      }
+    }
+    stage_tw += 2;
+  }
+
+  for (std::size_t m = 8; m <= n_; m <<= 1) {
     const std::size_t half = m / 2;
     for (std::size_t base = 0; base < n_; base += m) {
-      for (std::size_t k = 0; k < half; ++k) {
+      // k == 0 peeled: w^0 == 1 exactly.
+      {
+        const Complex u = x[base];
+        const Complex t = x[base + half];
+        x[base] = u + t;
+        x[base + half] = u - t;
+      }
+      for (std::size_t k = 1; k < half; ++k) {
         const Complex w = stage_tw[k];
         const Complex t = w * x[base + k + half];
         const Complex u = x[base + k];
@@ -151,11 +284,74 @@ void FftPlan::execute_radix4(Complex* x) const {
   };
 
   const Complex* stage_tw = twiddles_.data();
-  for (std::size_t m = 4; m <= n_; m <<= 2) {
+
+  // Stage m == 4: every group uses j == 0, whose three twiddles are all
+  // w^0 == 1 exactly -- a multiply-free radix-4 butterfly pass.
+  if (n_ >= 4) {
+    for (std::size_t base = 0; base < n_; base += 4) {
+      const Complex y0 = x[base];
+      const Complex y1 = x[base + 1];
+      const Complex y2 = x[base + 2];
+      const Complex y3 = x[base + 3];
+
+      const Complex t0 = y0 + y2;
+      const Complex t1 = y0 - y2;
+      const Complex t2 = y1 + y3;
+      const Complex t3 = rotate(y1 - y3);
+
+      x[base] = t0 + t2;
+      x[base + 1] = t1 + t3;
+      x[base + 2] = t0 - t2;
+      x[base + 3] = t1 - t3;
+    }
+    stage_tw += 3;
+  }
+
+  radix4_stages_(x, 16, stage_tw);
+}
+
+void FftPlan::execute_mixed42(Complex* x) const {
+  // Radix-2 seed stage on adjacent pairs (w^0 == 1: multiply-free), then
+  // the radix-4 ladder from m == 8.
+  for (std::size_t base = 0; base < n_; base += 2) {
+    const Complex u = x[base];
+    const Complex t = x[base + 1];
+    x[base] = u + t;
+    x[base + 1] = u - t;
+  }
+  radix4_stages_(x, 8, twiddles_.data());
+}
+
+void FftPlan::radix4_stages_(Complex* x, std::size_t m0,
+                             const Complex* stage_tw) const {
+  const bool forward = direction_ == FftDirection::kForward;
+  const auto rotate = [forward](const Complex& v) {
+    return forward ? Complex(v.imag(), -v.real())
+                   : Complex(-v.imag(), v.real());
+  };
+
+  for (std::size_t m = m0; m <= n_; m <<= 2) {
     const std::size_t quarter = m / 4;
     for (std::size_t base = 0; base < n_; base += m) {
-      const Complex* tw = stage_tw;
-      for (std::size_t j = 0; j < quarter; ++j) {
+      // j == 0 peeled: all three twiddles are w^0 == 1 exactly.
+      {
+        const Complex y0 = x[base];
+        const Complex y1 = x[base + quarter];
+        const Complex y2 = x[base + 2 * quarter];
+        const Complex y3 = x[base + 3 * quarter];
+
+        const Complex t0 = y0 + y2;
+        const Complex t1 = y0 - y2;
+        const Complex t2 = y1 + y3;
+        const Complex t3 = rotate(y1 - y3);
+
+        x[base] = t0 + t2;
+        x[base + quarter] = t1 + t3;
+        x[base + 2 * quarter] = t0 - t2;
+        x[base + 3 * quarter] = t1 - t3;
+      }
+      const Complex* tw = stage_tw + 3;
+      for (std::size_t j = 1; j < quarter; ++j) {
         const Complex y0 = x[base + j];
         const Complex y1 = tw[0] * x[base + j + quarter];
         const Complex y2 = tw[1] * x[base + j + 2 * quarter];
@@ -182,6 +378,16 @@ void FftPlan::execute_rows(std::span<Complex> data, std::size_t rows) const {
              data.size(), " != ", rows, " * ", n_);
   for (std::size_t r = 0; r < rows; ++r) {
     execute(data.subspan(r * n_, n_));
+  }
+}
+
+void FftPlan::execute_rows(std::span<const Complex> in, std::span<Complex> out,
+                           std::size_t rows) const {
+  SAGE_CHECK(in.size() == rows * n_ && out.size() == rows * n_,
+             "row-FFT buffer size mismatch: ", in.size(), "/", out.size(),
+             " != ", rows, " * ", n_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    execute(in.subspan(r * n_, n_), out.subspan(r * n_, n_));
   }
 }
 

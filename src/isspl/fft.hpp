@@ -9,7 +9,9 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace sage::isspl {
@@ -18,9 +20,12 @@ using Complex = std::complex<float>;
 
 enum class FftDirection { kForward, kInverse };
 
-/// Butterfly radix. kAuto picks radix-4 for powers of four (fewer
-/// multiplications) and radix-2 otherwise.
-enum class FftAlgorithm { kAuto, kRadix2, kRadix4 };
+/// Butterfly radix. kAuto picks radix-4 for powers of four and the
+/// mixed radix-4/2 factorization (one multiply-free radix-2 seed stage,
+/// then radix-4 stages) for the other powers of two >= 8, so every size
+/// gets radix-4's lower multiplication count. kRadix2 forces the plain
+/// radix-2 ladder (reference implementation).
+enum class FftAlgorithm { kAuto, kRadix2, kRadix4, kMixed42 };
 
 /// Precomputed transform of one size/direction. Reusable across calls and
 /// threads (execution is const).
@@ -41,17 +46,39 @@ class FftPlan {
   /// In-place transform of `rows` contiguous n-point lines.
   void execute_rows(std::span<Complex> data, std::size_t rows) const;
 
+  /// Out-of-place transform: applies the bit/digit-reversal permutation
+  /// while loading `in` into `out`, saving the separate copy and swap
+  /// passes. Bit-identical to copying `in` into `out` and running the
+  /// in-place execute(). `in` and `out` must not alias.
+  void execute(std::span<const Complex> in, std::span<Complex> out) const;
+
+  /// Out-of-place transform of `rows` contiguous n-point lines.
+  void execute_rows(std::span<const Complex> in, std::span<Complex> out,
+                    std::size_t rows) const;
+
  private:
   void build_radix2();
   void build_radix4();
+  void build_mixed42();
   void execute_radix2(Complex* x) const;
   void execute_radix4(Complex* x) const;
+  void execute_mixed42(Complex* x) const;
+  /// Radix-4 butterfly ladder from stage size `m0` (doubling by 4) up
+  /// to n; shared by the radix-4 and mixed-radix paths.
+  void radix4_stages_(Complex* x, std::size_t m0,
+                      const Complex* stage_tw) const;
+  /// Butterfly stages + inverse scaling over already-permuted data.
+  void run_stages_(Complex* x) const;
 
   std::size_t n_;
   FftDirection direction_;
   FftAlgorithm algorithm_;
   std::vector<Complex> twiddles_;     // per-stage roots of unity
-  std::vector<std::uint32_t> rev_;    // bit/digit-reversal permutation
+  std::vector<std::uint32_t> rev_;    // input permutation (out[i] = in[rev_[i]])
+  /// In-place realization of rev_ as a swap sequence. The pure-radix
+  /// reversals are involutions (swap when i < rev_[i]); the mixed-radix
+  /// digit reversal is not, so its cycles are precomputed here.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> perm_swaps_;
 };
 
 /// Real-input FFT via the packed half-size complex transform: n real

@@ -16,6 +16,21 @@ void copy_own_block(std::span<const std::byte> in, std::span<std::byte> out,
               in.data() + static_cast<std::size_t>(rank) * block, block);
 }
 
+/// Pooled scatter side of the exchange: one copy into the fabric pool on
+/// the send side (raw_send), and here one scatter straight from the
+/// pooled block into the caller's block slot -- the handle returns the
+/// buffer to the pool as it dies.
+void gather_block(Communicator& comm, std::span<std::byte> out,
+                  std::size_t block, int src, int tag) {
+  const net::Payload payload = comm.recv_payload(src, tag);
+  SAGE_CHECK_AS(CommError, payload.size() == block,
+                "alltoall: expected a block of ", block, " bytes from rank ",
+                src, ", got ", payload.size());
+  if (block == 0) return;
+  std::memcpy(out.data() + static_cast<std::size_t>(src) * block,
+              payload.data(), block);
+}
+
 void alltoall_ring(Communicator& comm, std::span<const std::byte> in,
                    std::span<std::byte> out, std::size_t block, int tag) {
   const int n = comm.size();
@@ -26,8 +41,7 @@ void alltoall_ring(Communicator& comm, std::span<const std::byte> in,
     const int src = (rank - step + n) % n;
     comm.raw_send(dst, tag,
                   in.subspan(static_cast<std::size_t>(dst) * block, block));
-    comm.raw_recv(out.subspan(static_cast<std::size_t>(src) * block, block),
-                  src, tag);
+    gather_block(comm, out, block, src, tag);
   }
 }
 
@@ -40,9 +54,7 @@ void alltoall_pairwise(Communicator& comm, std::span<const std::byte> in,
     const int partner = rank ^ step;
     comm.raw_send(partner, tag,
                   in.subspan(static_cast<std::size_t>(partner) * block, block));
-    comm.raw_recv(
-        out.subspan(static_cast<std::size_t>(partner) * block, block), partner,
-        tag);
+    gather_block(comm, out, block, partner, tag);
   }
 }
 
@@ -61,8 +73,7 @@ void alltoall_vendor(Communicator& comm, std::span<const std::byte> in,
   }
   for (int step = 1; step < n; ++step) {
     const int src = (rank - step + n) % n;
-    comm.raw_recv(out.subspan(static_cast<std::size_t>(src) * block, block),
-                  src, tag);
+    gather_block(comm, out, block, src, tag);
   }
 }
 

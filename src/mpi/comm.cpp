@@ -47,13 +47,19 @@ int Communicator::comm_rank_of_world(int world_rank) const {
 void Communicator::raw_send(int dst_comm_rank, int tag,
                             std::span<const std::byte> data,
                             bool vendor_bulk) {
+  raw_send(dst_comm_rank, tag, node_.fabric().pool().copy_of(data),
+           vendor_bulk);
+}
+
+void Communicator::raw_send(int dst_comm_rank, int tag, net::Payload payload,
+                            bool vendor_bulk) {
   SAGE_CHECK_AS(CommError, dst_comm_rank >= 0 && dst_comm_rank < size(),
                 "send: bad destination rank ", dst_comm_rank);
   net::SendOptions options;
   options.vendor_bulk = vendor_bulk;
   const auto after = node_.fabric().send(
       world_rank_of(rank_), world_rank_of(dst_comm_rank), fabric_tag(tag),
-      data, node_.now(), options);
+      std::move(payload), node_.now(), options);
   node_.clock().join(after);
 }
 
@@ -74,7 +80,9 @@ Status Communicator::raw_recv(std::span<std::byte> data, int src_comm_rank,
   SAGE_CHECK_AS(CommError, msg.payload.size() <= data.size(),
                 "recv: message of ", msg.payload.size(),
                 " bytes overflows buffer of ", data.size(), " bytes");
-  std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+  if (!msg.payload.empty()) {
+    std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+  }
   node_.clock().join(msg.arrival_vt);
 
   Status status;
@@ -99,6 +107,12 @@ Status Communicator::recv_bytes(std::span<std::byte> data, int src, int tag) {
 
 std::vector<std::byte> Communicator::recv_any_bytes(int src, int tag,
                                                     Status* status_out) {
+  const net::Payload payload = recv_payload(src, tag, status_out);
+  const auto bytes = payload.bytes();
+  return std::vector<std::byte>(bytes.begin(), bytes.end());
+}
+
+net::Payload Communicator::recv_payload(int src, int tag, Status* status_out) {
   const int world_src =
       (src == kAnySource) ? net::kAnySource : world_rank_of(src);
   const int match_tag = (tag == kAnyTag) ? net::kAnyTag : fabric_tag(tag);

@@ -80,7 +80,12 @@ class Communicator {
   void send_bytes(std::span<const std::byte> data, int dst, int tag);
   Status recv_bytes(std::span<std::byte> data, int src, int tag);
   /// Receives into a freshly sized vector (when length is sender-defined).
+  /// The bytes are copied out of the fabric's pooled buffer; use
+  /// recv_payload() to keep the pooled buffer instead.
   std::vector<std::byte> recv_any_bytes(int src, int tag, Status* status = nullptr);
+  /// Zero-copy receive: returns the pooled payload handle itself (the
+  /// buffer goes back to the fabric's pool when the handle dies).
+  net::Payload recv_payload(int src, int tag, Status* status = nullptr);
   /// Combined exchange (safe because sends are eager).
   Status sendrecv_bytes(std::span<const std::byte> send, int dst, int sendtag,
                         std::span<std::byte> recv, int src, int recvtag);
@@ -184,6 +189,9 @@ class Communicator {
   }
   int fabric_tag(int local_tag) const;
   void raw_send(int dst_comm_rank, int tag, std::span<const std::byte> data,
+                bool vendor_bulk = false);
+  /// Zero-copy variant: hands a pooled payload to the fabric by handle.
+  void raw_send(int dst_comm_rank, int tag, net::Payload payload,
                 bool vendor_bulk = false);
   Status raw_recv(std::span<std::byte> data, int src_comm_rank, int tag);
 

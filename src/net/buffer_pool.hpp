@@ -1,0 +1,145 @@
+// openSAGE -- the data-plane buffer pool: recycled, size-bucketed byte
+// buffers behind a ref-counted Payload handle.
+//
+// The paper's run-time kernel owns all message memory: physical buffers
+// are allocated when the application loads and recycled for the life of
+// the run. The emulated fabric reproduces that economy here. A
+// BufferPool hands out Payload handles backed by power-of-two-bucketed
+// blocks; releasing the last handle parks the block on the bucket's
+// free list instead of freeing it, so a warmed-up steady state performs
+// zero payload heap allocations (the `misses` counter stays flat -- the
+// zero-copy acceptance test asserts exactly that).
+//
+// Payload is a cheap value type: copies share the same block (fan-out
+// sends enqueue one buffer N times), and the block returns to its pool
+// when the last copy dies. Handles must not outlive the pool that
+// issued them; in practice every Payload is scoped inside the lifetime
+// of the Fabric that owns the pool.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace sage::net {
+
+class BufferPool;
+struct PoolBlock;  // defined in buffer_pool.cpp
+
+/// Pool activity counters (diagnostics / metrics export). Hit and miss
+/// totals depend on host-thread interleaving (which node drains the
+/// free list first), so they are exported as time-based metrics --
+/// never part of the deterministic snapshot subset.
+struct BufferPoolStats {
+  std::uint64_t hits = 0;            ///< acquires served from a free list
+  std::uint64_t misses = 0;          ///< acquires that had to allocate
+  std::uint64_t blocks_live = 0;     ///< blocks currently held by payloads
+  std::uint64_t blocks_pooled = 0;   ///< blocks parked on free lists
+  std::uint64_t bytes_reserved = 0;  ///< total block capacity ever allocated
+
+  bool operator==(const BufferPoolStats&) const = default;
+};
+
+/// Ref-counted handle over one pooled block. Default-constructed
+/// handles are empty (the fabric's drop tombstones). The byte contents
+/// are logically immutable once the payload is shared (enqueued or
+/// copied); `writable()` is for filling the buffer right after
+/// `acquire()`, while the handle is still unique.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(const Payload& other);
+  Payload& operator=(const Payload& other);
+  Payload(Payload&& other) noexcept;
+  Payload& operator=(Payload&& other) noexcept;
+  ~Payload();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::byte* data() const;
+  std::span<const std::byte> bytes() const { return {data(), size_}; }
+  operator std::span<const std::byte>() const { return bytes(); }  // NOLINT
+  /// Mutable view; only meaningful while this handle is the sole owner
+  /// (between acquire() and the first copy/enqueue).
+  std::span<std::byte> writable();
+
+  std::byte operator[](std::size_t i) const { return bytes()[i]; }
+  const std::byte* begin() const { return data(); }
+  const std::byte* end() const { return data() + size_; }
+
+  /// Releases this handle (the block returns to its pool if this was
+  /// the last reference); the payload becomes empty.
+  void reset();
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    const auto sa = a.bytes();
+    const auto sb = b.bytes();
+    return sa.size() == sb.size() &&
+           std::equal(sa.begin(), sa.end(), sb.begin());
+  }
+  friend bool operator==(const Payload& a, std::span<const std::byte> b) {
+    const auto sa = a.bytes();
+    return sa.size() == b.size() && std::equal(sa.begin(), sa.end(), b.begin());
+  }
+  friend bool operator==(const Payload& a, const std::vector<std::byte>& b) {
+    return a == std::span<const std::byte>(b);
+  }
+
+ private:
+  friend class BufferPool;
+  Payload(PoolBlock* block, std::size_t size) : block_(block), size_(size) {}
+
+  PoolBlock* block_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Size-bucketed free-list allocator for Payload blocks. Thread-safe:
+/// the emulated node threads acquire and release concurrently. The pool
+/// survives Fabric::reset() -- recycling across runs is the warm-path
+/// win -- so its counters are cumulative until the pool dies.
+class BufferPool {
+ public:
+  BufferPool();
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Hands out a payload of exactly `size` bytes backed by a block of
+  /// the next power-of-two bucket. Contents are unspecified (callers
+  /// fill via writable()); a recycled block keeps its previous bytes.
+  Payload acquire(std::size_t size);
+
+  /// acquire() + memcpy of `bytes`.
+  Payload copy_of(std::span<const std::byte> bytes);
+
+  /// Tops the bucket serving `size` up to at least `count` parked
+  /// blocks. Pre-warming does not count as misses.
+  void reserve(std::size_t size, std::size_t count);
+
+  BufferPoolStats stats() const;
+
+ private:
+  friend class Payload;
+
+  static constexpr std::size_t kMinBlockBytes = 64;
+  static constexpr std::uint32_t kBucketCount = 40;
+
+  static std::uint32_t bucket_of_(std::size_t size);
+  PoolBlock* allocate_block_(std::uint32_t bucket);  // requires mu_ held
+  void release_(PoolBlock* block);
+
+  mutable std::mutex mu_;
+  std::array<std::vector<PoolBlock*>, kBucketCount> free_;
+  std::vector<std::unique_ptr<PoolBlock>> blocks_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t bytes_reserved_ = 0;
+};
+
+}  // namespace sage::net

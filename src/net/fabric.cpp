@@ -10,7 +10,12 @@
 namespace sage::net {
 
 Fabric::Fabric(int node_count, FabricModel model)
-    : node_count_(node_count), model_(std::move(model)), boxes_(node_count) {
+    : node_count_(node_count),
+      model_(std::move(model)),
+      boxes_(node_count),
+      link_seq_(static_cast<std::size_t>(node_count) * node_count, 0),
+      link_stats_(static_cast<std::size_t>(node_count) * node_count),
+      link_free_(static_cast<std::size_t>(node_count) * node_count, 0.0) {
   SAGE_CHECK_AS(CommError, node_count > 0, "fabric needs at least one node");
 }
 
@@ -20,11 +25,33 @@ void Fabric::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
 
 std::uint64_t Fabric::next_link_seq_(int src, int dst) {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return link_seq_[{src, dst}]++;
+  return link_seq_[link_index_(src, dst)]++;
+}
+
+Payload Fabric::deliverable_(Payload payload, const FaultOutcome& outcome) {
+  if (outcome.kind == FaultKind::kDrop) {
+    // Tombstone: the payload was transmitted and lost; the receiver
+    // learns of the loss only after its detection timeout.
+    return Payload{};
+  }
+  if (outcome.kind == FaultKind::kCorrupt && !payload.empty()) {
+    // Copy-on-write: the corrupted attempt gets its own block, so
+    // fan-out sharers and retransmits keep the clean bytes.
+    Payload corrupted = pool_.copy_of(payload.bytes());
+    std::span<std::byte> flip = corrupted.writable();
+    std::uint64_t state = outcome.draw;
+    for (std::size_t i = 0; i < outcome.corrupt_bytes; ++i) {
+      const std::uint64_t pos = support::splitmix64(state);
+      flip[pos % flip.size()] ^= std::byte{0xFF};
+    }
+    return corrupted;
+  }
+  return payload;
 }
 
 support::VirtualSeconds Fabric::enqueue_(int src, int dst, int tag,
-                                         std::span<const std::byte> bytes,
+                                         Payload payload,
+                                         std::size_t wire_bytes,
                                          support::VirtualSeconds now_vt,
                                          const SendOptions& options,
                                          const FaultOutcome& outcome,
@@ -44,20 +71,7 @@ support::VirtualSeconds Fabric::enqueue_(int src, int dst, int tag,
   parcel.tag = tag;
   parcel.fault = outcome.kind;
   parcel.attempt = attempt;
-  if (outcome.kind == FaultKind::kDrop) {
-    // Tombstone: the payload was transmitted and lost; the receiver
-    // learns of the loss only after its detection timeout.
-    parcel.payload.clear();
-  } else {
-    parcel.payload.assign(bytes.begin(), bytes.end());
-    if (outcome.kind == FaultKind::kCorrupt && !parcel.payload.empty()) {
-      std::uint64_t state = outcome.draw;
-      for (std::size_t i = 0; i < outcome.corrupt_bytes; ++i) {
-        const std::uint64_t pos = support::splitmix64(state);
-        parcel.payload[pos % parcel.payload.size()] ^= std::byte{0xFF};
-      }
-    }
-  }
+  parcel.payload = std::move(payload);
 
   if (model_.model_contention && !model_.same_board(src, dst)) {
     // The board-pair channel serializes transfers: the bytes move when
@@ -68,29 +82,29 @@ support::VirtualSeconds Fabric::enqueue_(int src, int dst, int tag,
     const int board_b = dst / model_.nodes_per_board;
     const auto key = std::minmax(board_a, board_b);
     const double serialization =
-        static_cast<double>(bytes.size()) / model_.bandwidth_Bps(src, dst);
+        static_cast<double>(wire_bytes) / model_.bandwidth_Bps(src, dst);
     std::lock_guard<std::mutex> lock(stats_mu_);
-    double& link_free = link_free_[{key.first, key.second}];
+    double& link_free = link_free_[link_index_(key.first, key.second)];
     const double start = std::max(sender_after, link_free);
     link_free = start + serialization;
     parcel.arrival_vt =
         start + serialization + model_.latency_s(src, dst) + recv_cost;
     ++total_messages_;
-    total_bytes_ += bytes.size();
-    LinkStats& link = link_stats_[{src, dst}];
+    total_bytes_ += wire_bytes;
+    LinkStats& link = link_stats_[link_index_(src, dst)];
     ++link.messages;
-    link.bytes += bytes.size();
+    link.bytes += wire_bytes;
     link.busy_vt += serialization;
   } else {
     parcel.arrival_vt = sender_after +
-                        model_.transfer_seconds(src, dst, bytes.size()) +
+                        model_.transfer_seconds(src, dst, wire_bytes) +
                         recv_cost;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++total_messages_;
-    total_bytes_ += bytes.size();
-    LinkStats& link = link_stats_[{src, dst}];
+    total_bytes_ += wire_bytes;
+    LinkStats& link = link_stats_[link_index_(src, dst)];
     ++link.messages;
-    link.bytes += bytes.size();
+    link.bytes += wire_bytes;
   }
   parcel.arrival_vt += extra_arrival_vt;
 
@@ -117,6 +131,13 @@ support::VirtualSeconds Fabric::send(int src, int dst, int tag,
                                      std::span<const std::byte> bytes,
                                      support::VirtualSeconds now_vt,
                                      SendOptions options) {
+  return send(src, dst, tag, pool_.copy_of(bytes), now_vt, options);
+}
+
+support::VirtualSeconds Fabric::send(int src, int dst, int tag,
+                                     Payload payload,
+                                     support::VirtualSeconds now_vt,
+                                     SendOptions options) {
   FaultOutcome outcome;
   double extra = 0.0;
   if (plan_ && plan_->active() && !options.fault_exempt) {
@@ -124,17 +145,26 @@ support::VirtualSeconds Fabric::send(int src, int dst, int tag,
     if (outcome.kind == FaultKind::kDrop) extra = plan_->detect_timeout_vt;
     if (outcome.kind == FaultKind::kDelay) extra = outcome.delay_vt;
   }
-  return enqueue_(src, dst, tag, bytes, now_vt, options, outcome, extra, 0);
+  const std::size_t wire_bytes = payload.size();
+  return enqueue_(src, dst, tag, deliverable_(std::move(payload), outcome),
+                  wire_bytes, now_vt, options, outcome, extra, 0);
 }
 
 SendReceipt Fabric::send_reliable(int src, int dst, int tag,
                                   std::span<const std::byte> bytes,
                                   support::VirtualSeconds now_vt,
                                   SendOptions options) {
+  return send_reliable(src, dst, tag, pool_.copy_of(bytes), now_vt, options);
+}
+
+SendReceipt Fabric::send_reliable(int src, int dst, int tag, Payload payload,
+                                  support::VirtualSeconds now_vt,
+                                  SendOptions options) {
   SendReceipt receipt;
+  const std::size_t wire_bytes = payload.size();
   if (!plan_ || !plan_->active() || options.fault_exempt) {
-    receipt.sender_after =
-        enqueue_(src, dst, tag, bytes, now_vt, options, {}, 0.0, 0);
+    receipt.sender_after = enqueue_(src, dst, tag, std::move(payload),
+                                    wire_bytes, now_vt, options, {}, 0.0, 0);
     return receipt;
   }
 
@@ -143,7 +173,8 @@ SendReceipt Fabric::send_reliable(int src, int dst, int tag,
   // attempts followed by the clean one, and the sender pays the
   // detection timeout plus exponential backoff in virtual time without
   // ever blocking for an acknowledgement (sends stay eager, so the
-  // fault layer introduces no new deadlock modes).
+  // fault layer introduces no new deadlock modes). All attempts share
+  // the payload's block; faulted attempts tombstone or clone it.
   support::VirtualSeconds t = now_vt;
   double backoff = plan_->detect_timeout_vt;
   for (int attempt = 0;; ++attempt) {
@@ -156,7 +187,8 @@ SendReceipt Fabric::send_reliable(int src, int dst, int tag,
     double extra = 0.0;
     if (outcome.kind == FaultKind::kDrop) extra = plan_->detect_timeout_vt;
     if (outcome.kind == FaultKind::kDelay) extra = outcome.delay_vt;
-    t = enqueue_(src, dst, tag, bytes, t, options, outcome, extra, attempt);
+    t = enqueue_(src, dst, tag, deliverable_(payload, outcome), wire_bytes, t,
+                 options, outcome, extra, attempt);
     receipt.attempts = attempt + 1;
     if (outcome.kind == FaultKind::kDrop ||
         outcome.kind == FaultKind::kCorrupt) {
@@ -164,7 +196,7 @@ SendReceipt Fabric::send_reliable(int src, int dst, int tag,
       backoff *= plan_->backoff_factor;
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++fault_counters_.retransmits;
-      ++link_stats_[{src, dst}].retransmits;
+      ++link_stats_[link_index_(src, dst)].retransmits;
       continue;
     }
     break;
@@ -243,21 +275,29 @@ FaultCounters Fabric::fault_counters() const {
 
 std::map<std::pair<int, int>, LinkStats> Fabric::link_stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return link_stats_;
+  std::map<std::pair<int, int>, LinkStats> out;
+  for (int src = 0; src < node_count_; ++src) {
+    for (int dst = 0; dst < node_count_; ++dst) {
+      const LinkStats& link = link_stats_[link_index_(src, dst)];
+      if (link == LinkStats{}) continue;
+      out[{src, dst}] = link;
+    }
+  }
+  return out;
 }
 
 void Fabric::reset() {
   for (Mailbox& box : boxes_) {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.clear();
+    box.queue.clear();  // releases parcel payloads back to the pool
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   total_messages_ = 0;
   total_bytes_ = 0;
   fault_counters_ = {};
-  link_seq_.clear();
-  link_stats_.clear();
-  link_free_.clear();
+  std::fill(link_seq_.begin(), link_seq_.end(), 0);
+  std::fill(link_stats_.begin(), link_stats_.end(), LinkStats{});
+  std::fill(link_free_.begin(), link_free_.end(), 0.0);
 }
 
 }  // namespace sage::net

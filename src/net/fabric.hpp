@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "net/fabric_model.hpp"
 #include "net/fault.hpp"
 #include "support/clock.hpp"
@@ -40,11 +41,14 @@ namespace sage::net {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
-/// A delivered message, payload already copied into receiver-owned memory.
+/// A delivered message. The payload is a ref-counted handle over a
+/// pooled buffer (the emulated nodes still have private memories -- the
+/// bytes were copied exactly once, into the pool, on the send side);
+/// releasing the Message returns the buffer to the fabric's pool.
 struct Message {
   int src = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
   /// Virtual time at which the payload is fully available at the receiver.
   support::VirtualSeconds arrival_vt = 0.0;
   /// Injected fault carried by this delivery (kNone on clean paths).
@@ -123,6 +127,15 @@ class Fabric {
                                support::VirtualSeconds now_vt,
                                SendOptions options = {});
 
+  /// Zero-copy variant: enqueues the pooled payload by handle instead
+  /// of copying it. Fan-out senders pass the same Payload to several
+  /// destinations and all deliveries share one block; a corrupted
+  /// attempt clones the block first (copy-on-write), so sharers never
+  /// observe the flipped bytes.
+  support::VirtualSeconds send(int src, int dst, int tag, Payload payload,
+                               support::VirtualSeconds now_vt,
+                               SendOptions options = {});
+
   /// Fault-tolerant send: resolves the whole retransmit exchange
   /// analytically at send time. Every attempt the plan faults with
   /// kDrop/kCorrupt is enqueued as a marked delivery (so the receiver
@@ -133,6 +146,12 @@ class Fabric {
   /// is exactly send().
   SendReceipt send_reliable(int src, int dst, int tag,
                             std::span<const std::byte> bytes,
+                            support::VirtualSeconds now_vt,
+                            SendOptions options = {});
+
+  /// Zero-copy reliable send; all clean attempts share the payload's
+  /// block, faulted attempts tombstone or clone it.
+  SendReceipt send_reliable(int src, int dst, int tag, Payload payload,
                             support::VirtualSeconds now_vt,
                             SendOptions options = {});
 
@@ -162,6 +181,13 @@ class Fabric {
   /// keyed (src, dst). Only links that carried traffic appear.
   std::map<std::pair<int, int>, LinkStats> link_stats() const;
 
+  /// The payload pool backing every message on this fabric. Callers
+  /// acquire() here to fill a buffer once and send it by handle; the
+  /// pool (and its counters) survives reset() -- recycling across runs
+  /// is the warm-path win.
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+
   /// Returns the fabric to its just-constructed state: drains every
   /// mailbox (e.g. unclaimed flow-control credits from a finished run),
   /// zeroes the message/byte totals, and clears the per-link contention
@@ -173,7 +199,7 @@ class Fabric {
   struct Parcel {
     int src;
     int tag;
-    std::vector<std::byte> payload;
+    Payload payload;
     support::VirtualSeconds arrival_vt;
     FaultKind fault = FaultKind::kNone;
     int attempt = 0;
@@ -194,32 +220,51 @@ class Fabric {
   /// counter-mode draws.
   std::uint64_t next_link_seq_(int src, int dst);
 
+  /// Resolves the fault outcome into the payload actually delivered:
+  /// an empty tombstone for drops, a cloned-and-flipped block for
+  /// corruption, the shared handle otherwise.
+  Payload deliverable_(Payload payload, const FaultOutcome& outcome);
+
   /// Shared enqueue path: applies the fabric cost model, marks the
-  /// parcel with `outcome`, and delivers it. `extra_arrival_vt` models
-  /// fault-dependent lateness (detection timeout for drops, delay_vt
-  /// for latency spikes). Returns the sender's post-send virtual time.
-  support::VirtualSeconds enqueue_(int src, int dst, int tag,
-                                   std::span<const std::byte> bytes,
+  /// parcel with `outcome`, and delivers it. `wire_bytes` is the
+  /// logical transfer size (drops deliver an empty tombstone but the
+  /// original bytes crossed the emulated wire and are costed/counted).
+  /// `extra_arrival_vt` models fault-dependent lateness (detection
+  /// timeout for drops, delay_vt for latency spikes). Returns the
+  /// sender's post-send virtual time.
+  support::VirtualSeconds enqueue_(int src, int dst, int tag, Payload payload,
+                                   std::size_t wire_bytes,
                                    support::VirtualSeconds now_vt,
                                    const SendOptions& options,
                                    const FaultOutcome& outcome,
                                    double extra_arrival_vt, int attempt);
 
+  std::size_t link_index_(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(node_count_) +
+           static_cast<std::size_t>(dst);
+  }
+
   int node_count_;
   FabricModel model_;
+  // Declared before the mailboxes: payload handles queued in a mailbox
+  // release into the pool, so the pool must outlive them (members are
+  // destroyed in reverse declaration order).
+  BufferPool pool_;
   std::vector<Mailbox> boxes_;
   std::shared_ptr<const FaultPlan> plan_;
   mutable std::mutex stats_mu_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   FaultCounters fault_counters_;
-  // Per-link fault-eligible message counters (guarded by stats_mu_).
-  std::map<std::pair<int, int>, std::uint64_t> link_seq_;
-  // Per-directed-link traffic totals (guarded by stats_mu_).
-  std::map<std::pair<int, int>, LinkStats> link_stats_;
-  // Contention model: per board-pair channel, the virtual time at which
-  // the link becomes free (guarded by stats_mu_).
-  std::map<std::pair<int, int>, double> link_free_;
+  // Flat src*n+dst tables (guarded by stats_mu_): dense indexing keeps
+  // the per-send stats update allocation-free and cache-friendly.
+  // Per-link fault-eligible message counters.
+  std::vector<std::uint64_t> link_seq_;
+  // Per-directed-link traffic totals.
+  std::vector<LinkStats> link_stats_;
+  // Contention model: per board-pair channel (minmax key), the virtual
+  // time at which the link becomes free.
+  std::vector<double> link_free_;
 };
 
 }  // namespace sage::net

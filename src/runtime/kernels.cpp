@@ -60,9 +60,18 @@ Lines lines_of(const PortSlice& slice, const char* who) {
 void kernel_matrix_source(KernelContext& ctx) {
   PortSlice& out = ctx.out("out");
   auto data = out.as<Complex>();
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    data[i] = test_pattern(out.global_of_local(i), ctx.iteration());
+  // Walk the striping runs directly: global_of_local() rescans the run
+  // list per element, which dominates the fill on large blocks.
+  const int iter = ctx.iteration();
+  std::size_t local = 0;
+  for (const Run& run : out.runs) {
+    for (std::size_t k = 0; k < run.length; ++k) {
+      data[local++] = test_pattern(run.global_offset + k, iter);
+    }
   }
+  SAGE_CHECK_AS(RuntimeError, local == data.size(),
+                "matrix_source: runs cover ", local, " of ", data.size(),
+                " elements");
 }
 
 void kernel_matrix_sink(KernelContext& ctx) {
@@ -86,9 +95,8 @@ void kernel_fft_rows(KernelContext& ctx) {
   auto dst = out.as<Complex>();
   SAGE_CHECK_AS(RuntimeError, src.size() == dst.size(),
                 "fft_rows: size mismatch");
-  std::copy(src.begin(), src.end(), dst.begin());
   cached_plan(lines.length, isspl::FftDirection::kForward)
-      .execute_rows(dst, lines.count);
+      .execute_rows(src, dst, lines.count);
 }
 
 void kernel_ifft_rows(KernelContext& ctx) {
@@ -97,9 +105,10 @@ void kernel_ifft_rows(KernelContext& ctx) {
   const Lines lines = lines_of(in, "ifft_rows");
   auto src = in.as<Complex>();
   auto dst = out.as<Complex>();
-  std::copy(src.begin(), src.end(), dst.begin());
+  SAGE_CHECK_AS(RuntimeError, src.size() == dst.size(),
+                "ifft_rows: size mismatch");
   cached_plan(lines.length, isspl::FftDirection::kInverse)
-      .execute_rows(dst, lines.count);
+      .execute_rows(src, dst, lines.count);
 }
 
 /// Local half of a corner turn: the in-port is striped along dim 1, so
@@ -268,9 +277,16 @@ void kernel_power_sum_outer(KernelContext& ctx) {
 void kernel_float_source(KernelContext& ctx) {
   PortSlice& out = ctx.out("out");
   auto data = out.as<float>();
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    data[i] = test_pattern(out.global_of_local(i), ctx.iteration()).real();
+  const int iter = ctx.iteration();
+  std::size_t local = 0;
+  for (const Run& run : out.runs) {
+    for (std::size_t k = 0; k < run.length; ++k) {
+      data[local++] = test_pattern(run.global_offset + k, iter).real();
+    }
   }
+  SAGE_CHECK_AS(RuntimeError, local == data.size(),
+                "float_source: runs cover ", local, " of ", data.size(),
+                " elements");
 }
 
 void kernel_float_sink(KernelContext& ctx) {

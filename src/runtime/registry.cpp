@@ -78,16 +78,6 @@ std::vector<std::string> FunctionRegistry::names() const {
   return out;
 }
 
-std::complex<float> test_pattern(std::size_t global_index, int iteration) {
-  // Cheap, deterministic, aperiodic-looking signal; both benchmark
-  // implementations generate exactly this.
-  const auto x = static_cast<std::uint64_t>(global_index) * 2654435761ull +
-                 static_cast<std::uint64_t>(iteration) * 97531ull;
-  const float re = static_cast<float>((x >> 16) & 0x3FF) / 512.0f - 1.0f;
-  const float im = static_cast<float>((x >> 26) & 0x3FF) / 512.0f - 1.0f;
-  return {re, im};
-}
-
 double block_checksum(std::span<const std::complex<float>> data) {
   double acc = 0.0;
   for (const auto& v : data) {

@@ -11,6 +11,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <span>
@@ -106,8 +107,17 @@ class FunctionRegistry {
 FunctionRegistry standard_registry();
 
 /// The deterministic test signal shared by SAGE-modeled and hand-coded
-/// benchmark versions (so outputs are directly comparable).
-std::complex<float> test_pattern(std::size_t global_index, int iteration);
+/// benchmark versions (so outputs are directly comparable). Inline so the
+/// source kernels' fill loops vectorize; the integer mix is cheap and
+/// aperiodic-looking.
+inline std::complex<float> test_pattern(std::size_t global_index,
+                                        int iteration) {
+  const auto x = static_cast<std::uint64_t>(global_index) * 2654435761ull +
+                 static_cast<std::uint64_t>(iteration) * 97531ull;
+  const float re = static_cast<float>((x >> 16) & 0x3FF) / 512.0f - 1.0f;
+  const float im = static_cast<float>((x >> 26) & 0x3FF) / 512.0f - 1.0f;
+  return {re, im};
+}
 
 /// Order-insensitive checksum of a complex block (sum of re + im).
 double block_checksum(std::span<const std::complex<float>> data);

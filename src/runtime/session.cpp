@@ -1,10 +1,11 @@
 #include "runtime/session.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <map>
 #include <tuple>
 
-#include "mpi/comm.hpp"
 #include "support/error.hpp"
 
 namespace sage::runtime {
@@ -38,25 +39,69 @@ struct Session::PlannedBuffer {
   std::string label;
 };
 
+/// One copy segment of a compiled transfer, byte-scaled so the run loop
+/// never multiplies by elem_bytes. `packed_off` is the segment's offset
+/// in the packed wire layout (concatenated segments in plan order).
+struct ByteSeg {
+  std::size_t src_off = 0;
+  std::size_t dst_off = 0;
+  std::size_t packed_off = 0;
+  std::size_t len = 0;
+};
+
+/// One (buffer, src thread, dst thread) transfer, fully resolved at
+/// compile_program_() time: integer slot ids instead of string-keyed map
+/// lookups, byte offsets instead of element offsets, contiguity and
+/// fan-out-share classification precomputed. Placement-dependent fields
+/// (src_node/dst_node, share groups) are rebuilt by recover().
+struct Session::TransferOp {
+  int buf = -1;  // index into planned_ (== buffer id)
+  int tag = 0;
+  int src_function = -1;
+  int dst_function = -1;
+  int src_thread = 0;
+  int dst_thread = 0;
+  int src_node = 0;
+  int dst_node = 0;
+  std::size_t bytes = 0;
+  /// Single-segment transfer: the wire layout equals one contiguous
+  /// slice of the source staging (and lands as one contiguous slice of
+  /// the destination staging), so the zero-copy fast paths apply.
+  bool contiguous = false;
+  std::vector<ByteSeg> segs;
+  int src_slot = -1;  // staging slot on the producer node
+  int dst_slot = -1;  // staging slot on the consumer node
+  /// Per-op logical-buffer storage (kUniquePerFunction staging copy).
+  int logical_slot = -1;
+  /// Fan-out share group: remote ops of one producer thread whose packed
+  /// bytes are identical (same gather signature) share one pooled
+  /// payload under kShared -- the fabric's copy-on-write protects the
+  /// sharers from injected corruption. -1 when not shared.
+  int share_group = -1;
+};
+
+/// Precomputed kernel port slice for one (function, thread): everything
+/// KernelContext needs except the live data span, so the run loop does
+/// no stripe_spec()/slice_runs() work per invocation.
+struct Session::PortBinding {
+  std::string name;
+  int slot = -1;
+  std::size_t elem_bytes = 0;
+  std::vector<std::size_t> local_dims;
+  std::vector<std::size_t> global_dims;
+  std::vector<Run> runs;
+  bool is_input = true;
+};
+
 /// Node-local state, allocated once at session construction and reused
 /// (reset, not reallocated) across runs.
 struct Session::NodeState {
   explicit NodeState(int node) : events(node) {}
 
-  // (function id, thread, port name) -> staging storage.
-  std::map<std::tuple<int, int, std::string>, std::vector<std::byte>> staging;
-
-  std::vector<std::byte>& staging_at(int fn, int thread,
-                                     const std::string& port) {
-    return staging[{fn, thread, port}];
-  }
-  // (buffer id, src thread, dst thread) -> logical-buffer storage
-  // (kUniquePerFunction policy only).
-  std::map<std::tuple<int, int, int>, std::vector<std::byte>> logical;
-  // Pack buffer for outgoing fabric messages.
-  std::vector<std::byte> message_scratch;
-  // Frame buffer for the fault-mode reliable path (header + payload).
-  std::vector<std::byte> frame_scratch;
+  // Staging storage by compiled slot id (dense; non-local slots empty).
+  std::vector<std::vector<std::byte>> staging;
+  // Logical-buffer storage by op index (kUniquePerFunction policy only).
+  std::vector<std::vector<std::byte>> logical;
   viz::EventBuffer events;
   std::vector<std::tuple<int, int, double>> results;  // (fn, iter, value)
   std::vector<support::VirtualSeconds> iter_start;    // source nodes
@@ -68,6 +113,10 @@ struct Session::NodeState {
   std::uint64_t observed_timeouts = 0;
   std::uint64_t observed_corruptions = 0;
   std::uint64_t stalls = 0;
+  // Data-plane accounting: host bytes memcpy'd (each pass counted) and
+  // payload bytes handed to the fabric by pooled handle.
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_moved = 0;
 };
 
 namespace {
@@ -79,41 +128,29 @@ int transfer_tag(int buffer_id, int src_thread, int dst_thread) {
   return buffer_id * 64 + src_thread * 8 + dst_thread;
 }
 
-/// Copies plan segments from a source slice into a contiguous pack
-/// buffer (message layout == concatenated segments in plan order).
-void pack_segments(const std::vector<Segment>& segments,
-                   std::span<const std::byte> src, std::size_t elem_bytes,
-                   std::span<std::byte> packed) {
-  std::size_t cursor = 0;
-  for (const Segment& seg : segments) {
-    const std::size_t bytes = seg.length * elem_bytes;
-    std::memcpy(packed.data() + cursor,
-                src.data() + seg.src_offset * elem_bytes, bytes);
-    cursor += bytes;
+/// Gathers compiled segments from the source staging into the packed
+/// wire layout.
+void pack_bytes(const std::vector<ByteSeg>& segs,
+                std::span<const std::byte> src, std::span<std::byte> packed) {
+  for (const ByteSeg& s : segs) {
+    std::memcpy(packed.data() + s.packed_off, src.data() + s.src_off, s.len);
   }
 }
 
-/// Scatters a contiguous pack buffer into the destination slice.
-void unpack_segments(const std::vector<Segment>& segments,
-                     std::span<const std::byte> packed, std::size_t elem_bytes,
-                     std::span<std::byte> dst) {
-  std::size_t cursor = 0;
-  for (const Segment& seg : segments) {
-    const std::size_t bytes = seg.length * elem_bytes;
-    std::memcpy(dst.data() + seg.dst_offset * elem_bytes,
-                packed.data() + cursor, bytes);
-    cursor += bytes;
+/// Scatters the packed wire layout into the destination staging.
+void unpack_bytes(const std::vector<ByteSeg>& segs,
+                  std::span<const std::byte> packed, std::span<std::byte> dst) {
+  for (const ByteSeg& s : segs) {
+    std::memcpy(dst.data() + s.dst_off, packed.data() + s.packed_off, s.len);
   }
 }
 
-/// Direct segment copy between two slices (kShared local fast path).
-void copy_segments(const std::vector<Segment>& segments,
-                   std::span<const std::byte> src, std::size_t elem_bytes,
-                   std::span<std::byte> dst) {
-  for (const Segment& seg : segments) {
-    std::memcpy(dst.data() + seg.dst_offset * elem_bytes,
-                src.data() + seg.src_offset * elem_bytes,
-                seg.length * elem_bytes);
+/// Direct staging-to-staging copy (kShared local fast path: one pass,
+/// no intermediate layout).
+void copy_bytes(const std::vector<ByteSeg>& segs,
+                std::span<const std::byte> src, std::span<std::byte> dst) {
+  for (const ByteSeg& s : segs) {
+    std::memcpy(dst.data() + s.dst_off, src.data() + s.src_off, s.len);
   }
 }
 
@@ -126,29 +163,39 @@ void copy_segments(const std::vector<Segment>& segments,
 
 constexpr std::uint32_t kFrameMagic = 0x46454753u;  // "SGEF"
 constexpr std::size_t kFrameHeaderBytes = 16;
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 
-std::uint64_t fnv1a_hash(std::span<const std::byte> data) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const std::byte b : data) {
-    h ^= std::to_integer<std::uint64_t>(b);
-    h *= 0x100000001b3ull;
+std::uint64_t fnv1a_accum(std::uint64_t h, const std::byte* data,
+                          std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= std::to_integer<std::uint64_t>(data[i]);
+    h *= kFnvPrime;
   }
   return h;
 }
 
-void build_frame(std::span<const std::byte> payload,
-                 std::vector<std::byte>& frame) {
-  frame.resize(kFrameHeaderBytes + payload.size());
+/// Gathers compiled segments straight into a frame body while folding
+/// the FNV-1a checksum into the copy pass (each segment is hashed while
+/// still cache-hot). The hash order equals the packed byte order.
+std::uint64_t pack_bytes_hashed(const std::vector<ByteSeg>& segs,
+                                std::span<const std::byte> src,
+                                std::span<std::byte> packed) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const ByteSeg& s : segs) {
+    std::memcpy(packed.data() + s.packed_off, src.data() + s.src_off, s.len);
+    h = fnv1a_accum(h, packed.data() + s.packed_off, s.len);
+  }
+  return h;
+}
+
+void write_frame_header(std::span<std::byte> frame, std::size_t body_bytes,
+                        std::uint64_t checksum) {
   const std::uint32_t magic = kFrameMagic;
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  const std::uint64_t checksum = fnv1a_hash(payload);
+  const auto length = static_cast<std::uint32_t>(body_bytes);
   std::memcpy(frame.data(), &magic, sizeof magic);
   std::memcpy(frame.data() + 4, &length, sizeof length);
   std::memcpy(frame.data() + 8, &checksum, sizeof checksum);
-  if (!payload.empty()) {
-    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
-                payload.size());
-  }
 }
 
 bool frame_valid(std::span<const std::byte> frame) {
@@ -161,7 +208,15 @@ bool frame_valid(std::span<const std::byte> frame) {
   std::memcpy(&checksum, frame.data() + 8, sizeof checksum);
   if (magic != kFrameMagic) return false;
   if (length != frame.size() - kFrameHeaderBytes) return false;
-  return fnv1a_hash(frame.subspan(kFrameHeaderBytes)) == checksum;
+  return fnv1a_accum(kFnvOffsetBasis, frame.data() + kFrameHeaderBytes,
+                     frame.size() - kFrameHeaderBytes) == checksum;
+}
+
+int port_index(const FunctionConfig& fn, const std::string& name) {
+  for (std::size_t i = 0; i < fn.ports.size(); ++i) {
+    if (fn.ports[i].name == name) return static_cast<int>(i);
+  }
+  return -1;  // unreachable: config_.validate() checked the port exists
 }
 
 }  // namespace
@@ -219,12 +274,161 @@ Session::Session(GlueConfig config, const FunctionRegistry& registry,
                                               options_.cpu_scales);
   }
 
+  compile_program_();
   allocate_states_();
+  prewarm_pool_();
 
   metrics_ = viz::MetricsRegistry(config_.nodes);
   define_metrics_();
 
   machine_->start();
+}
+
+void Session::compile_program_() {
+  const auto nfn = config_.functions.size();
+  slot_base_.assign(nfn, 0);
+  fn_thread_base_.assign(nfn, 0);
+  int slots = 0;
+  int ftis = 0;
+  for (const FunctionConfig& fn : config_.functions) {
+    slot_base_[static_cast<std::size_t>(fn.id)] = slots;
+    slots += fn.threads * static_cast<int>(fn.ports.size());
+    fn_thread_base_[static_cast<std::size_t>(fn.id)] = ftis;
+    ftis += fn.threads;
+  }
+  total_staging_slots_ = slots;
+
+  bindings_of_.assign(static_cast<std::size_t>(ftis), {});
+  for (const FunctionConfig& fn : config_.functions) {
+    for (int t = 0; t < fn.threads; ++t) {
+      std::vector<PortBinding>& binds = bindings_of_[static_cast<std::size_t>(
+          fn_thread_base_[static_cast<std::size_t>(fn.id)] + t)];
+      binds.clear();
+      binds.reserve(fn.ports.size());
+      for (std::size_t p = 0; p < fn.ports.size(); ++p) {
+        const PortConfig& port = fn.ports[p];
+        const StripeSpec spec = config_.stripe_spec(fn, port);
+        PortBinding b;
+        b.name = port.name;
+        b.slot = slot_base_[static_cast<std::size_t>(fn.id)] +
+                 t * static_cast<int>(fn.ports.size()) + static_cast<int>(p);
+        b.elem_bytes = port.elem_bytes;
+        b.local_dims = spec.local_dims();
+        b.global_dims = port.dims;
+        b.runs = slice_runs(spec, t);
+        b.is_input = port.direction == model::PortDirection::kIn;
+        binds.push_back(std::move(b));
+      }
+    }
+  }
+
+  ops_.clear();
+  recv_ops_of_.assign(static_cast<std::size_t>(ftis), {});
+  send_ops_of_.assign(static_cast<std::size_t>(ftis), {});
+  int next_group = 0;
+  for (const PlannedBuffer& buf : planned_) {
+    const FunctionConfig& src_fn = config_.function(buf.src_function);
+    const FunctionConfig& dst_fn = config_.function(buf.dst_function);
+    const int src_port_idx = port_index(src_fn, buf.src_port);
+    const int dst_port_idx = port_index(dst_fn, buf.dst_port);
+    // Previous remote op of the current producer thread (fan-out-share
+    // chaining; plan order keeps one producer's pairs adjacent).
+    int chain = -1;
+    int chain_thread = -1;
+    for (const ThreadPairTransfer& pair : buf.plan) {
+      TransferOp op;
+      op.buf = buf.id;
+      op.tag = transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
+      op.src_function = buf.src_function;
+      op.dst_function = buf.dst_function;
+      op.src_thread = pair.src_thread;
+      op.dst_thread = pair.dst_thread;
+      op.src_node =
+          src_fn.thread_nodes[static_cast<std::size_t>(pair.src_thread)];
+      op.dst_node =
+          dst_fn.thread_nodes[static_cast<std::size_t>(pair.dst_thread)];
+      op.bytes = pair.total_elems() * buf.elem_bytes;
+      op.contiguous = pair.segments.size() == 1;
+      op.segs.reserve(pair.segments.size());
+      std::size_t cursor = 0;
+      for (const Segment& seg : pair.segments) {
+        ByteSeg bs;
+        bs.src_off = seg.src_offset * buf.elem_bytes;
+        bs.dst_off = seg.dst_offset * buf.elem_bytes;
+        bs.packed_off = cursor;
+        bs.len = seg.length * buf.elem_bytes;
+        cursor += bs.len;
+        op.segs.push_back(bs);
+      }
+      op.src_slot = slot_base_[static_cast<std::size_t>(src_fn.id)] +
+                    pair.src_thread * static_cast<int>(src_fn.ports.size()) +
+                    src_port_idx;
+      op.dst_slot = slot_base_[static_cast<std::size_t>(dst_fn.id)] +
+                    pair.dst_thread * static_cast<int>(dst_fn.ports.size()) +
+                    dst_port_idx;
+      op.logical_slot = static_cast<int>(ops_.size());
+
+      if (pair.src_thread != chain_thread) {
+        chain = -1;
+        chain_thread = pair.src_thread;
+      }
+      if (op.src_node != op.dst_node) {
+        if (chain >= 0) {
+          TransferOp& prev = ops_[static_cast<std::size_t>(chain)];
+          const bool same_gather =
+              prev.segs.size() == op.segs.size() &&
+              std::equal(prev.segs.begin(), prev.segs.end(), op.segs.begin(),
+                         [](const ByteSeg& a, const ByteSeg& b) {
+                           return a.src_off == b.src_off && a.len == b.len;
+                         });
+          if (same_gather) {
+            if (prev.share_group < 0) prev.share_group = next_group++;
+            op.share_group = prev.share_group;
+          }
+        }
+        chain = static_cast<int>(ops_.size());
+      }
+
+      const int src_fti =
+          fn_thread_base_[static_cast<std::size_t>(src_fn.id)] +
+          pair.src_thread;
+      const int dst_fti =
+          fn_thread_base_[static_cast<std::size_t>(dst_fn.id)] +
+          pair.dst_thread;
+      send_ops_of_[static_cast<std::size_t>(src_fti)].push_back(
+          static_cast<int>(ops_.size()));
+      if (op.src_node != op.dst_node) {
+        recv_ops_of_[static_cast<std::size_t>(dst_fti)].push_back(
+            static_cast<int>(ops_.size()));
+      }
+      ops_.push_back(std::move(op));
+    }
+  }
+  total_logical_slots_ = static_cast<int>(ops_.size());
+}
+
+void Session::prewarm_pool_() {
+  // Steady-state pooled working set: one payload per in-flight slot of
+  // every remote channel, plus one cached flow-control credit per node.
+  // With unbounded depth (0) the in-flight count is workload-dependent,
+  // so prewarm the credit-bounded estimate and let the first iterations
+  // top the pool up.
+  const std::size_t depth =
+      options_.buffer_depth > 0
+          ? static_cast<std::size_t>(options_.buffer_depth) + 1
+          : 2;
+  std::map<std::size_t, std::size_t> want;  // bucket size -> block count
+  bool any_remote = false;
+  for (const TransferOp& op : ops_) {
+    if (op.src_node == op.dst_node) continue;
+    any_remote = true;
+    // Prewarm the fault-free size; framed fault-mode payloads land in
+    // the next bucket only when bytes is within 16 of the bucket edge.
+    want[std::bit_ceil(std::max<std::size_t>(op.bytes, 64))] += depth;
+  }
+  if (any_remote) want[64] += static_cast<std::size_t>(config_.nodes);
+  net::BufferPool& pool = machine_->fabric().pool();
+  for (const auto& [size, count] : want) pool.reserve(size, count);
 }
 
 void Session::define_metrics_() {
@@ -280,6 +484,24 @@ void Session::define_metrics_() {
       fam::kFaultStalls, "Modeled node stalls at iteration boundaries");
   degraded_id_ = metrics_.gauge(
       fam::kDegradedNodes, "Nodes the session is running without");
+  bytes_copied_id_ = metrics_.counter(
+      fam::kDataBytesCopied,
+      "Host bytes memcpy'd by the data plane (every pass counted)");
+  bytes_moved_id_ = metrics_.counter(
+      fam::kDataBytesMoved,
+      "Payload bytes handed to the fabric by pooled handle");
+  // Pool counters depend on host-thread interleaving (which node thread
+  // allocates first), so they are time-based: reported, but excluded
+  // from the deterministic snapshot subset.
+  pool_hits_id_ = metrics_.counter(
+      fam::kPoolHits, "Pooled-buffer acquisitions served from a free list",
+      {}, /*time_based=*/true);
+  pool_misses_id_ = metrics_.counter(
+      fam::kPoolMisses, "Pooled-buffer acquisitions that had to allocate",
+      {}, /*time_based=*/true);
+  pool_blocks_id_ = metrics_.gauge(
+      fam::kPoolBlocks, "Blocks owned by the fabric's buffer pool",
+      Aggregation::kSum, {}, /*time_based=*/true);
 }
 
 const std::array<int, 4>& Session::link_metric_ids_(int src, int dst) {
@@ -333,6 +555,17 @@ void Session::export_metrics_(RunStats& stats) {
   metrics_.set(0, degraded_id_,
                static_cast<double>(stats.faults.degraded_nodes));
 
+  metrics_.add(0, bytes_copied_id_,
+               static_cast<double>(stats.data_plane.bytes_copied));
+  metrics_.add(0, bytes_moved_id_,
+               static_cast<double>(stats.data_plane.bytes_moved));
+  metrics_.add(0, pool_hits_id_,
+               static_cast<double>(stats.data_plane.pool_hits));
+  metrics_.add(0, pool_misses_id_,
+               static_cast<double>(stats.data_plane.pool_misses));
+  metrics_.set(0, pool_blocks_id_,
+               static_cast<double>(stats.data_plane.pool_blocks));
+
   // std::map iteration -> (src, dst) order, so first-sight definition
   // order (and with it snapshot order) matches across warm runs and
   // fresh sessions with the same traffic pattern.
@@ -359,33 +592,30 @@ void Session::allocate_states_() {
     if (schedule_it != config_.schedule.end()) {
       state->order = schedule_it->second;
     }
-    for (const FunctionConfig& fn : config_.functions) {
-      for (int t = 0; t < fn.threads; ++t) {
-        if (fn.thread_nodes[static_cast<std::size_t>(t)] != r) continue;
-        if (fn.role == "source") state->hosts_source = true;
-        for (const PortConfig& port : fn.ports) {
-          StripeSpec spec = config_.stripe_spec(fn, port);
-          state->staging_at(fn.id, t, port.name)
-              .resize(spec.elems_per_thread() * port.elem_bytes);
-        }
-      }
-    }
+    state->staging.assign(static_cast<std::size_t>(total_staging_slots_), {});
+    state->logical.assign(static_cast<std::size_t>(total_logical_slots_), {});
     states_.push_back(std::move(state));
   }
-  for (const PlannedBuffer& buf : planned_) {
-    const FunctionConfig& src_fn = config_.function(buf.src_function);
-    const FunctionConfig& dst_fn = config_.function(buf.dst_function);
-    for (const ThreadPairTransfer& pair : buf.plan) {
-      const std::size_t bytes = pair.total_elems() * buf.elem_bytes;
-      const int src_node =
-          src_fn.thread_nodes[static_cast<std::size_t>(pair.src_thread)];
-      const int dst_node =
-          dst_fn.thread_nodes[static_cast<std::size_t>(pair.dst_thread)];
-      for (const int node : {src_node, dst_node}) {
-        states_[static_cast<std::size_t>(node)]
-            ->logical[{buf.id, pair.src_thread, pair.dst_thread}]
-            .resize(bytes);
+  for (const FunctionConfig& fn : config_.functions) {
+    for (int t = 0; t < fn.threads; ++t) {
+      const int r = fn.thread_nodes[static_cast<std::size_t>(t)];
+      NodeState& state = *states_[static_cast<std::size_t>(r)];
+      if (fn.role == "source") state.hosts_source = true;
+      const auto& binds = bindings_of_[static_cast<std::size_t>(
+          fn_thread_base_[static_cast<std::size_t>(fn.id)] + t)];
+      for (const PortBinding& b : binds) {
+        std::size_t elems = 1;
+        for (const std::size_t d : b.local_dims) elems *= d;
+        state.staging[static_cast<std::size_t>(b.slot)].resize(elems *
+                                                               b.elem_bytes);
       }
+    }
+  }
+  for (const TransferOp& op : ops_) {
+    for (const int r : {op.src_node, op.dst_node}) {
+      states_[static_cast<std::size_t>(r)]
+          ->logical[static_cast<std::size_t>(op.logical_slot)]
+          .resize(op.bytes);
     }
   }
 }
@@ -456,7 +686,11 @@ RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
     if (!order.empty()) config_.schedule[r] = std::move(order);
   }
   config_.validate();
+  // Placement changed: remote/local classification, share groups, and
+  // slot residency all shift, so recompile the transfer program.
+  compile_program_();
   allocate_states_();
+  prewarm_pool_();
   pending_recoveries_.push_back(report);
   return report;
 }
@@ -479,7 +713,8 @@ void Session::close() { machine_.reset(); }
 void Session::reset_between_runs_() {
   // The fabric may hold unclaimed flow-control credits from the previous
   // run, accumulated totals, and link contention history; a cold engine
-  // would start from scratch.
+  // would start from scratch. The payload pool intentionally survives
+  // the reset -- recycling warm buffers across runs is the point.
   machine_->fabric().reset();
   // Metric values restart at zero; definitions (and ids) persist.
   metrics_.reset();
@@ -491,9 +726,11 @@ void Session::reset_between_runs_() {
     state->observed_timeouts = 0;
     state->observed_corruptions = 0;
     state->stalls = 0;
+    state->bytes_copied = 0;
+    state->bytes_moved = 0;
     // Staging starts zeroed on a cold run (vector value-init); match it
     // so a kernel that reads-before-write sees identical bytes.
-    for (auto& [key, storage] : state->staging) {
+    for (auto& storage : state->staging) {
       std::fill(storage.begin(), storage.end(), std::byte{0});
     }
   }
@@ -527,6 +764,7 @@ RunStats Session::run(const RunRequest& request) {
   // An inactive plan must leave the fabric on the exact fault-free code
   // path (bit-identical contract), so only an active plan is attached.
   machine_->fabric().set_fault_plan(faulty ? run_plan_ : nullptr);
+  pool_mark_ = machine_->fabric().pool().stats();
 
   // Surface recoveries applied since the last run on this run's trace.
   if (run_trace_) {
@@ -568,6 +806,17 @@ RunStats Session::run(const RunRequest& request) {
     stats.faults.stalls += state->stalls;
   }
   stats.faults.degraded_nodes = static_cast<int>(dead_nodes_.size());
+
+  for (const auto& state : states_) {
+    stats.data_plane.bytes_copied += state->bytes_copied;
+    stats.data_plane.bytes_moved += state->bytes_moved;
+  }
+  const net::BufferPoolStats pool_stats = machine_->fabric().pool().stats();
+  stats.data_plane.pool_hits = pool_stats.hits - pool_mark_.hits;
+  stats.data_plane.pool_misses = pool_stats.misses - pool_mark_.misses;
+  stats.data_plane.pool_blocks =
+      pool_stats.blocks_live + pool_stats.blocks_pooled;
+  stats.data_plane.pool_bytes_reserved = pool_stats.bytes_reserved;
 
   // Latency: min source start / max sink end per iteration.
   std::vector<double> starts(static_cast<std::size_t>(iterations), 0.0);
@@ -664,23 +913,26 @@ void Session::node_program_(net::NodeContext& node) {
   NodeState& state = *states_[static_cast<std::size_t>(rank)];
   const GlueConfig& cfg = config_;
   const int iterations = run_iterations_;
-  const BufferPolicy policy = run_policy_;
+  const bool unique = run_policy_ == BufferPolicy::kUniquePerFunction;
   const bool trace = run_trace_;
   const bool metrics = run_metrics_;
   const int buffer_depth = options_.buffer_depth;
-
-  mpi::Communicator comm(node);
-  comm.set_recv_timeout(options_.recv_timeout_s);
-
-  std::vector<std::byte>& message_scratch = state.message_scratch;
+  const double recv_timeout = options_.recv_timeout_s;
 
   // Fault mode: with an active plan, every remote transfer (data and
-  // flow-control credits) switches from the mpi layer to framed
-  // reliable fabric exchanges. The happy path below is untouched when
-  // `faulty` is false -- that is the bit-identical contract.
+  // flow-control credits) travels framed over the reliable fabric path.
+  // The happy path below is untouched when `faulty` is false -- that is
+  // the bit-identical contract.
   const net::FaultPlan* plan = run_plan_.get();
   const bool faulty = plan != nullptr && plan->active();
   net::Fabric& fabric = node.fabric();
+  net::BufferPool& pool = fabric.pool();
+
+  // Cached flow-control credit payloads (content is constant, so one
+  // pooled block serves every credit send of the run; the fabric's
+  // copy-on-write keeps injected corruption off the shared block).
+  net::Payload credit_payload;  // fault-free path: one zero byte
+  net::Payload credit_frame;    // fault path: framed zero byte
 
   const auto record_fault = [&](int fn_id, int t, int iter, double start_vt,
                                 std::uint64_t bytes, std::string label) {
@@ -697,19 +949,16 @@ void Session::node_program_(net::NodeContext& node) {
     state.events.record(e);
   };
 
-  /// Reliable framed send (fault mode only). The fabric resolves the
-  /// whole retransmit exchange; the sender's clock joins the post-ARQ
-  /// time and each retransmit is surfaced as a kRetry event.
-  const auto send_framed = [&](int dst_node, int tag,
-                               std::span<const std::byte> payload, int fn_id,
-                               int t, int iter, const std::string& label) {
-    {
-      support::ComputeScope scope(node.clock(), node.cpu_scale());
-      build_frame(payload, state.frame_scratch);
-    }
+  /// Reliable framed send (fault mode only). The payload is a complete
+  /// frame; the fabric resolves the whole retransmit exchange, the
+  /// sender's clock joins the post-ARQ time, and each retransmit is
+  /// surfaced as a kRetry event.
+  const auto send_framed = [&](int dst_node, int tag, net::Payload frame,
+                               std::size_t body_bytes, int fn_id, int t,
+                               int iter, const std::string& label) {
     const double t_before = node.now();
     const net::SendReceipt receipt = fabric.send_reliable(
-        rank, dst_node, tag, state.frame_scratch, node.now());
+        rank, dst_node, tag, std::move(frame), node.now());
     node.clock().join(receipt.sender_after);
     if (trace) {
       for (int attempt = 1; attempt < receipt.attempts; ++attempt) {
@@ -720,7 +969,7 @@ void Session::node_program_(net::NodeContext& node) {
         e.iteration = iter;
         e.start_vt = t_before;
         e.end_vt = node.now();
-        e.bytes = payload.size();
+        e.bytes = body_bytes;
         e.label = label;
         state.events.record(e);
       }
@@ -731,14 +980,14 @@ void Session::node_program_(net::NodeContext& node) {
   /// arrival order, counting drop tombstones (loss-detection timeouts)
   /// and rejecting invalid frames until a clean one lands. The frame
   /// checksum -- not the fabric's fault flag -- is the integrity oracle,
-  /// so corruption whose flips cancel is rightly accepted.
+  /// so corruption whose flips cancel is rightly accepted. Returns the
+  /// whole pooled frame (header included).
   const auto recv_framed = [&](int src_node, int tag, int fn_id, int t,
                                int iter,
-                               const std::string& label) -> std::vector<std::byte> {
+                               const std::string& label) -> net::Payload {
     for (;;) {
       const double t_before = node.now();
-      net::Message msg =
-          fabric.recv(rank, src_node, tag, options_.recv_timeout_s);
+      net::Message msg = fabric.recv(rank, src_node, tag, recv_timeout);
       node.clock().join(msg.arrival_vt);
       if (msg.fault == net::FaultKind::kDrop) {
         ++state.observed_timeouts;
@@ -760,9 +1009,42 @@ void Session::node_program_(net::NodeContext& node) {
         record_fault(fn_id, t, iter, t_before, msg.payload.size(),
                      label + " [delay]");
       }
-      msg.payload.erase(msg.payload.begin(),
-                        msg.payload.begin() + kFrameHeaderBytes);
       return std::move(msg.payload);
+    }
+  };
+
+  /// Returns a flow-control credit for a drained slot (1 payload byte;
+  /// framed under an active plan).
+  const auto send_credit = [&](int dst_node, int tag, int fn_id, int t,
+                               int iter, const std::string& label) {
+    if (faulty) {
+      if (credit_frame.empty()) {
+        credit_frame = pool.acquire(kFrameHeaderBytes + 1);
+        const std::span<std::byte> frame = credit_frame.writable();
+        frame[kFrameHeaderBytes] = std::byte{0};
+        write_frame_header(
+            frame, 1,
+            fnv1a_accum(kFnvOffsetBasis, frame.data() + kFrameHeaderBytes, 1));
+      }
+      send_framed(dst_node, tag, credit_frame, 1, fn_id, t, iter, label);
+    } else {
+      if (credit_payload.empty()) {
+        credit_payload = pool.acquire(1);
+        credit_payload.writable()[0] = std::byte{0};
+      }
+      node.clock().join(
+          fabric.send(rank, dst_node, tag, credit_payload, node.now()));
+    }
+  };
+
+  /// Blocks until the consumer's credit for a free slot arrives.
+  const auto wait_credit = [&](int src_node, int tag, int fn_id, int t,
+                               int iter, const std::string& label) {
+    if (faulty) {
+      (void)recv_framed(src_node, tag, fn_id, t, iter, label);
+    } else {
+      const net::Message msg = fabric.recv(rank, src_node, tag, recv_timeout);
+      node.clock().join(msg.arrival_vt);
     }
   };
 
@@ -794,79 +1076,80 @@ void Session::node_program_(net::NodeContext& node) {
       const FunctionConfig& fn = cfg.function(fn_id);
       for (int t = 0; t < fn.threads; ++t) {
         if (fn.thread_nodes[static_cast<std::size_t>(t)] != rank) continue;
+        const auto fti = static_cast<std::size_t>(
+            fn_thread_base_[static_cast<std::size_t>(fn_id)] + t);
 
         // --- 1. receive remote inputs -----------------------------------
-        for (int buf_id : in_of_fn_[static_cast<std::size_t>(fn_id)]) {
-          const PlannedBuffer& buf =
-              planned_[static_cast<std::size_t>(buf_id)];
-          const FunctionConfig& src_fn = cfg.function(buf.src_function);
-          auto& dst_staging = state.staging_at(fn_id, t, buf.dst_port);
-          for (const ThreadPairTransfer& pair : buf.plan) {
-            if (pair.dst_thread != t) continue;
-            const int src_node =
-                src_fn.thread_nodes[static_cast<std::size_t>(
-                    pair.src_thread)];
-            if (src_node == rank) continue;  // delivered locally already
-
-            const int tag =
-                transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
-            const double t_before = node.now();
-            std::vector<std::byte> payload =
-                faulty ? recv_framed(src_node, tag, fn_id, t, iter, buf.label)
-                       : comm.recv_any_bytes(src_node, tag);
-            if (trace) {
-              viz::Event e;
-              e.kind = viz::EventKind::kReceive;
-              e.function_id = fn_id;
-              e.thread = t;
-              e.iteration = iter;
-              e.start_vt = t_before;
-              e.end_vt = node.now();
-              e.bytes = payload.size();
-              e.label = buf.label;
-              state.events.record(e);
+        for (const int op_idx : recv_ops_of_[fti]) {
+          const TransferOp& op = ops_[static_cast<std::size_t>(op_idx)];
+          const PlannedBuffer& buf = planned_[static_cast<std::size_t>(op.buf)];
+          const double t_before = node.now();
+          net::Payload payload;
+          std::span<const std::byte> body;
+          if (faulty) {
+            payload = recv_framed(op.src_node, op.tag, fn_id, t, iter,
+                                  buf.label);
+            body = payload.bytes().subspan(kFrameHeaderBytes);
+          } else {
+            net::Message msg =
+                fabric.recv(rank, op.src_node, op.tag, recv_timeout);
+            node.clock().join(msg.arrival_vt);
+            payload = std::move(msg.payload);
+            body = payload.bytes();
+          }
+          if (trace) {
+            viz::Event e;
+            e.kind = viz::EventKind::kReceive;
+            e.function_id = fn_id;
+            e.thread = t;
+            e.iteration = iter;
+            e.start_vt = t_before;
+            e.end_vt = node.now();
+            e.bytes = body.size();
+            e.label = buf.label;
+            state.events.record(e);
+          }
+          std::vector<std::byte>& dst_staging =
+              state.staging[static_cast<std::size_t>(op.dst_slot)];
+          {
+            support::ComputeScope scope(node.clock(), node.cpu_scale());
+            if (unique) {
+              // Stage through the function's own logical buffer copy.
+              std::vector<std::byte>& logical =
+                  state.logical[static_cast<std::size_t>(op.logical_slot)];
+              std::memcpy(logical.data(), body.data(), op.bytes);
+              unpack_bytes(op.segs, logical, dst_staging);
+            } else if (op.contiguous) {
+              // Zero-copy landing: the pooled payload scatters straight
+              // into the staging slice, one pass.
+              std::memcpy(dst_staging.data() + op.segs.front().dst_off,
+                          body.data(), op.bytes);
+            } else {
+              unpack_bytes(op.segs, body, dst_staging);
             }
-            {
-              support::ComputeScope scope(node.clock(), node.cpu_scale());
-              if (policy == BufferPolicy::kUniquePerFunction) {
-                // Stage through the function's own logical buffer copy.
-                auto& logical = state.logical[{buf.id, pair.src_thread,
-                                               pair.dst_thread}];
-                logical.assign(payload.begin(), payload.end());
-                unpack_segments(pair.segments, logical, buf.elem_bytes,
-                                dst_staging);
-              } else {
-                unpack_segments(pair.segments, payload, buf.elem_bytes,
-                                dst_staging);
-              }
-            }
-            if (buffer_depth > 0) {
-              // Flow control: return a credit for the drained slot.
-              const std::byte credit{};
-              const std::span<const std::byte> credit_span(&credit, 1);
-              if (faulty) {
-                send_framed(src_node, tag, credit_span, fn_id, t, iter,
-                            buf.label + " credit");
-              } else {
-                comm.send_bytes(credit_span, src_node, tag);
-              }
-            }
+          }
+          state.bytes_copied += unique ? 2 * op.bytes : op.bytes;
+          // Release the pooled block before the credit round-trip so the
+          // producer's next payload can reuse it.
+          payload.reset();
+          if (buffer_depth > 0) {
+            send_credit(op.src_node, op.tag, fn_id, t, iter,
+                        buf.label + " credit");
           }
         }
 
         // --- 2. execute the kernel ---------------------------------------
         KernelContext kctx(t, fn.threads, iter);
         kctx.params.insert(fn.params.begin(), fn.params.end());
-        for (const PortConfig& port : fn.ports) {
+        for (const PortBinding& b : bindings_of_[fti]) {
           PortSlice slice;
-          slice.name = port.name;
-          StripeSpec spec = cfg.stripe_spec(fn, port);
-          slice.data = state.staging_at(fn_id, t, port.name);
-          slice.elem_bytes = port.elem_bytes;
-          slice.local_dims = spec.local_dims();
-          slice.global_dims = port.dims;
-          slice.runs = slice_runs(spec, t);
-          if (port.direction == model::PortDirection::kIn) {
+          slice.name = b.name;
+          slice.data = state.staging[static_cast<std::size_t>(b.slot)];
+          slice.elem_bytes = b.elem_bytes;
+          slice.local_dims = b.local_dims;
+          slice.global_dims = b.global_dims;
+          slice.runs = b.runs;
+          if (b.is_input) {
             kctx.inputs.push_back(std::move(slice));
           } else {
             kctx.outputs.push_back(std::move(slice));
@@ -916,100 +1199,127 @@ void Session::node_program_(net::NodeContext& node) {
         }
 
         // --- 3. send outputs ----------------------------------------------
-        for (int buf_id : out_of_fn_[static_cast<std::size_t>(fn_id)]) {
-          const PlannedBuffer& buf =
-              planned_[static_cast<std::size_t>(buf_id)];
-          const FunctionConfig& dst_fn = cfg.function(buf.dst_function);
-          const auto& src_staging = state.staging_at(fn_id, t, buf.src_port);
-          for (const ThreadPairTransfer& pair : buf.plan) {
-            if (pair.src_thread != t) continue;
-            const int dst_node =
-                dst_fn.thread_nodes[static_cast<std::size_t>(
-                    pair.dst_thread)];
-            const std::size_t bytes = pair.total_elems() * buf.elem_bytes;
+        int last_group = -1;
+        net::Payload group_payload;
+        for (const int op_idx : send_ops_of_[fti]) {
+          const TransferOp& op = ops_[static_cast<std::size_t>(op_idx)];
+          const PlannedBuffer& buf = planned_[static_cast<std::size_t>(op.buf)];
+          const std::vector<std::byte>& src_staging =
+              state.staging[static_cast<std::size_t>(op.src_slot)];
 
-            if (dst_node == rank) {
-              // Local delivery straight into the consumer's staging.
-              auto& dst_staging = state.staging_at(buf.dst_function,
-                                               pair.dst_thread, buf.dst_port);
-              const double t_before = node.now();
-              {
-                support::ComputeScope scope(node.clock(), node.cpu_scale());
-                if (policy == BufferPolicy::kUniquePerFunction) {
-                  auto& logical = state.logical[{buf.id, pair.src_thread,
-                                                 pair.dst_thread}];
-                  logical.resize(bytes);
-                  pack_segments(pair.segments, src_staging, buf.elem_bytes,
-                                logical);
-                  unpack_segments(pair.segments, logical, buf.elem_bytes,
-                                  dst_staging);
-                } else {
-                  copy_segments(pair.segments, src_staging, buf.elem_bytes,
-                                dst_staging);
-                }
-              }
-              if (trace) {
-                viz::Event e;
-                e.kind = viz::EventKind::kBufferCopy;
-                e.function_id = fn_id;
-                e.thread = t;
-                e.iteration = iter;
-                e.start_vt = t_before;
-                e.end_vt = node.now();
-                e.bytes = bytes;
-                e.label = buf.label;
-                state.events.record(e);
-              }
-            } else {
-              const int tag =
-                  transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
-              if (buffer_depth > 0 && iter >= buffer_depth) {
-                // Wait for a free physical-buffer slot (credit from
-                // the consumer for iteration iter - depth).
-                if (faulty) {
-                  (void)recv_framed(dst_node, tag, fn_id, t, iter,
-                                    buf.label + " credit");
-                } else {
-                  std::byte credit{};
-                  comm.recv_bytes(std::span<std::byte>(&credit, 1), dst_node,
-                                  tag);
-                }
-              }
-              const double t_before = node.now();
-              message_scratch.resize(bytes);
-              {
-                support::ComputeScope scope(node.clock(), node.cpu_scale());
-                if (policy == BufferPolicy::kUniquePerFunction) {
-                  auto& logical = state.logical[{buf.id, pair.src_thread,
-                                                 pair.dst_thread}];
-                  logical.resize(bytes);
-                  pack_segments(pair.segments, src_staging, buf.elem_bytes,
-                                logical);
-                  std::memcpy(message_scratch.data(), logical.data(), bytes);
-                } else {
-                  pack_segments(pair.segments, src_staging, buf.elem_bytes,
-                                message_scratch);
-                }
-              }
-              if (faulty) {
-                send_framed(dst_node, tag, message_scratch, fn_id, t, iter,
-                            buf.label);
+          if (op.dst_node == rank) {
+            // Local delivery straight into the consumer's staging.
+            std::vector<std::byte>& dst_staging =
+                state.staging[static_cast<std::size_t>(op.dst_slot)];
+            const double t_before = node.now();
+            {
+              support::ComputeScope scope(node.clock(), node.cpu_scale());
+              if (unique) {
+                std::vector<std::byte>& logical =
+                    state.logical[static_cast<std::size_t>(op.logical_slot)];
+                pack_bytes(op.segs, src_staging, logical);
+                unpack_bytes(op.segs, logical, dst_staging);
               } else {
-                comm.send_bytes(message_scratch, dst_node, tag);
-              }
-              if (trace) {
-                viz::Event e;
-                e.kind = viz::EventKind::kSend;
-                e.function_id = fn_id;
-                e.thread = t;
-                e.iteration = iter;
-                e.start_vt = t_before;
-                e.end_vt = node.now();
-                e.bytes = bytes;
-                e.label = buf.label;
-                state.events.record(e);
+                copy_bytes(op.segs, src_staging, dst_staging);
               }
             }
+            state.bytes_copied += unique ? 2 * op.bytes : op.bytes;
+            if (trace) {
+              viz::Event e;
+              e.kind = viz::EventKind::kBufferCopy;
+              e.function_id = fn_id;
+              e.thread = t;
+              e.iteration = iter;
+              e.start_vt = t_before;
+              e.end_vt = node.now();
+              e.bytes = op.bytes;
+              e.label = buf.label;
+              state.events.record(e);
+            }
+            continue;
+          }
+
+          if (buffer_depth > 0 && iter >= buffer_depth) {
+            // Wait for a free physical-buffer slot (credit from the
+            // consumer for iteration iter - depth).
+            wait_credit(op.dst_node, op.tag, fn_id, t, iter,
+                        buf.label + " credit");
+          }
+          const double t_before = node.now();
+          net::Payload payload;
+          if (!unique && op.share_group >= 0 && op.share_group == last_group) {
+            // Fan-out share: this destination receives the same bytes
+            // the group leader packed -- send the handle, not a copy.
+            payload = group_payload;
+          } else {
+            const std::size_t frame_off = faulty ? kFrameHeaderBytes : 0;
+            payload = pool.acquire(frame_off + op.bytes);
+            const std::span<std::byte> body =
+                payload.writable().subspan(frame_off);
+            if (faulty) {
+              std::uint64_t checksum = 0;
+              {
+                support::ComputeScope scope(node.clock(), node.cpu_scale());
+                if (unique) {
+                  std::vector<std::byte>& logical =
+                      state.logical[static_cast<std::size_t>(op.logical_slot)];
+                  pack_bytes(op.segs, src_staging, logical);
+                  std::memcpy(body.data(), logical.data(), op.bytes);
+                  checksum = fnv1a_accum(kFnvOffsetBasis, body.data(),
+                                         op.bytes);
+                } else {
+                  checksum = pack_bytes_hashed(op.segs, src_staging, body);
+                }
+              }
+              write_frame_header(payload.writable(), op.bytes, checksum);
+              state.bytes_copied += unique ? 2 * op.bytes : op.bytes;
+            } else if (unique) {
+              // The unique policy models an extra data access: stage
+              // through the logical buffer, then into the payload --
+              // both passes charged.
+              support::ComputeScope scope(node.clock(), node.cpu_scale());
+              std::vector<std::byte>& logical =
+                  state.logical[static_cast<std::size_t>(op.logical_slot)];
+              pack_bytes(op.segs, src_staging, logical);
+              std::memcpy(body.data(), logical.data(), op.bytes);
+              state.bytes_copied += 2 * op.bytes;
+            } else if (op.contiguous) {
+              // Zero-copy departure: borrow the staging slice into the
+              // payload with a single pass, modeled as a DMA gather
+              // (not charged to the node's compute clock).
+              std::memcpy(body.data(),
+                          src_staging.data() + op.segs.front().src_off,
+                          op.bytes);
+              state.bytes_copied += op.bytes;
+            } else {
+              support::ComputeScope scope(node.clock(), node.cpu_scale());
+              pack_bytes(op.segs, src_staging, body);
+              state.bytes_copied += op.bytes;
+            }
+            if (!unique && op.share_group >= 0) {
+              last_group = op.share_group;
+              group_payload = payload;
+            }
+          }
+          if (faulty) {
+            send_framed(op.dst_node, op.tag, std::move(payload), op.bytes,
+                        fn_id, t, iter, buf.label);
+          } else {
+            node.clock().join(fabric.send(rank, op.dst_node, op.tag,
+                                          std::move(payload), node.now()));
+          }
+          state.bytes_moved += op.bytes;
+          if (trace) {
+            viz::Event e;
+            e.kind = viz::EventKind::kSend;
+            e.function_id = fn_id;
+            e.thread = t;
+            e.iteration = iter;
+            e.start_vt = t_before;
+            e.end_vt = node.now();
+            e.bytes = op.bytes;
+            e.label = buf.label;
+            state.events.record(e);
           }
         }
       }

@@ -122,6 +122,28 @@ struct FaultStats {
   bool operator==(const FaultStats&) const = default;
 };
 
+/// Data-plane accounting for one run. `bytes_copied`/`bytes_moved` are
+/// derived from the compiled transfer program (which ops ran, at which
+/// policy) and are fully deterministic; the buffer-pool counters depend
+/// on host-thread interleaving, so they are reported here and as
+/// time-based metrics but never enter the deterministic snapshot subset.
+struct DataPlaneStats {
+  /// Bytes memcpy'd on the host inside the data plane (packs, unpacks,
+  /// logical-buffer stagings, local deliveries; each pass counted).
+  std::uint64_t bytes_copied = 0;
+  /// Payload bytes handed to the fabric by handle (the wire traffic the
+  /// zero-copy path moves without extra host passes).
+  std::uint64_t bytes_moved = 0;
+  /// Buffer-pool activity during this run (per-run deltas).
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  /// Pool footprint at the end of the run (cumulative for the session).
+  std::uint64_t pool_blocks = 0;
+  std::uint64_t pool_bytes_reserved = 0;
+
+  bool operator==(const DataPlaneStats&) const = default;
+};
+
 struct RunStats {
   int iterations = 0;
   /// Modeled end-to-end run time (max final node virtual time).
@@ -151,6 +173,8 @@ struct RunStats {
   /// Fault-injection and recovery counters (all zero without an active
   /// fault plan).
   FaultStats faults;
+  /// Zero-copy data-plane accounting (see DataPlaneStats).
+  DataPlaneStats data_plane;
 
   support::VirtualSeconds mean_latency() const;
 };
@@ -234,10 +258,22 @@ class Session {
  private:
   struct PlannedBuffer;
   struct NodeState;
+  struct TransferOp;
+  struct PortBinding;
 
   void node_program_(net::NodeContext& node);
   void reset_between_runs_();
   void allocate_states_();
+  /// Compiles every planned transfer into the dense, index-addressed
+  /// transfer program: staging/logical slot ids, byte-scaled segments,
+  /// contiguity and fan-out-share detection, per-(function, thread) op
+  /// lists, and the precomputed kernel port bindings. Placement-aware;
+  /// re-run by recover().
+  void compile_program_();
+  /// Tops the fabric's buffer pool up to the steady-state working set of
+  /// the compiled program, so even a first run stays allocation-free on
+  /// credit-bounded channels.
+  void prewarm_pool_();
   void define_metrics_();
   /// Folds iteration latencies, fault counters, and the fabric's
   /// per-link totals into the registry and snapshots it into `stats`.
@@ -253,6 +289,24 @@ class Session {
   /// Buffer indices feeding / fed by each function id.
   std::vector<std::vector<int>> in_of_fn_;
   std::vector<std::vector<int>> out_of_fn_;
+
+  // --- compiled transfer program (built by compile_program_()) ------------
+  std::vector<TransferOp> ops_;
+  /// Staging-slot base per function id: slot = slot_base_[fn] +
+  /// thread * ports + port_index (dense replacement for the old
+  /// string-keyed staging map).
+  std::vector<int> slot_base_;
+  int total_staging_slots_ = 0;
+  int total_logical_slots_ = 0;
+  /// (function, thread) -> flat index: fn_thread_base_[fn] + thread.
+  std::vector<int> fn_thread_base_;
+  /// Per (function, thread): indices into ops_ for the remote receives
+  /// and all sends, in the exact order the run loop issues them.
+  std::vector<std::vector<int>> recv_ops_of_;
+  std::vector<std::vector<int>> send_ops_of_;
+  /// Per (function, thread): precomputed kernel port slices (slot id,
+  /// dims, runs) -- hoists stripe_spec()/slice_runs() out of the loop.
+  std::vector<std::vector<PortBinding>> bindings_of_;
 
   std::unique_ptr<net::Machine> machine_;
   std::vector<std::unique_ptr<NodeState>> states_;
@@ -278,8 +332,15 @@ class Session {
   int fault_frames_id_ = -1;
   int fault_stalls_id_ = -1;
   int degraded_id_ = -1;
+  int bytes_copied_id_ = -1;
+  int bytes_moved_id_ = -1;
+  int pool_hits_id_ = -1;
+  int pool_misses_id_ = -1;
+  int pool_blocks_id_ = -1;
   // (src, dst) -> {messages, bytes, retransmits, busy seconds} ids.
   std::map<std::pair<int, int>, std::array<int, 4>> link_ids_;
+  /// Pool counters at run start (per-run deltas for DataPlaneStats).
+  net::BufferPoolStats pool_mark_;
 
   // Per-run parameters, written by run() before dispatch; the machine's
   // dispatch handshake publishes them to the node threads.

@@ -146,12 +146,20 @@ std::vector<ThreadPairTransfer> build_transfer_plan(const StripeSpec& src,
   const int effective_src_threads =
       (src.striping == model::Striping::kReplicated) ? 1 : src.threads;
 
+  // Destination slices are reused across every source thread, so slice
+  // them once up front instead of once per (s, d) pair.
+  std::vector<std::vector<Run>> dst_runs_of(
+      static_cast<std::size_t>(dst.threads));
+  for (int d = 0; d < dst.threads; ++d) {
+    dst_runs_of[static_cast<std::size_t>(d)] = slice_runs(dst, d);
+  }
+
   std::vector<ThreadPairTransfer> plan;
   for (int s = 0; s < effective_src_threads; ++s) {
     const std::vector<Run> src_runs = slice_runs(src, s);
     for (int d = 0; d < dst.threads; ++d) {
-      const std::vector<Run> dst_runs = slice_runs(dst, d);
-      std::vector<Segment> segments = intersect_runs(src_runs, dst_runs);
+      std::vector<Segment> segments =
+          intersect_runs(src_runs, dst_runs_of[static_cast<std::size_t>(d)]);
       if (!segments.empty()) {
         plan.push_back(ThreadPairTransfer{s, d, std::move(segments)});
       }

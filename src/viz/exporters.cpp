@@ -244,6 +244,42 @@ std::string report(const Trace& trace, const MetricsSnapshot& metrics,
     }
   }
 
+  // --- data plane: copied vs moved bytes, buffer-pool health ----------------
+  const MetricValue* copied = metrics.find(families::kDataBytesCopied);
+  const MetricValue* moved = metrics.find(families::kDataBytesMoved);
+  if ((copied != nullptr && copied->value > 0.0) ||
+      (moved != nullptr && moved->value > 0.0)) {
+    const double copied_b = copied != nullptr ? copied->value : 0.0;
+    const double moved_b = moved != nullptr ? moved->value : 0.0;
+    const double total = copied_b + moved_b;
+    os << "data plane: "
+       << support::format_bytes(static_cast<std::size_t>(copied_b))
+       << " copied, "
+       << support::format_bytes(static_cast<std::size_t>(moved_b))
+       << " moved by handle";
+    if (total > 0.0) {
+      os << " (" << static_cast<int>(moved_b / total * 100.0)
+         << "% zero-copy)";
+    }
+    os << "\n";
+    const MetricValue* hits = metrics.find(families::kPoolHits);
+    const MetricValue* misses = metrics.find(families::kPoolMisses);
+    const MetricValue* blocks = metrics.find(families::kPoolBlocks);
+    if (hits != nullptr || misses != nullptr) {
+      const double hit_n = hits != nullptr ? hits->value : 0.0;
+      const double miss_n = misses != nullptr ? misses->value : 0.0;
+      os << "buffer pool: " << static_cast<std::uint64_t>(hit_n) << " hits, "
+         << static_cast<std::uint64_t>(miss_n) << " misses";
+      if (blocks != nullptr && blocks->value > 0.0) {
+        os << ", " << static_cast<std::uint64_t>(blocks->value) << " blocks";
+      }
+      if (miss_n == 0.0 && hit_n > 0.0) {
+        os << " (steady state)";
+      }
+      os << "\n";
+    }
+  }
+
   // --- faults and recovery --------------------------------------------------
   double injected = 0.0;
   for (const MetricValue& v : metrics.series) {

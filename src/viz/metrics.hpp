@@ -54,6 +54,15 @@ inline constexpr const char* kFaultCorruptFrames =
     "sage_fault_corrupt_frames_total";
 inline constexpr const char* kFaultStalls = "sage_fault_stalls_total";
 inline constexpr const char* kDegradedNodes = "sage_degraded_nodes";
+// Data-plane probes (zero-copy accounting; see docs/RUNTIME.md "Data
+// plane"). bytes copied/moved are plan-derived and deterministic; the
+// buffer-pool series depend on host-thread interleaving and are
+// registered time-based.
+inline constexpr const char* kDataBytesCopied = "sage_data_bytes_copied_total";
+inline constexpr const char* kDataBytesMoved = "sage_data_bytes_moved_total";
+inline constexpr const char* kPoolHits = "sage_buffer_pool_hits_total";
+inline constexpr const char* kPoolMisses = "sage_buffer_pool_misses_total";
+inline constexpr const char* kPoolBlocks = "sage_buffer_pool_blocks";
 }  // namespace families
 
 /// How per-shard values fold into one series value at snapshot time.

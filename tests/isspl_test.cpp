@@ -119,7 +119,8 @@ TEST(FftRadix4Test, AutoSelectsRadixBydSize) {
   EXPECT_EQ(FftPlan(256, FftDirection::kForward).algorithm(),
             FftAlgorithm::kRadix4);  // 4^4
   EXPECT_EQ(FftPlan(512, FftDirection::kForward).algorithm(),
-            FftAlgorithm::kRadix2);  // 2^9
+            FftAlgorithm::kMixed42);  // 2^9: radix-4 ladder over a
+                                      // radix-2 seed stage
   EXPECT_EQ(FftPlan(4, FftDirection::kForward).algorithm(),
             FftAlgorithm::kRadix4);
   EXPECT_EQ(FftPlan(2, FftDirection::kForward).algorithm(),
@@ -130,6 +131,51 @@ TEST(FftRadix4Test, RejectsNonPowerOfFour) {
   EXPECT_THROW(FftPlan(8, FftDirection::kForward, FftAlgorithm::kRadix4),
                Error);
   EXPECT_NO_THROW(FftPlan(8, FftDirection::kForward, FftAlgorithm::kRadix2));
+}
+
+TEST(FftMixed42Test, RejectsUnsuitedSizes) {
+  // Powers of four should use kRadix4; tiny sizes have no radix-4 stage.
+  EXPECT_THROW(FftPlan(16, FftDirection::kForward, FftAlgorithm::kMixed42),
+               Error);
+  EXPECT_THROW(FftPlan(2, FftDirection::kForward, FftAlgorithm::kMixed42),
+               Error);
+  EXPECT_NO_THROW(FftPlan(8, FftDirection::kForward, FftAlgorithm::kMixed42));
+}
+
+TEST(FftMixed42Test, MatchesRadix2AcrossSizes) {
+  for (const std::size_t n : {8u, 32u, 128u, 512u, 2048u}) {
+    const auto input = random_signal(n, n);
+    std::vector<Complex> r2 = input;
+    std::vector<Complex> mixed = input;
+    FftPlan(n, FftDirection::kForward, FftAlgorithm::kRadix2).execute(r2);
+    FftPlan(n, FftDirection::kForward, FftAlgorithm::kMixed42).execute(mixed);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(r2[i].real(), mixed[i].real(),
+                  1e-3f * (1.0f + std::abs(r2[i])))
+          << "n=" << n << " bin " << i;
+      EXPECT_NEAR(r2[i].imag(), mixed[i].imag(),
+                  1e-3f * (1.0f + std::abs(r2[i])))
+          << "n=" << n << " bin " << i;
+    }
+  }
+}
+
+TEST(FftMixed42Test, OutOfPlaceMatchesInPlace) {
+  // The mixed-radix permutation is not an involution; the in-place swap
+  // sequence and the out-of-place gather must agree exactly.
+  for (const std::size_t n : {8u, 32u, 512u}) {
+    for (const auto dir : {FftDirection::kForward, FftDirection::kInverse}) {
+      const auto input = random_signal(n, n + 1);
+      const FftPlan plan(n, dir, FftAlgorithm::kMixed42);
+      std::vector<Complex> in_place = input;
+      plan.execute(in_place);
+      std::vector<Complex> out(n);
+      plan.execute(std::span<const Complex>(input), std::span<Complex>(out));
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(in_place[i], out[i]) << "n=" << n << " bin " << i;
+      }
+    }
+  }
 }
 
 TEST(FftRadix4Test, MatchesRadix2AcrossSizes) {

@@ -16,7 +16,7 @@ std::vector<std::byte> bytes_of(const std::string& s) {
   return out;
 }
 
-std::string string_of(const std::vector<std::byte>& b) {
+std::string string_of(std::span<const std::byte> b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 

@@ -4,6 +4,7 @@
 // global indices consistently on both sides.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -254,6 +255,87 @@ TEST(PlanTest, ContiguousSegmentsAreMerged) {
   ASSERT_EQ(plan.size(), 2u);
   for (const auto& pair : plan) {
     EXPECT_EQ(pair.segments.size(), 1u);
+  }
+}
+
+// --- randomized property check --------------------------------------------------
+
+/// Deterministic xorshift so failures reproduce.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+/// Brute-force oracle: the global index each local element of `thread`
+/// maps to, in thread-local storage order.
+std::vector<std::size_t> global_map(const StripeSpec& spec, int thread) {
+  std::vector<std::size_t> map;
+  for (const Run& run : slice_runs(spec, thread)) {
+    for (std::size_t k = 0; k < run.length; ++k) {
+      map.push_back(run.global_offset + k);
+    }
+  }
+  return map;
+}
+
+TEST(PlanPropertyTest, RandomSpecPairsCoverEveryElementExactlyOnce) {
+  std::uint64_t rng = 0x5a9e0001d5eedull;
+  const std::vector<std::size_t> divisor_pool = {1, 2, 3, 4, 6, 8};
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random 2-D or 3-D dims whose every dimension divides by any thread
+    // count we draw (multiples of 24 keep validate() happy).
+    const int rank = 2 + static_cast<int>(next_rand(rng) % 2);
+    std::vector<std::size_t> dims;
+    for (int i = 0; i < rank; ++i) {
+      dims.push_back(24 * (1 + next_rand(rng) % 2));
+    }
+    const auto pick = [&] {
+      StripeSpec s;
+      s.dims = dims;
+      s.striping = Striping::kStriped;
+      s.stripe_dim = static_cast<int>(next_rand(rng) % rank);
+      s.threads =
+          static_cast<int>(divisor_pool[next_rand(rng) % divisor_pool.size()]);
+      return s;
+    };
+    const StripeSpec src = pick();
+    const StripeSpec dst = pick();
+
+    const auto plan = build_transfer_plan(src, dst);
+
+    // Per-thread local->global maps, brute force.
+    std::vector<std::vector<std::size_t>> src_map;
+    for (int s = 0; s < src.threads; ++s) src_map.push_back(global_map(src, s));
+    std::vector<std::vector<std::size_t>> dst_map;
+    for (int d = 0; d < dst.threads; ++d) dst_map.push_back(global_map(dst, d));
+
+    // Walk every segment of every pair: the source element and the
+    // destination element must be the same global index, and the union
+    // over the whole plan must cover each global index exactly once.
+    std::map<std::size_t, int> covered;
+    for (const auto& pair : plan) {
+      const auto& sm = src_map[static_cast<std::size_t>(pair.src_thread)];
+      const auto& dm = dst_map[static_cast<std::size_t>(pair.dst_thread)];
+      for (const Segment& seg : pair.segments) {
+        ASSERT_LE(seg.src_offset + seg.length, sm.size())
+            << "trial " << trial;
+        ASSERT_LE(seg.dst_offset + seg.length, dm.size())
+            << "trial " << trial;
+        for (std::size_t k = 0; k < seg.length; ++k) {
+          const std::size_t g = sm[seg.src_offset + k];
+          EXPECT_EQ(g, dm[seg.dst_offset + k])
+              << "trial " << trial << ": src/dst disagree on global index";
+          ++covered[g];
+        }
+      }
+    }
+    ASSERT_EQ(covered.size(), src.total_elems()) << "trial " << trial;
+    for (const auto& [g, count] : covered) {
+      ASSERT_EQ(count, 1) << "trial " << trial << ": global index " << g
+                          << " transferred " << count << " times";
+    }
   }
 }
 

@@ -284,6 +284,14 @@ int cmd_run(const Args& args) {
   } else {
     std::printf("host cost:    %.3f ms\n", cold_host * 1e3);
   }
+  const runtime::DataPlaneStats& dp = stats.data_plane;
+  std::printf("data plane:   %.1f MB copied, %.1f MB moved by handle; pool"
+              " %llu hits / %llu misses, %llu blocks\n",
+              static_cast<double>(dp.bytes_copied) / 1e6,
+              static_cast<double>(dp.bytes_moved) / 1e6,
+              static_cast<unsigned long long>(dp.pool_hits),
+              static_cast<unsigned long long>(dp.pool_misses),
+              static_cast<unsigned long long>(dp.pool_blocks));
   for (const auto& [fn, series] : stats.results) {
     std::printf("result[%s]:", fn.c_str());
     for (double v : series) std::printf(" %.4f", v);
