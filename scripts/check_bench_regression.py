@@ -13,8 +13,9 @@ Usage:
     bench/table1_fft2d --json fft2d.json
     bench/table1_cornerturn --json cornerturn.json
     bench/scaling --json scaling.json
+    bench/session_create --json session_create.json
     ../scripts/check_bench_regression.py fft2d.json cornerturn.json \
-        scaling.json
+        scaling.json session_create.json
 
 Each CURRENT file is one benchmark binary's report (bench name inside
 the file). The gate only inspects warm host seconds -- virtual-time
@@ -35,7 +36,8 @@ import sys
 
 DEFAULT_THRESHOLD = 0.10
 DEFAULT_MIN_SECONDS = 0.001
-GATED_BENCHES = ("table1_fft2d", "table1_cornerturn", "scaling")
+GATED_BENCHES = ("table1_fft2d", "table1_cornerturn", "scaling",
+                 "session_create")
 
 
 def load_report(path):

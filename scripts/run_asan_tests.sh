@@ -1,26 +1,7 @@
 #!/bin/sh
-# Builds openSAGE with AddressSanitizer and runs the memory-heavy
-# suites: buffer-pool reuse across warm runs, striping/redistribution
-# copies, and the fault-injection frame path (header packing, corrupted
-# payload byte flips, tombstone handling). Run this after touching
-# buffer management or the framed transfer code. The viz/metrics suites
-# ride along for the CSV/JSON escaping paths and the registry's shard
-# storage.
+# Back-compat wrapper; the flavors are consolidated in
+# run_sanitizer_tests.sh.
 #
 # Usage: scripts/run_asan_tests.sh [build-dir]
 set -eu
-
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-asan"}
-
-cmake -B "$build_dir" -S "$repo_root" -DSAGE_ASAN=ON
-cmake --build "$build_dir" -j \
-  --target net_test session_test striping_test fault_test \
-  integration_pipeline_test viz_test metrics_test
-cd "$build_dir"
-# The suppressions cover a pre-existing bounded leak: the Alter
-# interpreter's environment<->closure shared_ptr cycle (see the file).
-ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1} \
-LSAN_OPTIONS=${LSAN_OPTIONS:-"suppressions=$repo_root/scripts/lsan_suppressions.txt"} \
-  ctest --output-on-failure \
-  -R '(Fabric|Session|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export)'
+exec "$(dirname -- "$0")/run_sanitizer_tests.sh" asan ${1:+"$1"}

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Builds openSAGE under one sanitizer flavor and runs the suites that
+# flavor is for. Replaces the three run_{asan,tsan,ubsan}_tests.sh
+# scripts (kept as thin wrappers); the per-flavor build flags, targets,
+# env vars, and ctest filters all live here.
+#
+#   asan  -- AddressSanitizer + LeakSanitizer: the memory-heavy suites
+#            (buffer-pool reuse across warm runs, striping copies, the
+#            fault-injection frame path, program blob round-trips). The
+#            LSan suppressions cover a pre-existing bounded leak: the
+#            Alter interpreter's environment<->closure shared_ptr cycle.
+#   tsan  -- ThreadSanitizer: the concurrency-heavy suites (emulated
+#            machine dispatch handshake, fabric, MPI layer, the
+#            engine/session execution paths, multi-session sharing of
+#            one CompiledProgram, and the metrics registry's lock-free
+#            per-node shards).
+#   ubsan -- UndefinedBehaviorSanitizer: the arithmetic-heavy paths
+#            (compiled transfer programs and their serialized form,
+#            striping/run-intersection math, FFT permutation and twiddle
+#            indexing, fault frame packing). UBSan composes with ASan;
+#            set SAGE_EXTRA_CMAKE_FLAGS=-DSAGE_ASAN=ON for the combined
+#            build.
+#
+# Usage: scripts/run_sanitizer_tests.sh <asan|tsan|ubsan> [build-dir]
+set -eu
+
+flavor=${1:-}
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+case "$flavor" in
+  asan)
+    cmake_flag=-DSAGE_ASAN=ON
+    targets="net_test session_test striping_test fault_test \
+      integration_pipeline_test viz_test metrics_test program_test \
+      random_graph_test"
+    filter='(Fabric|Session|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
+    ;;
+  tsan)
+    cmake_flag=-DSAGE_TSAN=ON
+    targets="net_test mpi_test engine_test session_test fault_test \
+      viz_test metrics_test program_test random_graph_test"
+    filter='(Machine|Fabric|Mpi|Engine|Session|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
+    ;;
+  ubsan)
+    cmake_flag=-DSAGE_UBSAN=ON
+    targets="net_test session_test striping_test fault_test \
+      integration_pipeline_test isspl_test registry_test metrics_test \
+      program_test random_graph_test"
+    filter='(Fabric|Session|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond)'
+    ;;
+  *)
+    echo "usage: $0 <asan|tsan|ubsan> [build-dir]" >&2
+    exit 2
+    ;;
+esac
+
+build_dir=${2:-"$repo_root/build-$flavor"}
+
+# shellcheck disable=SC2086  # SAGE_EXTRA_CMAKE_FLAGS is a flag list
+cmake -B "$build_dir" -S "$repo_root" "$cmake_flag" \
+  ${SAGE_EXTRA_CMAKE_FLAGS:-}
+# shellcheck disable=SC2086  # targets is a word list
+cmake --build "$build_dir" -j --target $targets
+cd "$build_dir"
+
+case "$flavor" in
+  asan)
+    ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1} \
+    LSAN_OPTIONS=${LSAN_OPTIONS:-"suppressions=$repo_root/scripts/lsan_suppressions.txt"} \
+      ctest --output-on-failure -R "$filter"
+    ;;
+  tsan)
+    TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+      ctest --output-on-failure -R "$filter"
+    ;;
+  ubsan)
+    UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1} \
+      ctest --output-on-failure -R "$filter"
+    ;;
+esac

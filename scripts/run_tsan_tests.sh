@@ -1,24 +1,7 @@
 #!/bin/sh
-# Builds openSAGE with ThreadSanitizer and runs the concurrency-heavy
-# suites: the emulated machine (parked node threads), the fabric, the
-# MPI layer, the engine/session execution paths, and the fault-injection
-# chaos suite (retransmits and degraded-mode remaps exercise the fabric
-# from every node thread at once). The warm-session dispatch handshake
-# (net::Machine) is exactly the kind of code TSan is for -- run this
-# after touching it. The metrics suites ride along: the registry's
-# lock-free per-node shards follow the EventBuffer threading model and
-# every node thread writes them on the hot path.
+# Back-compat wrapper; the flavors are consolidated in
+# run_sanitizer_tests.sh.
 #
 # Usage: scripts/run_tsan_tests.sh [build-dir]
 set -eu
-
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-tsan"}
-
-cmake -B "$build_dir" -S "$repo_root" -DSAGE_TSAN=ON
-cmake --build "$build_dir" -j \
-  --target net_test mpi_test engine_test session_test fault_test \
-  viz_test metrics_test
-cd "$build_dir"
-TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --output-on-failure -R '(Machine|Fabric|Mpi|Engine|Session|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export)'
+exec "$(dirname -- "$0")/run_sanitizer_tests.sh" tsan ${1:+"$1"}

@@ -1,24 +1,7 @@
 #!/bin/sh
-# Builds openSAGE with UndefinedBehaviorSanitizer and runs the suites
-# that exercise the arithmetic-heavy paths: the compiled transfer
-# programs (interned staging indices, per-segment byte offsets), the
-# striping/run-intersection math, the FFT permutation tables and
-# twiddle indexing, and the fault-injection frame packing. Run this
-# after touching index arithmetic in the data plane or the ISSPL
-# kernels. UBSan composes with ASan; pass -DSAGE_ASAN=ON yourself if
-# you want the combined build.
+# Back-compat wrapper; the flavors are consolidated in
+# run_sanitizer_tests.sh.
 #
 # Usage: scripts/run_ubsan_tests.sh [build-dir]
 set -eu
-
-repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-ubsan"}
-
-cmake -B "$build_dir" -S "$repo_root" -DSAGE_UBSAN=ON
-cmake --build "$build_dir" -j \
-  --target net_test session_test striping_test fault_test \
-  integration_pipeline_test isspl_test registry_test metrics_test
-cd "$build_dir"
-UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1} \
-  ctest --output-on-failure \
-  -R '(Fabric|Session|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics)'
+exec "$(dirname -- "$0")/run_sanitizer_tests.sh" ubsan ${1:+"$1"}

@@ -2,6 +2,7 @@
 
 #include "atot/mapper.hpp"
 #include "model/hardware.hpp"
+#include "runtime/compiler.hpp"
 #include "support/error.hpp"
 
 namespace sage::core {
@@ -14,6 +15,7 @@ Project::Project(std::unique_ptr<model::Workspace> workspace)
 
 void Project::set_registry(runtime::FunctionRegistry registry) {
   registry_ = std::move(registry);
+  program_.reset();  // programs are fingerprinted against the registry
 }
 
 const codegen::GeneratedArtifacts& Project::generate() {
@@ -44,10 +46,20 @@ runtime::ExecuteOptions Project::resolve_options_(
   return options;
 }
 
+std::shared_ptr<const runtime::CompiledProgram> Project::compile_program(
+    const runtime::ExecuteOptions& options) {
+  if (program_ == nullptr) {
+    const codegen::GeneratedArtifacts& artifacts = generate();
+    program_ = runtime::compile_or_load(artifacts.config, registry_,
+                                        options.plan_cache_dir);
+  }
+  return program_;
+}
+
 std::unique_ptr<runtime::Session> Project::open_session(
     const runtime::ExecuteOptions& options) {
-  const codegen::GeneratedArtifacts& artifacts = generate();
-  return std::make_unique<runtime::Session>(artifacts.config, registry_,
+  return std::make_unique<runtime::Session>(compile_program(options),
+                                            registry_,
                                             resolve_options_(options));
 }
 

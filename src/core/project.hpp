@@ -21,6 +21,7 @@
 #include "atot/cost_model.hpp"
 #include "codegen/generator.hpp"
 #include "model/workspace.hpp"
+#include "runtime/program.hpp"
 #include "runtime/registry.hpp"
 #include "runtime/session.hpp"
 #include "support/error.hpp"
@@ -83,8 +84,21 @@ class Project {
   [[deprecated("call invalidate() then generate()")]]
   const codegen::GeneratedArtifacts& generate(bool force);
 
-  /// Invalidates cached artifacts after a model edit.
-  void invalidate() { artifacts_.reset(); }
+  /// Invalidates cached artifacts (and the compiled program lowered
+  /// from them) after a model edit.
+  void invalidate() {
+    artifacts_.reset();
+    program_.reset();
+  }
+
+  /// Generates glue (if needed) and compiles it into the shared
+  /// CompiledProgram every session opened by this Project executes.
+  /// Consults the content-addressed plan cache when
+  /// `options.plan_cache_dir` is set. Compiled once and cached until
+  /// invalidate()/set_registry(); repeated open_session() calls attach
+  /// new executors to the same program.
+  std::shared_ptr<const runtime::CompiledProgram> compile_program(
+      const runtime::ExecuteOptions& options = {});
 
   /// Generates (if needed) and opens a warm session on the emulated
   /// platform described by the workspace's hardware model. Options left
@@ -118,6 +132,9 @@ class Project {
   std::unique_ptr<model::Workspace> workspace_;
   runtime::FunctionRegistry registry_;
   std::optional<codegen::GeneratedArtifacts> artifacts_;
+  /// One program, N sessions: cached by compile_program() and shared
+  /// (read-only) by every open_session() until invalidation.
+  std::shared_ptr<const runtime::CompiledProgram> program_;
 };
 
 }  // namespace sage::core

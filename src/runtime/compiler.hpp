@@ -1,0 +1,80 @@
+// openSAGE -- the glue-code compiler: GlueConfig + registry -> immutable
+// CompiledProgram.
+//
+// This is the one-time planning phase the warm Session used to perform
+// privately on every construction: validate the configuration, check
+// every kernel name resolves, build the per-buffer transfer plans,
+// intern staging slot ids, lower everything into the flat transfer
+// program, and precompute the kernel port bindings. Pulling it out of
+// the executor gives the lowered artifact a life of its own -- N
+// concurrent sessions share one program, and the content-addressed
+// PlanCache persists programs across processes so a warm restart skips
+// the planner entirely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/program.hpp"
+#include "runtime/registry.hpp"
+
+namespace sage::runtime {
+
+/// Stable fingerprint of a registry's kernel *names* (the binding
+/// surface a compiled program depends on; kernel bodies are native code
+/// and rebind on every Session construction anyway).
+std::uint64_t registry_fingerprint(const FunctionRegistry& registry);
+
+class Compiler {
+ public:
+  /// Full compile: validates the config, checks every kernel resolves
+  /// against `registry`, lowers, and stamps the content-addressed
+  /// fingerprint. Throws sage::ConfigError / sage::RuntimeError.
+  static std::shared_ptr<const CompiledProgram> compile(
+      GlueConfig config, const FunctionRegistry& registry);
+
+  /// Lowering only: no registry check, fingerprint left zero. Used for
+  /// private recompiles whose placement diverged from the cacheable
+  /// artifact (degraded-mode recovery).
+  static std::shared_ptr<const CompiledProgram> lower(GlueConfig config);
+
+  /// The plan-cache key: FNV-1a over the canonical glue text, the
+  /// registry fingerprint, and kPlanFormatVersion.
+  static std::uint64_t fingerprint(const GlueConfig& config,
+                                   const FunctionRegistry& registry);
+};
+
+/// Content-addressed on-disk program cache: one `<key>.plan` blob per
+/// fingerprint under `dir` (created on first store). Loads are
+/// fail-soft -- a missing, truncated, corrupt, or stale-format entry is
+/// a miss, never an error -- because the cache is an accelerator, not a
+/// source of truth.
+class PlanCache {
+ public:
+  explicit PlanCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string path_of(std::uint64_t key) const;
+
+  /// The cached program for `key`, or nullptr on any kind of miss.
+  std::shared_ptr<const CompiledProgram> load(std::uint64_t key) const;
+
+  /// Persists `program` under `key` (write-to-temp + rename, so a
+  /// concurrent reader never sees a half-written blob). Returns false
+  /// if the directory or file cannot be written.
+  bool store(std::uint64_t key, const CompiledProgram& program) const;
+
+ private:
+  std::string dir_;
+};
+
+/// The cache-aware front end Session::create and Project::open_session
+/// ride: fingerprint the inputs, consult the cache when `plan_cache_dir`
+/// is non-empty, compile (and store) on a miss. The returned program's
+/// `cache_outcome` / `compile_seconds` record what happened.
+std::shared_ptr<const CompiledProgram> compile_or_load(
+    GlueConfig config, const FunctionRegistry& registry,
+    const std::string& plan_cache_dir);
+
+}  // namespace sage::runtime

@@ -1,3 +1,7 @@
+// The executor layer: drives an immutable CompiledProgram on the warm
+// emulated machine. All planning lives in runtime::Compiler; nothing in
+// this file builds or mutates a program (recover() asks the Compiler
+// for a fresh one).
 #include "runtime/session.hpp"
 
 #include <algorithm>
@@ -6,6 +10,7 @@
 #include <map>
 #include <tuple>
 
+#include "runtime/compiler.hpp"
 #include "support/error.hpp"
 
 namespace sage::runtime {
@@ -24,74 +29,6 @@ support::VirtualSeconds RunStats::mean_latency() const {
   for (const auto lat : latencies) total += lat;
   return total / static_cast<double>(latencies.size());
 }
-
-/// One logical buffer with its precomputed transfer plan.
-struct Session::PlannedBuffer {
-  int id = -1;
-  int src_function = -1;
-  int dst_function = -1;
-  std::string src_port;
-  std::string dst_port;
-  std::size_t elem_bytes = 0;
-  StripeSpec src_spec;
-  StripeSpec dst_spec;
-  std::vector<ThreadPairTransfer> plan;
-  std::string label;
-};
-
-/// One copy segment of a compiled transfer, byte-scaled so the run loop
-/// never multiplies by elem_bytes. `packed_off` is the segment's offset
-/// in the packed wire layout (concatenated segments in plan order).
-struct ByteSeg {
-  std::size_t src_off = 0;
-  std::size_t dst_off = 0;
-  std::size_t packed_off = 0;
-  std::size_t len = 0;
-};
-
-/// One (buffer, src thread, dst thread) transfer, fully resolved at
-/// compile_program_() time: integer slot ids instead of string-keyed map
-/// lookups, byte offsets instead of element offsets, contiguity and
-/// fan-out-share classification precomputed. Placement-dependent fields
-/// (src_node/dst_node, share groups) are rebuilt by recover().
-struct Session::TransferOp {
-  int buf = -1;  // index into planned_ (== buffer id)
-  int tag = 0;
-  int src_function = -1;
-  int dst_function = -1;
-  int src_thread = 0;
-  int dst_thread = 0;
-  int src_node = 0;
-  int dst_node = 0;
-  std::size_t bytes = 0;
-  /// Single-segment transfer: the wire layout equals one contiguous
-  /// slice of the source staging (and lands as one contiguous slice of
-  /// the destination staging), so the zero-copy fast paths apply.
-  bool contiguous = false;
-  std::vector<ByteSeg> segs;
-  int src_slot = -1;  // staging slot on the producer node
-  int dst_slot = -1;  // staging slot on the consumer node
-  /// Per-op logical-buffer storage (kUniquePerFunction staging copy).
-  int logical_slot = -1;
-  /// Fan-out share group: remote ops of one producer thread whose packed
-  /// bytes are identical (same gather signature) share one pooled
-  /// payload under kShared -- the fabric's copy-on-write protects the
-  /// sharers from injected corruption. -1 when not shared.
-  int share_group = -1;
-};
-
-/// Precomputed kernel port slice for one (function, thread): everything
-/// KernelContext needs except the live data span, so the run loop does
-/// no stripe_spec()/slice_runs() work per invocation.
-struct Session::PortBinding {
-  std::string name;
-  int slot = -1;
-  std::size_t elem_bytes = 0;
-  std::vector<std::size_t> local_dims;
-  std::vector<std::size_t> global_dims;
-  std::vector<Run> runs;
-  bool is_input = true;
-};
 
 /// Node-local state, allocated once at session construction and reused
 /// (reset, not reallocated) across runs.
@@ -120,13 +57,6 @@ struct Session::NodeState {
 };
 
 namespace {
-
-/// Message tag for one (buffer, src thread, dst thread) channel. The
-/// validated limits (64 buffers, 8 threads) keep this below the user-tag
-/// ceiling of 4096.
-int transfer_tag(int buffer_id, int src_thread, int dst_thread) {
-  return buffer_id * 64 + src_thread * 8 + dst_thread;
-}
 
 /// Gathers compiled segments from the source staging into the packed
 /// wire layout.
@@ -212,199 +142,50 @@ bool frame_valid(std::span<const std::byte> frame) {
                      frame.size() - kFrameHeaderBytes) == checksum;
 }
 
-int port_index(const FunctionConfig& fn, const std::string& name) {
-  for (std::size_t i = 0; i < fn.ports.size(); ++i) {
-    if (fn.ports[i].name == name) return static_cast<int>(i);
-  }
-  return -1;  // unreachable: config_.validate() checked the port exists
-}
-
 }  // namespace
 
 Session::Session(GlueConfig config, const FunctionRegistry& registry,
                  ExecuteOptions options)
-    : config_(std::move(config)), options_(std::move(options)) {
-  config_.validate();
+    : Session(compile_or_load(std::move(config), registry,
+                              options.plan_cache_dir),
+              registry, options) {}
 
-  kernels_.reserve(config_.functions.size());
-  for (const FunctionConfig& fn : config_.functions) {
+Session::Session(std::shared_ptr<const CompiledProgram> program,
+                 const FunctionRegistry& registry, ExecuteOptions options)
+    : program_(std::move(program)), options_(std::move(options)) {
+  SAGE_CHECK_AS(RuntimeError, program_ != nullptr,
+                "Session needs a compiled program");
+  const GlueConfig& config = program_->config;
+
+  kernels_.reserve(config.functions.size());
+  for (const FunctionConfig& fn : config.functions) {
     kernels_.push_back(registry.lookup(fn.kernel));  // throws when missing
-  }
-
-  in_of_fn_.resize(config_.functions.size());
-  out_of_fn_.resize(config_.functions.size());
-  for (const BufferConfig& buf : config_.buffers) {
-    const FunctionConfig& src_fn = config_.function(buf.src_function);
-    const FunctionConfig& dst_fn = config_.function(buf.dst_function);
-    const PortConfig& src_port = src_fn.port(buf.src_port);
-
-    PlannedBuffer planned;
-    planned.id = buf.id;
-    planned.src_function = buf.src_function;
-    planned.dst_function = buf.dst_function;
-    planned.src_port = buf.src_port;
-    planned.dst_port = buf.dst_port;
-    planned.elem_bytes = src_port.elem_bytes;
-    planned.src_spec = config_.stripe_spec(src_fn, src_port);
-    planned.dst_spec = config_.stripe_spec(dst_fn, dst_fn.port(buf.dst_port));
-    planned.plan = build_transfer_plan(planned.src_spec, planned.dst_spec);
-    planned.label = src_fn.name + "." + buf.src_port + "->" + dst_fn.name +
-                    "." + buf.dst_port;
-    planned_.push_back(std::move(planned));
-
-    in_of_fn_[static_cast<std::size_t>(buf.dst_function)].push_back(buf.id);
-    out_of_fn_[static_cast<std::size_t>(buf.src_function)].push_back(buf.id);
   }
 
   if (!options_.cpu_scales.empty()) {
     SAGE_CHECK_AS(ConfigError,
-                  static_cast<int>(options_.cpu_scales.size()) ==
-                      config_.nodes,
+                  static_cast<int>(options_.cpu_scales.size()) == config.nodes,
                   "cpu_scales size ", options_.cpu_scales.size(),
-                  " != node count ", config_.nodes);
+                  " != node count ", config.nodes);
   }
 
   // Spawn the emulated machine once; its node threads park between runs.
   net::FabricModel fabric =
       options_.fabric ? *options_.fabric : net::myrinet_fabric();
   if (options_.cpu_scales.empty()) {
-    machine_ = std::make_unique<net::Machine>(config_.nodes, std::move(fabric));
+    machine_ = std::make_unique<net::Machine>(config.nodes, std::move(fabric));
   } else {
     machine_ = std::make_unique<net::Machine>(std::move(fabric),
                                               options_.cpu_scales);
   }
 
-  compile_program_();
   allocate_states_();
   prewarm_pool_();
 
-  metrics_ = viz::MetricsRegistry(config_.nodes);
+  metrics_ = viz::MetricsRegistry(config.nodes);
   define_metrics_();
 
   machine_->start();
-}
-
-void Session::compile_program_() {
-  const auto nfn = config_.functions.size();
-  slot_base_.assign(nfn, 0);
-  fn_thread_base_.assign(nfn, 0);
-  int slots = 0;
-  int ftis = 0;
-  for (const FunctionConfig& fn : config_.functions) {
-    slot_base_[static_cast<std::size_t>(fn.id)] = slots;
-    slots += fn.threads * static_cast<int>(fn.ports.size());
-    fn_thread_base_[static_cast<std::size_t>(fn.id)] = ftis;
-    ftis += fn.threads;
-  }
-  total_staging_slots_ = slots;
-
-  bindings_of_.assign(static_cast<std::size_t>(ftis), {});
-  for (const FunctionConfig& fn : config_.functions) {
-    for (int t = 0; t < fn.threads; ++t) {
-      std::vector<PortBinding>& binds = bindings_of_[static_cast<std::size_t>(
-          fn_thread_base_[static_cast<std::size_t>(fn.id)] + t)];
-      binds.clear();
-      binds.reserve(fn.ports.size());
-      for (std::size_t p = 0; p < fn.ports.size(); ++p) {
-        const PortConfig& port = fn.ports[p];
-        const StripeSpec spec = config_.stripe_spec(fn, port);
-        PortBinding b;
-        b.name = port.name;
-        b.slot = slot_base_[static_cast<std::size_t>(fn.id)] +
-                 t * static_cast<int>(fn.ports.size()) + static_cast<int>(p);
-        b.elem_bytes = port.elem_bytes;
-        b.local_dims = spec.local_dims();
-        b.global_dims = port.dims;
-        b.runs = slice_runs(spec, t);
-        b.is_input = port.direction == model::PortDirection::kIn;
-        binds.push_back(std::move(b));
-      }
-    }
-  }
-
-  ops_.clear();
-  recv_ops_of_.assign(static_cast<std::size_t>(ftis), {});
-  send_ops_of_.assign(static_cast<std::size_t>(ftis), {});
-  int next_group = 0;
-  for (const PlannedBuffer& buf : planned_) {
-    const FunctionConfig& src_fn = config_.function(buf.src_function);
-    const FunctionConfig& dst_fn = config_.function(buf.dst_function);
-    const int src_port_idx = port_index(src_fn, buf.src_port);
-    const int dst_port_idx = port_index(dst_fn, buf.dst_port);
-    // Previous remote op of the current producer thread (fan-out-share
-    // chaining; plan order keeps one producer's pairs adjacent).
-    int chain = -1;
-    int chain_thread = -1;
-    for (const ThreadPairTransfer& pair : buf.plan) {
-      TransferOp op;
-      op.buf = buf.id;
-      op.tag = transfer_tag(buf.id, pair.src_thread, pair.dst_thread);
-      op.src_function = buf.src_function;
-      op.dst_function = buf.dst_function;
-      op.src_thread = pair.src_thread;
-      op.dst_thread = pair.dst_thread;
-      op.src_node =
-          src_fn.thread_nodes[static_cast<std::size_t>(pair.src_thread)];
-      op.dst_node =
-          dst_fn.thread_nodes[static_cast<std::size_t>(pair.dst_thread)];
-      op.bytes = pair.total_elems() * buf.elem_bytes;
-      op.contiguous = pair.segments.size() == 1;
-      op.segs.reserve(pair.segments.size());
-      std::size_t cursor = 0;
-      for (const Segment& seg : pair.segments) {
-        ByteSeg bs;
-        bs.src_off = seg.src_offset * buf.elem_bytes;
-        bs.dst_off = seg.dst_offset * buf.elem_bytes;
-        bs.packed_off = cursor;
-        bs.len = seg.length * buf.elem_bytes;
-        cursor += bs.len;
-        op.segs.push_back(bs);
-      }
-      op.src_slot = slot_base_[static_cast<std::size_t>(src_fn.id)] +
-                    pair.src_thread * static_cast<int>(src_fn.ports.size()) +
-                    src_port_idx;
-      op.dst_slot = slot_base_[static_cast<std::size_t>(dst_fn.id)] +
-                    pair.dst_thread * static_cast<int>(dst_fn.ports.size()) +
-                    dst_port_idx;
-      op.logical_slot = static_cast<int>(ops_.size());
-
-      if (pair.src_thread != chain_thread) {
-        chain = -1;
-        chain_thread = pair.src_thread;
-      }
-      if (op.src_node != op.dst_node) {
-        if (chain >= 0) {
-          TransferOp& prev = ops_[static_cast<std::size_t>(chain)];
-          const bool same_gather =
-              prev.segs.size() == op.segs.size() &&
-              std::equal(prev.segs.begin(), prev.segs.end(), op.segs.begin(),
-                         [](const ByteSeg& a, const ByteSeg& b) {
-                           return a.src_off == b.src_off && a.len == b.len;
-                         });
-          if (same_gather) {
-            if (prev.share_group < 0) prev.share_group = next_group++;
-            op.share_group = prev.share_group;
-          }
-        }
-        chain = static_cast<int>(ops_.size());
-      }
-
-      const int src_fti =
-          fn_thread_base_[static_cast<std::size_t>(src_fn.id)] +
-          pair.src_thread;
-      const int dst_fti =
-          fn_thread_base_[static_cast<std::size_t>(dst_fn.id)] +
-          pair.dst_thread;
-      send_ops_of_[static_cast<std::size_t>(src_fti)].push_back(
-          static_cast<int>(ops_.size()));
-      if (op.src_node != op.dst_node) {
-        recv_ops_of_[static_cast<std::size_t>(dst_fti)].push_back(
-            static_cast<int>(ops_.size()));
-      }
-      ops_.push_back(std::move(op));
-    }
-  }
-  total_logical_slots_ = static_cast<int>(ops_.size());
 }
 
 void Session::prewarm_pool_() {
@@ -419,14 +200,16 @@ void Session::prewarm_pool_() {
           : 2;
   std::map<std::size_t, std::size_t> want;  // bucket size -> block count
   bool any_remote = false;
-  for (const TransferOp& op : ops_) {
+  for (const TransferOp& op : program_->ops) {
     if (op.src_node == op.dst_node) continue;
     any_remote = true;
     // Prewarm the fault-free size; framed fault-mode payloads land in
     // the next bucket only when bytes is within 16 of the bucket edge.
     want[std::bit_ceil(std::max<std::size_t>(op.bytes, 64))] += depth;
   }
-  if (any_remote) want[64] += static_cast<std::size_t>(config_.nodes);
+  if (any_remote) {
+    want[64] += static_cast<std::size_t>(program_->config.nodes);
+  }
   net::BufferPool& pool = machine_->fabric().pool();
   for (const auto& [size, count] : want) pool.reserve(size, count);
 }
@@ -434,18 +217,19 @@ void Session::prewarm_pool_() {
 void Session::define_metrics_() {
   using viz::Aggregation;
   namespace fam = viz::families;
+  const GlueConfig& config = program_->config;
   // One family at a time (not one function at a time) so each family's
   // series stay contiguous in snapshot order -- the Prometheus
   // exposition groups by family.
-  fn_busy_ids_.reserve(config_.functions.size());
-  for (const FunctionConfig& fn : config_.functions) {
+  fn_busy_ids_.reserve(config.functions.size());
+  for (const FunctionConfig& fn : config.functions) {
     fn_busy_ids_.push_back(metrics_.counter(
         fam::kFunctionBusySeconds,
         "Virtual seconds spent executing this function's kernel",
         {{"function", fn.name}}, /*time_based=*/true));
   }
-  fn_calls_ids_.reserve(config_.functions.size());
-  for (const FunctionConfig& fn : config_.functions) {
+  fn_calls_ids_.reserve(config.functions.size());
+  for (const FunctionConfig& fn : config.functions) {
     fn_calls_ids_.push_back(metrics_.counter(
         fam::kFunctionInvocations,
         "Kernel invocations (every thread of every iteration)",
@@ -502,6 +286,19 @@ void Session::define_metrics_() {
   pool_blocks_id_ = metrics_.gauge(
       fam::kPoolBlocks, "Blocks owned by the fabric's buffer pool",
       Aggregation::kSum, {}, /*time_based=*/true);
+  // Compile provenance: host wall-clock facts about how this session's
+  // program came to be, time-based for the same reason as host_seconds.
+  compile_seconds_id_ = metrics_.gauge(
+      fam::kProgramCompileSeconds,
+      "Wall seconds spent compiling (or cache-loading) the program",
+      Aggregation::kMax, {}, /*time_based=*/true);
+  if (program_->cache_outcome != PlanCacheOutcome::kNotConsulted) {
+    cache_lookup_id_ = metrics_.counter(
+        fam::kPlanCacheLookups,
+        "Plan-cache lookups by outcome (one per program compile)",
+        {{"outcome", to_string(program_->cache_outcome)}},
+        /*time_based=*/true);
+  }
 }
 
 const std::array<int, 4>& Session::link_metric_ids_(int src, int dst) {
@@ -566,6 +363,9 @@ void Session::export_metrics_(RunStats& stats) {
   metrics_.set(0, pool_blocks_id_,
                static_cast<double>(stats.data_plane.pool_blocks));
 
+  metrics_.set(0, compile_seconds_id_, program_->compile_seconds);
+  if (cache_lookup_id_ >= 0) metrics_.add(0, cache_lookup_id_, 1.0);
+
   // std::map iteration -> (src, dst) order, so first-sight definition
   // order (and with it snapshot order) matches across warm runs and
   // fresh sessions with the same traffic pattern.
@@ -584,25 +384,29 @@ void Session::allocate_states_() {
   // Pre-allocate every staging buffer and the logical-buffer pool, so
   // warm runs reuse memory instead of reallocating it. Also called by
   // recover(), which changes thread->node placements.
+  const CompiledProgram& program = *program_;
+  const GlueConfig& config = program.config;
   states_.clear();
-  states_.reserve(static_cast<std::size_t>(config_.nodes));
-  for (int r = 0; r < config_.nodes; ++r) {
+  states_.reserve(static_cast<std::size_t>(config.nodes));
+  for (int r = 0; r < config.nodes; ++r) {
     auto state = std::make_unique<NodeState>(r);
-    auto schedule_it = config_.schedule.find(r);
-    if (schedule_it != config_.schedule.end()) {
+    auto schedule_it = config.schedule.find(r);
+    if (schedule_it != config.schedule.end()) {
       state->order = schedule_it->second;
     }
-    state->staging.assign(static_cast<std::size_t>(total_staging_slots_), {});
-    state->logical.assign(static_cast<std::size_t>(total_logical_slots_), {});
+    state->staging.assign(
+        static_cast<std::size_t>(program.total_staging_slots), {});
+    state->logical.assign(
+        static_cast<std::size_t>(program.total_logical_slots), {});
     states_.push_back(std::move(state));
   }
-  for (const FunctionConfig& fn : config_.functions) {
+  for (const FunctionConfig& fn : config.functions) {
     for (int t = 0; t < fn.threads; ++t) {
       const int r = fn.thread_nodes[static_cast<std::size_t>(t)];
       NodeState& state = *states_[static_cast<std::size_t>(r)];
       if (fn.role == "source") state.hosts_source = true;
-      const auto& binds = bindings_of_[static_cast<std::size_t>(
-          fn_thread_base_[static_cast<std::size_t>(fn.id)] + t)];
+      const auto& binds = program.bindings_of[static_cast<std::size_t>(
+          program.fn_thread_base[static_cast<std::size_t>(fn.id)] + t)];
       for (const PortBinding& b : binds) {
         std::size_t elems = 1;
         for (const std::size_t d : b.local_dims) elems *= d;
@@ -611,7 +415,7 @@ void Session::allocate_states_() {
       }
     }
   }
-  for (const TransferOp& op : ops_) {
+  for (const TransferOp& op : program.ops) {
     for (const int r : {op.src_node, op.dst_node}) {
       states_[static_cast<std::size_t>(r)]
           ->logical[static_cast<std::size_t>(op.logical_slot)]
@@ -623,11 +427,12 @@ void Session::allocate_states_() {
 RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
   SAGE_CHECK_AS(RuntimeError, !closed(),
                 "Session::recover on a closed session");
+  const int nodes = program_->config.nodes;
   RecoveryReport report;
   for (const int rank : dead_ranks) {
-    SAGE_CHECK_AS(RuntimeError, rank >= 0 && rank < config_.nodes,
-                  "recover: rank ", rank, " outside machine of ",
-                  config_.nodes, " nodes");
+    SAGE_CHECK_AS(RuntimeError, rank >= 0 && rank < nodes,
+                  "recover: rank ", rank, " outside machine of ", nodes,
+                  " nodes");
     if (std::find(dead_nodes_.begin(), dead_nodes_.end(), rank) ==
         dead_nodes_.end()) {
       dead_nodes_.push_back(rank);
@@ -637,29 +442,32 @@ RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
   if (report.dead_nodes.empty()) return report;  // idempotent per rank
   std::sort(dead_nodes_.begin(), dead_nodes_.end());
   std::sort(report.dead_nodes.begin(), report.dead_nodes.end());
-  SAGE_CHECK_AS(RuntimeError,
-                static_cast<int>(dead_nodes_.size()) < config_.nodes,
+  SAGE_CHECK_AS(RuntimeError, static_cast<int>(dead_nodes_.size()) < nodes,
                 "recover: no surviving node left");
 
   const auto is_dead = [&](int rank) {
     return std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), rank);
   };
 
+  // The shared program is immutable; work on a private copy of its
+  // config and compile a session-private replacement at the end.
+  GlueConfig config = program_->config;
+
   // Deterministic greedy remap: move each stranded thread, in function-id
   // then thread order, to the survivor with the fewest assigned threads
   // (ties to the lowest rank). Mirrors the atot greedy mapper's
   // tie-breaking so remapped placements stay reproducible.
-  std::vector<int> load(static_cast<std::size_t>(config_.nodes), 0);
-  for (const FunctionConfig& fn : config_.functions) {
+  std::vector<int> load(static_cast<std::size_t>(config.nodes), 0);
+  for (const FunctionConfig& fn : config.functions) {
     for (const int node : fn.thread_nodes) {
       if (!is_dead(node)) ++load[static_cast<std::size_t>(node)];
     }
   }
-  for (FunctionConfig& fn : config_.functions) {
+  for (FunctionConfig& fn : config.functions) {
     for (int& node : fn.thread_nodes) {
       if (!is_dead(node)) continue;
       int best = -1;
-      for (int r = 0; r < config_.nodes; ++r) {
+      for (int r = 0; r < config.nodes; ++r) {
         if (is_dead(r)) continue;
         if (best == -1 || load[static_cast<std::size_t>(r)] <
                               load[static_cast<std::size_t>(best)]) {
@@ -674,21 +482,22 @@ RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
 
   // Rebuild the per-node schedules the way the code generator emits
   // them: function-table ids in id order, filtered to the node.
-  config_.schedule.clear();
-  for (int r = 0; r < config_.nodes; ++r) {
+  config.schedule.clear();
+  for (int r = 0; r < config.nodes; ++r) {
     std::vector<int> order;
-    for (const FunctionConfig& fn : config_.functions) {
+    for (const FunctionConfig& fn : config.functions) {
       if (std::find(fn.thread_nodes.begin(), fn.thread_nodes.end(), r) !=
           fn.thread_nodes.end()) {
         order.push_back(fn.id);
       }
     }
-    if (!order.empty()) config_.schedule[r] = std::move(order);
+    if (!order.empty()) config.schedule[r] = std::move(order);
   }
-  config_.validate();
   // Placement changed: remote/local classification, share groups, and
-  // slot residency all shift, so recompile the transfer program.
-  compile_program_();
+  // slot residency all shift, so compile a fresh (session-private,
+  // uncached) program for the degraded placement. Other sessions
+  // sharing the old program keep executing it untouched.
+  program_ = Compiler::lower(std::move(config));
   allocate_states_();
   prewarm_pool_();
   pending_recoveries_.push_back(report);
@@ -703,6 +512,17 @@ Result<std::unique_ptr<Session>> Session::create(GlueConfig config,
   try {
     return Result<std::unique_ptr<Session>>::success(std::make_unique<Session>(
         std::move(config), registry, std::move(options)));
+  } catch (const std::exception& e) {
+    return Result<std::unique_ptr<Session>>::failure(e.what());
+  }
+}
+
+Result<std::unique_ptr<Session>> Session::create(
+    std::shared_ptr<const CompiledProgram> program,
+    const FunctionRegistry& registry, ExecuteOptions options) {
+  try {
+    return Result<std::unique_ptr<Session>>::success(std::make_unique<Session>(
+        std::move(program), registry, std::move(options)));
   } catch (const std::exception& e) {
     return Result<std::unique_ptr<Session>>::failure(e.what());
   }
@@ -742,7 +562,7 @@ RunStats Session::run(const RunRequest& request) {
 
   int iterations = request.iterations;
   if (iterations <= 0) iterations = options_.iterations;
-  if (iterations <= 0) iterations = config_.iterations_default;
+  if (iterations <= 0) iterations = program_->config.iterations_default;
   SAGE_CHECK_AS(RuntimeError, iterations > 0, "nothing to run: ", iterations,
                 " iterations");
   run_iterations_ = iterations;
@@ -769,7 +589,7 @@ RunStats Session::run(const RunRequest& request) {
   // Surface recoveries applied since the last run on this run's trace.
   if (run_trace_) {
     for (const RecoveryReport& recovery : pending_recoveries_) {
-      for (int r = 0; r < config_.nodes; ++r) {
+      for (int r = 0; r < program_->config.nodes; ++r) {
         if (std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), r)) {
           continue;
         }
@@ -876,7 +696,7 @@ RunStats Session::run(const RunRequest& request) {
   // Results: sum kernel-reported values per function per iteration.
   for (const auto& state : states_) {
     for (const auto& [fn_id, iter, value] : state->results) {
-      const std::string& name = config_.function(fn_id).name;
+      const std::string& name = program_->config.function(fn_id).name;
       auto& series = stats.results[name];
       if (series.size() < static_cast<std::size_t>(iterations)) {
         series.resize(static_cast<std::size_t>(iterations), 0.0);
@@ -911,7 +731,8 @@ std::vector<RunStats> Session::run_batch(int runs, const RunRequest& request) {
 void Session::node_program_(net::NodeContext& node) {
   const int rank = node.rank();
   NodeState& state = *states_[static_cast<std::size_t>(rank)];
-  const GlueConfig& cfg = config_;
+  const CompiledProgram& program = *program_;
+  const GlueConfig& cfg = program.config;
   const int iterations = run_iterations_;
   const bool unique = run_policy_ == BufferPolicy::kUniquePerFunction;
   const bool trace = run_trace_;
@@ -1077,12 +898,13 @@ void Session::node_program_(net::NodeContext& node) {
       for (int t = 0; t < fn.threads; ++t) {
         if (fn.thread_nodes[static_cast<std::size_t>(t)] != rank) continue;
         const auto fti = static_cast<std::size_t>(
-            fn_thread_base_[static_cast<std::size_t>(fn_id)] + t);
+            program.fn_thread_base[static_cast<std::size_t>(fn_id)] + t);
 
         // --- 1. receive remote inputs -----------------------------------
-        for (const int op_idx : recv_ops_of_[fti]) {
-          const TransferOp& op = ops_[static_cast<std::size_t>(op_idx)];
-          const PlannedBuffer& buf = planned_[static_cast<std::size_t>(op.buf)];
+        for (const int op_idx : program.recv_ops_of[fti]) {
+          const TransferOp& op = program.ops[static_cast<std::size_t>(op_idx)];
+          const PlannedBuffer& buf =
+              program.buffers[static_cast<std::size_t>(op.buf)];
           const double t_before = node.now();
           net::Payload payload;
           std::span<const std::byte> body;
@@ -1141,7 +963,7 @@ void Session::node_program_(net::NodeContext& node) {
         // --- 2. execute the kernel ---------------------------------------
         KernelContext kctx(t, fn.threads, iter);
         kctx.params.insert(fn.params.begin(), fn.params.end());
-        for (const PortBinding& b : bindings_of_[fti]) {
+        for (const PortBinding& b : program.bindings_of[fti]) {
           PortSlice slice;
           slice.name = b.name;
           slice.data = state.staging[static_cast<std::size_t>(b.slot)];
@@ -1201,9 +1023,10 @@ void Session::node_program_(net::NodeContext& node) {
         // --- 3. send outputs ----------------------------------------------
         int last_group = -1;
         net::Payload group_payload;
-        for (const int op_idx : send_ops_of_[fti]) {
-          const TransferOp& op = ops_[static_cast<std::size_t>(op_idx)];
-          const PlannedBuffer& buf = planned_[static_cast<std::size_t>(op.buf)];
+        for (const int op_idx : program.send_ops_of[fti]) {
+          const TransferOp& op = program.ops[static_cast<std::size_t>(op_idx)];
+          const PlannedBuffer& buf =
+              program.buffers[static_cast<std::size_t>(op.buf)];
           const std::vector<std::byte>& src_staging =
               state.staging[static_cast<std::size_t>(op.src_slot)];
 

@@ -1,17 +1,24 @@
-// openSAGE -- warm run-time sessions.
+// openSAGE -- warm run-time sessions: the executor layer.
 //
 // The paper's run-time kernel is a long-lived resident service: "the
 // SAGE run-time kernel is responsible for all sequencing of functions,
 // data striping, and buffer management." A Session reproduces that
-// shape. Constructed once from a glue configuration + function registry
-// + options, it validates the config, binds every kernel, precomputes
-// all transfer plans, pre-allocates every staging and logical buffer,
-// and spawns the emulated machine (one parked host thread per node).
-// Repeated run() calls then pay only a per-run state reset: node
-// threads are woken instead of re-spawned, and buffer memory is reused
-// instead of reallocated -- the separation of a one-time
-// compile/allocate phase from cheap repeated invocations (cf. DaCe's
-// stateful dataflow graphs).
+// shape -- but planning and execution are separate layers:
+//
+//   runtime::Compiler  lowers a GlueConfig + registry into an immutable
+//                      runtime::CompiledProgram (one-time planning);
+//   runtime::Session   executes a shared_ptr<const CompiledProgram>,
+//                      owning only mutable state: staging buffers, the
+//                      emulated machine (one parked host thread per
+//                      node), metrics shards, and per-run parameters.
+//
+// N concurrent sessions can execute one program; the content-addressed
+// plan cache (see compiler.hpp) lets a warm process restart skip the
+// planner entirely. Repeated run() calls pay only a per-run state
+// reset: node threads are woken instead of re-spawned, and buffer
+// memory is reused instead of reallocated -- the separation of a
+// one-time compile/allocate phase from cheap repeated invocations
+// (cf. DaCe's stateful dataflow graphs).
 //
 // Buffer management policies reproduce the paper's observation that the
 // runtime "assigns unique logical buffers to the data per function which
@@ -39,6 +46,7 @@
 #include "net/fault.hpp"
 #include "net/machine.hpp"
 #include "runtime/glue_config.hpp"
+#include "runtime/program.hpp"
 #include "runtime/registry.hpp"
 #include "support/error.hpp"
 #include "viz/metrics.hpp"
@@ -88,6 +96,12 @@ struct ExecuteOptions {
   /// schedule). Models the finite physical buffers the paper's runtime
   /// allocated per logical buffer.
   int buffer_depth = 0;
+  /// Content-addressed plan-cache directory. Non-empty: Session::create
+  /// (from a GlueConfig) consults `<dir>/<fingerprint>.plan` before
+  /// compiling, and stores freshly compiled programs there. Empty (the
+  /// default): compile directly, no disk access. Irrelevant when the
+  /// session is constructed from an already-compiled program.
+  std::string plan_cache_dir;
   /// Deterministic fault schedule (see net/fault.hpp). nullptr or an
   /// empty (inactive) plan leaves every run bit-identical to today's
   /// fault-free path. An active plan switches remote transfers --
@@ -201,29 +215,50 @@ struct RecoveryReport {
   int moved_threads = 0;
 };
 
-/// A persistent execution context over the emulated machine. Thread
-/// compatibility: drive one Session from one host thread at a time.
+/// A persistent executor over the emulated machine, driving one
+/// immutable CompiledProgram. Thread compatibility: drive one Session
+/// from one host thread at a time; any number of Sessions may share one
+/// program concurrently (the program is read-only).
 class Session {
  public:
-  /// Validates the config, resolves every kernel name, builds transfer
-  /// plans, pre-allocates all buffers, and spawns the (parked) node
-  /// threads; throws sage::ConfigError / sage::RuntimeError on
-  /// inconsistency.
+  /// Compatibility constructor, semantics unchanged from the monolithic
+  /// Session: compiles `config` (consulting the plan cache when
+  /// `options.plan_cache_dir` is set), binds every kernel, pre-allocates
+  /// all buffers, and spawns the (parked) node threads; throws
+  /// sage::ConfigError / sage::RuntimeError on inconsistency.
   Session(GlueConfig config, const FunctionRegistry& registry,
           ExecuteOptions options = {});
 
-  /// Non-throwing counterpart: config problems come back as an error
+  /// Executor constructor: attach to an already-compiled program
+  /// (shared; the session takes a reference, never a copy). Binds
+  /// kernels against `registry` and builds only this session's mutable
+  /// state.
+  Session(std::shared_ptr<const CompiledProgram> program,
+          const FunctionRegistry& registry, ExecuteOptions options = {});
+
+  /// Non-throwing counterparts: config problems come back as an error
   /// message instead of an exception (for validators and CLIs).
   static Result<std::unique_ptr<Session>> create(
       GlueConfig config, const FunctionRegistry& registry,
       ExecuteOptions options = {});
+  static Result<std::unique_ptr<Session>> create(
+      std::shared_ptr<const CompiledProgram> program,
+      const FunctionRegistry& registry, ExecuteOptions options = {});
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   ~Session();
 
-  const GlueConfig& config() const { return config_; }
+  /// The program this session executes. After recover() this is a
+  /// session-private recompile; until then it may be shared with other
+  /// sessions.
+  const CompiledProgram& program() const { return *program_; }
+  std::shared_ptr<const CompiledProgram> program_ptr() const {
+    return program_;
+  }
+
+  const GlueConfig& config() const { return program_->config; }
   const ExecuteOptions& options() const { return options_; }
 
   /// Executes one run on the warm machine and reports its stats.
@@ -239,11 +274,13 @@ class Session {
   /// moves every function thread mapped there onto the least-loaded
   /// surviving node (ties to the lowest rank), rebuilds the per-node
   /// schedules in function-id order (matching the code generator's
-  /// emission), revalidates the config, and reallocates node-local
-  /// buffers. The emulated machine keeps its size; dead nodes simply
-  /// receive no work. Idempotent per rank; throws sage::RuntimeError if
-  /// no survivor would remain. Runs whose fault plan names dead nodes
-  /// invoke this automatically.
+  /// emission), revalidates the config, compiles a session-private
+  /// replacement program for the new placement (a shared program is
+  /// immutable -- co-executors are unaffected), and reallocates
+  /// node-local buffers. The emulated machine keeps its size; dead nodes
+  /// simply receive no work. Idempotent per rank; throws
+  /// sage::RuntimeError if no survivor would remain. Runs whose fault
+  /// plan names dead nodes invoke this automatically.
   RecoveryReport recover(const std::vector<int>& dead_ranks);
 
   /// Ranks currently excluded by recover() (sorted).
@@ -256,20 +293,11 @@ class Session {
   bool closed() const { return machine_ == nullptr; }
 
  private:
-  struct PlannedBuffer;
   struct NodeState;
-  struct TransferOp;
-  struct PortBinding;
 
   void node_program_(net::NodeContext& node);
   void reset_between_runs_();
   void allocate_states_();
-  /// Compiles every planned transfer into the dense, index-addressed
-  /// transfer program: staging/logical slot ids, byte-scaled segments,
-  /// contiguity and fan-out-share detection, per-(function, thread) op
-  /// lists, and the precomputed kernel port bindings. Placement-aware;
-  /// re-run by recover().
-  void compile_program_();
   /// Tops the fabric's buffer pool up to the steady-state working set of
   /// the compiled program, so even a first run stays allocation-free on
   /// credit-bounded channels.
@@ -282,31 +310,11 @@ class Session {
   /// first sight (ids persist across warm runs; values reset).
   const std::array<int, 4>& link_metric_ids_(int src, int dst);
 
-  GlueConfig config_;
+  /// The immutable plan this executor drives. Replaced (with a private
+  /// recompile) only by recover(); everything else reads through it.
+  std::shared_ptr<const CompiledProgram> program_;
   ExecuteOptions options_;
   std::vector<Kernel> kernels_;  // by function id
-  std::vector<PlannedBuffer> planned_;
-  /// Buffer indices feeding / fed by each function id.
-  std::vector<std::vector<int>> in_of_fn_;
-  std::vector<std::vector<int>> out_of_fn_;
-
-  // --- compiled transfer program (built by compile_program_()) ------------
-  std::vector<TransferOp> ops_;
-  /// Staging-slot base per function id: slot = slot_base_[fn] +
-  /// thread * ports + port_index (dense replacement for the old
-  /// string-keyed staging map).
-  std::vector<int> slot_base_;
-  int total_staging_slots_ = 0;
-  int total_logical_slots_ = 0;
-  /// (function, thread) -> flat index: fn_thread_base_[fn] + thread.
-  std::vector<int> fn_thread_base_;
-  /// Per (function, thread): indices into ops_ for the remote receives
-  /// and all sends, in the exact order the run loop issues them.
-  std::vector<std::vector<int>> recv_ops_of_;
-  std::vector<std::vector<int>> send_ops_of_;
-  /// Per (function, thread): precomputed kernel port slices (slot id,
-  /// dims, runs) -- hoists stripe_spec()/slice_runs() out of the loop.
-  std::vector<std::vector<PortBinding>> bindings_of_;
 
   std::unique_ptr<net::Machine> machine_;
   std::vector<std::unique_ptr<NodeState>> states_;
@@ -337,6 +345,8 @@ class Session {
   int pool_hits_id_ = -1;
   int pool_misses_id_ = -1;
   int pool_blocks_id_ = -1;
+  int compile_seconds_id_ = -1;
+  int cache_lookup_id_ = -1;  // -1 when the plan cache was not consulted
   // (src, dst) -> {messages, bytes, retransmits, busy seconds} ids.
   std::map<std::pair<int, int>, std::array<int, 4>> link_ids_;
   /// Pool counters at run start (per-run deltas for DataPlaneStats).

@@ -244,6 +244,18 @@ std::string report(const Trace& trace, const MetricsSnapshot& metrics,
     }
   }
 
+  // --- program provenance: compile cost and plan-cache outcome --------------
+  const MetricValue* compile = metrics.find(families::kProgramCompileSeconds);
+  if (compile != nullptr && compile->value > 0.0) {
+    os << "program: compiled in "
+       << support::format_seconds(compile->value);
+    const MetricValue* lookup = metrics.find(families::kPlanCacheLookups);
+    if (lookup != nullptr) {
+      os << " (plan cache: " << label_of(*lookup, "outcome") << ")";
+    }
+    os << "\n";
+  }
+
   // --- data plane: copied vs moved bytes, buffer-pool health ----------------
   const MetricValue* copied = metrics.find(families::kDataBytesCopied);
   const MetricValue* moved = metrics.find(families::kDataBytesMoved);

@@ -63,6 +63,14 @@ inline constexpr const char* kDataBytesMoved = "sage_data_bytes_moved_total";
 inline constexpr const char* kPoolHits = "sage_buffer_pool_hits_total";
 inline constexpr const char* kPoolMisses = "sage_buffer_pool_misses_total";
 inline constexpr const char* kPoolBlocks = "sage_buffer_pool_blocks";
+// Program-compilation provenance (Compiler -> Program -> Executor; see
+// docs/RUNTIME.md "Lifecycle"). Both are host-wall-clock / environment
+// facts (compile cost, whether a plan-cache entry existed), so they are
+// registered time-based and stay out of the deterministic subset.
+inline constexpr const char* kProgramCompileSeconds =
+    "sage_program_compile_seconds";
+inline constexpr const char* kPlanCacheLookups =
+    "sage_plan_cache_lookups_total";
 }  // namespace families
 
 /// How per-shard values fold into one series value at snapshot time.

@@ -12,8 +12,14 @@
 //       run the AToT genetic mapper and write the mapping back
 //   sagec generate <model-file> [-o dir]
 //       run the Alter glue-code generator; write glue.cfg and glue.c
+//   sagec compile <model-file> [--plan-cache dir] [-o file.plan]
+//       lower the design into an immutable CompiledProgram (the
+//       Compiler layer alone: no machine is spawned); report the
+//       compile cost and cache outcome, and optionally write the
+//       serialized plan blob
 //   sagec run <model-file> [-i iterations] [-r runs]
 //             [--policy unique|shared] [--depth d] [--trace file.json]
+//             [--plan-cache dir]
 //             [--fault-plan plan.txt] [--fault-seed N]
 //       generate and execute on the emulated platform through a warm
 //       run-time session (-r repeats the run warm); print the
@@ -65,8 +71,9 @@ using namespace sage;
                "  validate <model-file>\n"
                "  map <model-file> [-o file]\n"
                "  generate <model-file> [-o dir]\n"
+               "  compile <model-file> [--plan-cache dir] [-o file.plan]\n"
                "  run <model-file> [-i iters] [-r runs] [--policy unique|shared]"
-               " [--depth d] [--trace file.json]"
+               " [--depth d] [--trace file.json] [--plan-cache dir]"
                " [--fault-plan plan.txt] [--fault-seed N]\n"
                "  stats <model-file|quickstart|radar|fft2d|cornerturn>"
                " [-i iters] [--run N]\n"
@@ -248,10 +255,38 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+int cmd_compile(const Args& args) {
+  auto ws = load(args);
+  core::Project project(std::move(ws));
+  runtime::ExecuteOptions options;
+  options.plan_cache_dir = args.flag_or("plan-cache", "");
+
+  const std::shared_ptr<const runtime::CompiledProgram> program =
+      project.compile_program(options);
+  std::printf("compiled program: %zu functions, %zu logical buffers,"
+              " %zu transfer ops, %d nodes\n",
+              program->config.functions.size(), program->buffers.size(),
+              program->ops.size(), program->config.nodes);
+  std::printf("fingerprint:      %016llx\n",
+              static_cast<unsigned long long>(program->fingerprint));
+  std::printf("compile cost:     %.3f ms (plan cache: %s)\n",
+              program->compile_seconds * 1e3,
+              to_string(program->cache_outcome));
+
+  const std::string out = args.flag_or("o", "");
+  if (!out.empty()) {
+    const std::string blob = program->serialize();
+    write_file(out, blob);
+    std::printf("wrote %s (%zu bytes)\n", out.c_str(), blob.size());
+  }
+  return 0;
+}
+
 int cmd_run(const Args& args) {
   auto ws = load(args);
   core::Project project(std::move(ws));
   runtime::ExecuteOptions options;
+  options.plan_cache_dir = args.flag_or("plan-cache", "");
   options.iterations = std::stoi(args.flag_or("i", "3"));
   options.buffer_depth = std::stoi(args.flag_or("depth", "0"));
   const std::string policy = args.flag_or("policy", "unique");
@@ -271,6 +306,10 @@ int cmd_run(const Args& args) {
   // One warm session serves every run; the first run carries the cold
   // host cost, later runs reuse the machine and buffer pool.
   auto session = project.open_session(options);
+  const runtime::CompiledProgram& program = session->program();
+  std::printf("program:    compiled in %.3f ms (plan cache: %s)\n",
+              program.compile_seconds * 1e3,
+              to_string(program.cache_outcome));
   runtime::RunStats stats = session->run();
   const double cold_host = stats.host_seconds;
   for (int r = 1; r < runs; ++r) stats = session->run();
@@ -447,6 +486,7 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(args);
     if (command == "map") return cmd_map(args);
     if (command == "generate") return cmd_generate(args);
+    if (command == "compile") return cmd_compile(args);
     if (command == "run") return cmd_run(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "alter") return cmd_alter(args);
