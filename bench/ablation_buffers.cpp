@@ -21,11 +21,11 @@ namespace {
 
 using namespace sage;
 
-// One warm session serves both policies: the RunRequest override swaps
+// One warm session serves both policies: the RunOverrides override swaps
 // the buffer policy per run without rebuilding the machine.
 double mean_latency(runtime::Session& session, runtime::BufferPolicy policy,
                     int runs) {
-  runtime::RunRequest request;
+  runtime::RunOverrides request;
   request.buffer_policy = policy;
   double total = 0.0;
   int count = 0;

@@ -26,7 +26,7 @@ namespace {
 using namespace sage;
 
 double median_host_seconds(runtime::Session& session,
-                           const runtime::RunRequest& request, int repeats) {
+                           const runtime::RunOverrides& request, int repeats) {
   std::vector<double> costs;
   costs.reserve(static_cast<std::size_t>(repeats));
   session.run(request);  // warmup: exclude any first-touch cost
@@ -48,13 +48,13 @@ int main() {
   core::Project project(apps::make_fft2d_workspace(128, 4));
   auto session = project.open_session(options);
 
-  runtime::RunRequest off;
+  runtime::RunOverrides off;
   off.collect_trace = false;
   off.collect_metrics = false;
-  runtime::RunRequest metrics_only;
+  runtime::RunOverrides metrics_only;
   metrics_only.collect_trace = false;
   metrics_only.collect_metrics = true;
-  runtime::RunRequest full;
+  runtime::RunOverrides full;
   full.collect_trace = true;
   full.collect_metrics = true;
 

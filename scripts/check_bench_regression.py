@@ -14,8 +14,9 @@ Usage:
     bench/table1_cornerturn --json cornerturn.json
     bench/scaling --json scaling.json
     bench/session_create --json session_create.json
+    bench/pipeline_period --json pipeline_period.json
     ../scripts/check_bench_regression.py fft2d.json cornerturn.json \
-        scaling.json session_create.json
+        scaling.json session_create.json pipeline_period.json
 
 Each CURRENT file is one benchmark binary's report (bench name inside
 the file). The gate only inspects warm host seconds -- virtual-time
@@ -37,7 +38,7 @@ import sys
 DEFAULT_THRESHOLD = 0.10
 DEFAULT_MIN_SECONDS = 0.001
 GATED_BENCHES = ("table1_fft2d", "table1_cornerturn", "scaling",
-                 "session_create")
+                 "session_create", "pipeline_period")
 
 
 def load_report(path):

@@ -11,9 +11,10 @@
 #            Alter interpreter's environment<->closure shared_ptr cycle.
 #   tsan  -- ThreadSanitizer: the concurrency-heavy suites (emulated
 #            machine dispatch handshake, fabric, MPI layer, the
-#            engine/session execution paths, multi-session sharing of
-#            one CompiledProgram, and the metrics registry's lock-free
-#            per-node shards).
+#            engine/session execution paths, the streaming executor --
+#            overlapped tickets on one machine epoch with credit flow
+#            control -- multi-session sharing of one CompiledProgram,
+#            and the metrics registry's lock-free per-node shards).
 #   ubsan -- UndefinedBehaviorSanitizer: the arithmetic-heavy paths
 #            (compiled transfer programs and their serialized form,
 #            striping/run-intersection math, FFT permutation and twiddle
@@ -30,23 +31,23 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 case "$flavor" in
   asan)
     cmake_flag=-DSAGE_ASAN=ON
-    targets="net_test session_test striping_test fault_test \
+    targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test viz_test metrics_test program_test \
       random_graph_test"
-    filter='(Fabric|Session|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
     ;;
   tsan)
     cmake_flag=-DSAGE_TSAN=ON
-    targets="net_test mpi_test engine_test session_test fault_test \
-      viz_test metrics_test program_test random_graph_test"
-    filter='(Machine|Fabric|Mpi|Engine|Session|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
+    targets="net_test mpi_test engine_test session_test streaming_test \
+      fault_test viz_test metrics_test program_test random_graph_test"
+    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
     ;;
   ubsan)
     cmake_flag=-DSAGE_UBSAN=ON
-    targets="net_test session_test striping_test fault_test \
+    targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test isspl_test registry_test metrics_test \
       program_test random_graph_test"
-    filter='(Fabric|Session|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond)'
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond)'
     ;;
   *)
     echo "usage: $0 <asan|tsan|ubsan> [build-dir]" >&2

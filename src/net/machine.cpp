@@ -81,7 +81,7 @@ void Machine::worker_loop_(int rank) {
   }
 }
 
-MachineReport Machine::run(const NodeProgram& program) {
+void Machine::dispatch(const NodeProgram& program) {
   start();
 
   // Fresh contexts per run: virtual clocks restart at zero, exactly as
@@ -93,16 +93,26 @@ MachineReport Machine::run(const NodeProgram& program) {
         r, node_count_, *fabric_, scales_[static_cast<std::size_t>(r)]));
   }
 
+  std::lock_guard<std::mutex> lock(mu_);
+  SAGE_CHECK_AS(CommError, !dispatched_,
+                "Machine::dispatch while a dispatch is already in flight");
+  contexts_ = std::move(contexts);
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  program_ = &program;
+  pending_ = node_count_;
+  dispatched_ = true;
+  ++generation_;
+  cv_start_.notify_all();
+}
+
+MachineReport Machine::join_run() {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    contexts_ = std::move(contexts);
-    std::fill(errors_.begin(), errors_.end(), nullptr);
-    program_ = &program;
-    pending_ = node_count_;
-    ++generation_;
-    cv_start_.notify_all();
+    SAGE_CHECK_AS(CommError, dispatched_,
+                  "Machine::join_run without a matching dispatch");
     cv_done_.wait(lock, [&] { return pending_ == 0; });
     program_ = nullptr;
+    dispatched_ = false;
   }
 
   for (const auto& err : errors_) {
@@ -116,6 +126,16 @@ MachineReport Machine::run(const NodeProgram& program) {
         {r, contexts_[static_cast<std::size_t>(r)]->now()});
   }
   return report;
+}
+
+bool Machine::dispatch_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatched_;
+}
+
+MachineReport Machine::run(const NodeProgram& program) {
+  dispatch(program);
+  return join_run();
 }
 
 }  // namespace sage::net

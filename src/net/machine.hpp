@@ -107,8 +107,24 @@ class Machine {
   /// threads; rethrows the first node exception (by rank) after all
   /// nodes finish. Each run gets fresh NodeContexts (virtual clocks
   /// restart at zero); fabric state persists across runs -- call
-  /// fabric().reset() for a cold-equivalent run.
+  /// fabric().reset() for a cold-equivalent run. Equivalent to
+  /// dispatch() immediately followed by join_run().
   MachineReport run(const NodeProgram& program);
+
+  /// Non-blocking half of run(): publishes `program` to the parked
+  /// workers and returns while the nodes execute. `program` must stay
+  /// alive until the matching join_run(). The streaming Session uses
+  /// this split to keep submitting work from the host thread while an
+  /// epoch is in flight on the node threads.
+  void dispatch(const NodeProgram& program);
+
+  /// Blocking half: waits for every node of the dispatched program to
+  /// finish, rethrows the first node exception (by rank), and returns
+  /// the per-node final virtual times. Must pair with a dispatch().
+  MachineReport join_run();
+
+  /// True between dispatch() and the matching join_run().
+  bool dispatch_active() const;
 
  private:
   void worker_loop_(int rank);
@@ -120,11 +136,12 @@ class Machine {
   // Dispatch handshake: run() publishes contexts_/program_ under mu_ and
   // bumps generation_; workers execute and decrement pending_; the last
   // worker wakes the caller.
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   std::uint64_t generation_ = 0;
   int pending_ = 0;
+  bool dispatched_ = false;
   bool shutdown_ = false;
   const NodeProgram* program_ = nullptr;
   std::vector<std::unique_ptr<NodeContext>> contexts_;

@@ -195,6 +195,42 @@ void lower_into(CompiledProgram& program) {
     }
   }
   program.total_logical_slots = static_cast<int>(program.ops.size());
+
+  // Static streaming buffer bound per channel (cf. the SDF-AP buffer
+  // sizing results): a producer k topological levels upstream of its
+  // consumer can usefully run k iterations ahead before the data would
+  // just queue, so the ring depth is 1 + the level distance, clamped to
+  // [2, 4] -- at least double-buffered so overlap is possible at all,
+  // and bounded so staging memory stays proportional to the graph
+  // depth, not the stream length.
+  std::vector<int> level(nfn, 0);
+  std::vector<int> indeg(nfn, 0);
+  for (const PlannedBuffer& buf : program.buffers) {
+    ++indeg[static_cast<std::size_t>(buf.dst_function)];
+  }
+  std::vector<int> ready;
+  for (std::size_t f = 0; f < nfn; ++f) {
+    if (indeg[f] == 0) ready.push_back(static_cast<int>(f));
+  }
+  // Kahn order over function ids; on a cyclic config (rejected upstream
+  // by validate(), but be safe) unprocessed nodes keep level 0 and every
+  // op falls back to the minimum double-buffered depth.
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const int fn = ready[head];
+    for (const int buf_id : program.out_of_fn[static_cast<std::size_t>(fn)]) {
+      const int dst = program.buffers[static_cast<std::size_t>(buf_id)]
+                          .dst_function;
+      level[static_cast<std::size_t>(dst)] =
+          std::max(level[static_cast<std::size_t>(dst)],
+                   level[static_cast<std::size_t>(fn)] + 1);
+      if (--indeg[static_cast<std::size_t>(dst)] == 0) ready.push_back(dst);
+    }
+  }
+  for (TransferOp& op : program.ops) {
+    const int distance = level[static_cast<std::size_t>(op.dst_function)] -
+                         level[static_cast<std::size_t>(op.src_function)];
+    op.ring_depth = std::clamp(1 + distance, 2, 4);
+  }
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 // now lives in runtime::Session (see session.hpp): a persistent context
 // that keeps the emulated machine and all buffer memory warm across
 // runs. Engine remains as the original one-shot entry point -- a thin
-// wrapper that owns a private Session and forwards run() to it. Each
+// wrapper that owns a private Session and forwards run() to it, which
+// since the streaming redesign is itself a synchronous wrapper over
+// Session::submit()+wait() (one single-ticket epoch per call). Each
 // Engine::run() is bit-equivalent to a cold run (clocks, fabric totals,
 // traces all reset); only host-side setup cost is amortized.
 //

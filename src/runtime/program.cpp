@@ -228,6 +228,7 @@ std::string CompiledProgram::serialize() const {
     body.i32(op.dst_slot);
     body.i32(op.logical_slot);
     body.i32(op.share_group);
+    body.i32(op.ring_depth);
   }
 
   body.ints(slot_base);
@@ -330,6 +331,7 @@ std::shared_ptr<const CompiledProgram> CompiledProgram::deserialize(
     op.dst_slot = r.i32();
     op.logical_slot = r.i32();
     op.share_group = r.i32();
+    op.ring_depth = r.i32();
     program->ops.push_back(std::move(op));
   }
 

@@ -85,6 +85,13 @@ struct TransferOp {
   /// payload under kShared -- the fabric's copy-on-write protects the
   /// sharers from injected corruption. -1 when not shared.
   int share_group = -1;
+  /// Static ring bound for this logical channel: how many iterations the
+  /// producer may run ahead of the consumer before credit flow control
+  /// parks it. Computed by the compiler from the topological level
+  /// distance between producer and consumer functions (cf. SDF buffer
+  /// bounds); streaming submissions use it when no explicit
+  /// buffer_depth override is given.
+  int ring_depth = 2;
 };
 
 /// Precomputed kernel port slice for one (function, thread): everything
@@ -175,6 +182,6 @@ struct CompiledProgram {
 /// Plan blob format version; bump on any layout change so stale cache
 /// entries are rejected (and re-keyed: the version is folded into the
 /// fingerprint).
-inline constexpr std::uint32_t kPlanFormatVersion = 1;
+inline constexpr std::uint32_t kPlanFormatVersion = 2;
 
 }  // namespace sage::runtime

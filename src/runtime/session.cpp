@@ -31,29 +31,69 @@ support::VirtualSeconds RunStats::mean_latency() const {
 }
 
 /// Node-local state, allocated once at session construction and reused
-/// (reset, not reallocated) across runs.
+/// (reset, not reallocated) across runs. During an epoch a node's state
+/// is touched only by that node's worker thread; the host touches it
+/// only between epochs (machine join/dispatch order the accesses).
 struct Session::NodeState {
-  explicit NodeState(int node) : events(node) {}
+  explicit NodeState(int node) { (void)node; }
 
   // Staging storage by compiled slot id (dense; non-local slots empty).
   std::vector<std::vector<std::byte>> staging;
   // Logical-buffer storage by op index (kUniquePerFunction policy only).
   std::vector<std::vector<std::byte>> logical;
-  viz::EventBuffer events;
-  std::vector<std::tuple<int, int, double>> results;  // (fn, iter, value)
-  std::vector<support::VirtualSeconds> iter_start;    // source nodes
-  std::vector<support::VirtualSeconds> iter_end;      // sink nodes
   bool hosts_source = false;
   std::vector<int> order;  // this node's schedule (function ids)
-  // Fault-mode observations (receiver/iteration side; sender-side
-  // injection counts live on the fabric).
-  std::uint64_t observed_timeouts = 0;
-  std::uint64_t observed_corruptions = 0;
-  std::uint64_t stalls = 0;
-  // Data-plane accounting: host bytes memcpy'd (each pass counted) and
-  // payload bytes handed to the fabric by pooled handle.
-  std::uint64_t bytes_copied = 0;
-  std::uint64_t bytes_moved = 0;
+  // Epoch-continuous per-op send counters: how many iterations this
+  // node has pushed down each channel since the epoch began. The credit
+  // predicate (sends_done >= depth) generalizes the old per-run
+  // `iter >= depth` across overlapped tickets.
+  std::vector<std::uint32_t> sends_done;
+};
+
+/// One streamed data-set run: resolved parameters plus the per-node
+/// execution record the host aggregates at collection. While a ticket
+/// executes, each node worker writes only its own `nodes[rank]` share;
+/// completion bookkeeping happens under Session::stream_mu_, so a
+/// `done` ticket's shares are safely readable on the host.
+struct Session::StreamTicket {
+  std::uint64_t id = 0;
+  std::size_t index = 0;  // position within its epoch
+  TicketParams params;
+  double submit_wall = 0.0;
+
+  struct NodeShare {
+    explicit NodeShare(int node) : events(node) {}
+    viz::EventBuffer events;
+    std::vector<std::tuple<int, int, double>> results;  // (fn, iter, value)
+    std::vector<support::VirtualSeconds> iter_start;    // source nodes
+    std::vector<support::VirtualSeconds> iter_end;      // sink nodes
+    // Fault-mode observations (receiver/iteration side; sender-side
+    // injection counts live on the fabric).
+    std::uint64_t observed_timeouts = 0;
+    std::uint64_t observed_corruptions = 0;
+    std::uint64_t stalls = 0;
+    // Data-plane accounting: host bytes memcpy'd (each pass counted)
+    // and payload bytes handed to the fabric by pooled handle.
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t bytes_moved = 0;
+    // Kernel-busy accumulators by function id, folded into the metrics
+    // registry at collection (accumulation order matches the old
+    // node-thread shard writes, so snapshots stay bit-identical).
+    std::vector<double> fn_busy;
+    std::vector<double> fn_calls;
+    // This node's virtual clock when it started / finished the ticket.
+    support::VirtualSeconds start_vt = 0.0;
+    support::VirtualSeconds end_vt = 0.0;
+  };
+  std::vector<NodeShare> nodes;  // by rank
+
+  // Completion bookkeeping (guarded by Session::stream_mu_).
+  int nodes_done = 0;
+  bool done = false;
+  std::exception_ptr error;  // lowest erroring rank wins
+  int error_rank = -1;
+  support::VirtualSeconds complete_vt = 0.0;   // max node end_vt
+  support::VirtualSeconds stream_period = 0.0;  // vs previous ticket
 };
 
 namespace {
@@ -191,18 +231,20 @@ Session::Session(std::shared_ptr<const CompiledProgram> program,
 void Session::prewarm_pool_() {
   // Steady-state pooled working set: one payload per in-flight slot of
   // every remote channel, plus one cached flow-control credit per node.
-  // With unbounded depth (0) the in-flight count is workload-dependent,
-  // so prewarm the credit-bounded estimate and let the first iterations
-  // top the pool up.
-  const std::size_t depth =
-      options_.buffer_depth > 0
-          ? static_cast<std::size_t>(options_.buffer_depth) + 1
-          : 2;
+  // With unbounded synchronous depth (0) the in-flight count is
+  // workload-dependent, so prewarm each channel's streaming ring bound
+  // (which also covers overlapped submissions) and let the first
+  // iterations top the pool up if a run exceeds it.
   std::map<std::size_t, std::size_t> want;  // bucket size -> block count
   bool any_remote = false;
   for (const TransferOp& op : program_->ops) {
     if (op.src_node == op.dst_node) continue;
     any_remote = true;
+    const std::size_t depth =
+        static_cast<std::size_t>(options_.buffer_depth > 0
+                                     ? options_.buffer_depth
+                                     : op.ring_depth) +
+        1;
     // Prewarm the fault-free size; framed fault-mode payloads land in
     // the next bucket only when bytes is within 16 of the bucket edge.
     want[std::bit_ceil(std::max<std::size_t>(op.bytes, 64))] += depth;
@@ -235,6 +277,21 @@ void Session::define_metrics_() {
         "Kernel invocations (every thread of every iteration)",
         {{"function", fn.name}}));
   }
+  // Virtual times are measured from host CPU time, so occupancy and the
+  // achieved streaming period jitter run to run: time-based, excluded
+  // from the deterministic snapshot subset.
+  fn_occupancy_ids_.reserve(config.functions.size());
+  for (const FunctionConfig& fn : config.functions) {
+    fn_occupancy_ids_.push_back(metrics_.gauge(
+        fam::kStageOccupancy,
+        "Fraction of the stage's capacity (span x threads) spent busy",
+        Aggregation::kMax, {{"function", fn.name}}, /*time_based=*/true));
+  }
+  stream_period_id_ = metrics_.gauge(
+      fam::kStreamPeriod,
+      "Virtual time between consecutive ticket completions in one "
+      "streaming epoch (0 outside steady state)",
+      Aggregation::kMax, {}, /*time_based=*/true);
   iterations_id_ =
       metrics_.counter(fam::kIterations, "Iterations completed by the run");
   latency_hist_id_ = metrics_.histogram(
@@ -325,16 +382,24 @@ const std::array<int, 4>& Session::link_metric_ids_(int src, int dst) {
   return link_ids_.emplace(key, ids).first->second;
 }
 
-void Session::export_metrics_(RunStats& stats) {
+void Session::export_metrics_(RunStats& stats, const StreamTicket& ticket) {
+  const support::VirtualSeconds threshold = ticket.params.threshold;
   metrics_.add(0, iterations_id_, static_cast<double>(stats.iterations));
   for (const auto lat : stats.latencies) {
     metrics_.observe(0, latency_hist_id_, lat);
-    if (run_threshold_ > 0.0 && lat > run_threshold_) {
+    if (threshold > 0.0 && lat > threshold) {
       metrics_.add(0, violations_id_, 1.0);
     }
   }
-  metrics_.set(0, threshold_id_, run_threshold_);
+  metrics_.set(0, threshold_id_, threshold);
   metrics_.set(0, makespan_id_, stats.makespan);
+  metrics_.set(0, stream_period_id_, stats.stream_period);
+  for (std::size_t fn = 0; fn < fn_occupancy_ids_.size(); ++fn) {
+    const std::string& name = program_->config.functions[fn].name;
+    const auto it = stats.occupancy.find(name);
+    metrics_.set(0, fn_occupancy_ids_[fn],
+                 it != stats.occupancy.end() ? it->second : 0.0);
+  }
 
   metrics_.add(0, fault_drop_id_,
                static_cast<double>(stats.faults.injected_drops));
@@ -398,6 +463,7 @@ void Session::allocate_states_() {
         static_cast<std::size_t>(program.total_staging_slots), {});
     state->logical.assign(
         static_cast<std::size_t>(program.total_logical_slots), {});
+    state->sends_done.assign(program.ops.size(), 0);
     states_.push_back(std::move(state));
   }
   for (const FunctionConfig& fn : config.functions) {
@@ -427,6 +493,9 @@ void Session::allocate_states_() {
 RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
   SAGE_CHECK_AS(RuntimeError, !closed(),
                 "Session::recover on a closed session");
+  // Quiesce: a remap swaps the program and reallocates node state, so
+  // every in-flight ticket must land first (they stay redeemable).
+  end_epoch_();
   const int nodes = program_->config.nodes;
   RecoveryReport report;
   for (const int rank : dead_ranks) {
@@ -504,7 +573,7 @@ RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
   return report;
 }
 
-Session::~Session() = default;
+Session::~Session() { close(); }
 
 Result<std::unique_ptr<Session>> Session::create(GlueConfig config,
                                                  const FunctionRegistry& registry,
@@ -528,26 +597,27 @@ Result<std::unique_ptr<Session>> Session::create(
   }
 }
 
-void Session::close() { machine_.reset(); }
+void Session::close() {
+  if (closed()) return;
+  // Land any in-flight epoch before parking the machine. Uncollected
+  // tickets become unredeemable -- collect before closing.
+  end_epoch_();
+  machine_.reset();
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  tickets_.clear();
+}
 
 void Session::reset_between_runs_() {
   // The fabric may hold unclaimed flow-control credits from the previous
-  // run, accumulated totals, and link contention history; a cold engine
-  // would start from scratch. The payload pool intentionally survives
-  // the reset -- recycling warm buffers across runs is the point.
+  // epoch, accumulated totals, and link contention history; a cold
+  // engine would start from scratch. The payload pool intentionally
+  // survives the reset -- recycling warm buffers across runs is the
+  // point.
   machine_->fabric().reset();
   // Metric values restart at zero; definitions (and ids) persist.
   metrics_.reset();
   for (const auto& state : states_) {
-    state->events.clear();
-    state->results.clear();
-    state->iter_start.clear();
-    state->iter_end.clear();
-    state->observed_timeouts = 0;
-    state->observed_corruptions = 0;
-    state->stalls = 0;
-    state->bytes_copied = 0;
-    state->bytes_moved = 0;
+    std::fill(state->sends_done.begin(), state->sends_done.end(), 0u);
     // Staging starts zeroed on a cold run (vector value-init); match it
     // so a kernel that reads-before-write sees identical bytes.
     for (auto& storage : state->staging) {
@@ -556,40 +626,115 @@ void Session::reset_between_runs_() {
   }
 }
 
-RunStats Session::run(const RunRequest& request) {
-  SAGE_CHECK_AS(RuntimeError, !closed(), "Session::run on a closed session");
-  const double host_start = support::wall_seconds();
-
+Session::TicketParams Session::resolve_(const RunOverrides& request) const {
+  TicketParams params;
   int iterations = request.iterations;
   if (iterations <= 0) iterations = options_.iterations;
   if (iterations <= 0) iterations = program_->config.iterations_default;
   SAGE_CHECK_AS(RuntimeError, iterations > 0, "nothing to run: ", iterations,
                 " iterations");
-  run_iterations_ = iterations;
-  run_policy_ = request.buffer_policy.value_or(options_.buffer_policy);
-  run_trace_ = request.collect_trace.value_or(options_.collect_trace);
-  run_metrics_ = request.collect_metrics.value_or(options_.collect_metrics);
-  run_threshold_ =
+  params.iterations = iterations;
+  params.policy = request.buffer_policy.value_or(options_.buffer_policy);
+  params.trace = request.collect_trace.value_or(options_.collect_trace);
+  params.metrics = request.collect_metrics.value_or(options_.collect_metrics);
+  params.threshold =
       request.latency_threshold.value_or(options_.latency_threshold);
-  run_plan_ = request.fault_plan.value_or(options_.fault_plan);
-  const bool faulty = run_plan_ != nullptr && run_plan_->active();
+  params.depth = request.buffer_depth.value_or(options_.buffer_depth);
+  params.plan = request.fault_plan.value_or(options_.fault_plan);
+  return params;
+}
 
-  // A plan naming dead nodes runs degraded: remap before dispatch
-  // (idempotent -- already-applied ranks are skipped).
-  if (faulty && !run_plan_->dead_nodes.empty()) {
-    recover(run_plan_->dead_nodes);
-  }
-
+void Session::begin_epoch_(const TicketParams& params, bool streaming) {
+  const bool faulty = params.plan != nullptr && params.plan->active();
   reset_between_runs_();
   // An inactive plan must leave the fabric on the exact fault-free code
   // path (bit-identical contract), so only an active plan is attached.
-  machine_->fabric().set_fault_plan(faulty ? run_plan_ : nullptr);
+  machine_->fabric().set_fault_plan(faulty ? params.plan : nullptr);
   pool_mark_ = machine_->fabric().pool().stats();
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    epoch_tickets_.clear();
+    epoch_active_ = true;
+    epoch_closing_ = false;
+    epoch_failed_ = false;
+    epoch_streaming_ = streaming;
+    epoch_faulty_ = faulty;
+    epoch_depth_ = params.depth;
+    epoch_plan_ = params.plan;
+    epoch_program_ = [this](net::NodeContext& node) { stream_worker_(node); };
+  }
+  machine_->dispatch(epoch_program_);
+}
 
-  // Surface recoveries applied since the last run on this run's trace.
-  if (run_trace_) {
+void Session::end_epoch_() {
+  if (machine_ == nullptr) return;
+  {
+    std::unique_lock<std::mutex> lock(stream_mu_);
+    if (!epoch_active_) return;
+    // Every queued ticket lands first; collected or not, tickets stay
+    // redeemable after their epoch closes.
+    stream_done_cv_.wait(lock, [&] {
+      for (const auto& ticket : epoch_tickets_) {
+        if (!ticket->done) return false;
+      }
+      return true;
+    });
+    epoch_closing_ = true;
+    epoch_active_ = false;
+  }
+  stream_cv_.notify_all();
+  // The workers never throw out of the node program (ticket errors are
+  // stored on the ticket and surfaced by wait()), so join is clean.
+  machine_->join_run();
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  epoch_tickets_.clear();
+  epoch_closing_ = false;
+  epoch_failed_ = false;
+  epoch_streaming_ = false;
+  epoch_faulty_ = false;
+  epoch_depth_ = 0;
+  epoch_plan_.reset();
+  epoch_program_ = nullptr;
+}
+
+Ticket Session::submit_(const RunOverrides& request, bool streaming) {
+  const double submit_wall = support::wall_seconds();
+  TicketParams params = resolve_(request);
+
+  // A plan naming dead nodes runs degraded: remap before dispatch. Only
+  // a *new* dead rank triggers the (epoch-quiescing) recovery, so
+  // streamed submissions under a stable degraded plan keep overlapping.
+  if (params.plan != nullptr && params.plan->active() &&
+      !params.plan->dead_nodes.empty()) {
+    bool pending = false;
+    for (const int rank : params.plan->dead_nodes) {
+      if (!std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), rank)) {
+        pending = true;
+        break;
+      }
+    }
+    if (pending) recover(params.plan->dead_nodes);
+  }
+
+  auto ticket = std::make_shared<StreamTicket>();
+  ticket->id = next_ticket_id_++;
+  ticket->params = std::move(params);
+  ticket->submit_wall = submit_wall;
+  const int nodes = program_->config.nodes;
+  const std::size_t nfn = program_->config.functions.size();
+  ticket->nodes.reserve(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) {
+    auto& share = ticket->nodes.emplace_back(r);
+    share.fn_busy.assign(nfn, 0.0);
+    share.fn_calls.assign(nfn, 0.0);
+  }
+
+  // Surface recoveries applied since the last submission on this
+  // ticket's trace (recorded pre-publication: the ticket is still
+  // host-private). One event, attributed to the lowest surviving rank.
+  if (ticket->params.trace) {
     for (const RecoveryReport& recovery : pending_recoveries_) {
-      for (int r = 0; r < program_->config.nodes; ++r) {
+      for (int r = 0; r < nodes; ++r) {
         if (std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), r)) {
           continue;
         }
@@ -598,20 +743,197 @@ RunStats Session::run(const RunRequest& request) {
         e.label = "recover: moved " +
                   std::to_string(recovery.moved_threads) + " threads off " +
                   std::to_string(recovery.dead_nodes.size()) + " dead nodes";
-        states_[static_cast<std::size_t>(r)]->events.record(e);
-        break;  // one event, attributed to the lowest surviving rank
+        ticket->nodes[static_cast<std::size_t>(r)].events.record(e);
+        break;
       }
     }
   }
   pending_recoveries_.clear();
 
-  const net::MachineReport report =
-      machine_->run([this](net::NodeContext& node) { node_program_(node); });
+  // Join the active epoch when compatible, else quiesce it and open a
+  // fresh one. The compatibility check and the publication share one
+  // lock scope, so a concurrent node failure cannot slip this ticket
+  // into a dying epoch (its workers may already have exited).
+  std::unique_lock<std::mutex> lock(stream_mu_);
+  const bool join = streaming && epoch_active_ && !epoch_failed_ &&
+                    epoch_streaming_ && epoch_depth_ == ticket->params.depth &&
+                    epoch_plan_ == ticket->params.plan;
+  if (!join) {
+    lock.unlock();
+    end_epoch_();
+    // Synchronous runs always open a private epoch: the full
+    // cold-equivalent reset is the run()/run_batch() contract.
+    begin_epoch_(ticket->params, streaming);
+    lock.lock();
+  }
+  ticket->index = epoch_tickets_.size();
+  epoch_tickets_.push_back(ticket);
+  tickets_[ticket->id] = ticket;
+  lock.unlock();
+  stream_cv_.notify_all();
+  return Ticket{ticket->id};
+}
 
-  // --- aggregate -----------------------------------------------------------
+RunStats Session::run(const RunOverrides& request) {
+  SAGE_CHECK_AS(RuntimeError, !closed(), "Session::run on a closed session");
+  return wait(submit_(request, /*streaming=*/false));
+}
+
+std::vector<RunStats> Session::run_batch(int runs, const RunOverrides& request) {
+  SAGE_CHECK_AS(RuntimeError, runs > 0, "run_batch needs runs > 0, got ",
+                runs);
+  std::vector<RunStats> all;
+  all.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) all.push_back(run(request));
+  return all;
+}
+
+Ticket Session::submit(const RunOverrides& request) {
+  SAGE_CHECK_AS(RuntimeError, !closed(),
+                "Session::submit on a closed session");
+  return submit_(request, /*streaming=*/true);
+}
+
+bool Session::poll(Ticket ticket) const {
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  const auto it = tickets_.find(ticket.id);
+  SAGE_CHECK_AS(RuntimeError, it != tickets_.end(),
+                "Session::poll: unknown or already-collected ticket ",
+                ticket.id);
+  return it->second->done;
+}
+
+RunStats Session::wait(Ticket ticket) {
+  SAGE_CHECK_AS(RuntimeError, !closed(), "Session::wait on a closed session");
+  std::shared_ptr<StreamTicket> t;
+  {
+    std::unique_lock<std::mutex> lock(stream_mu_);
+    const auto it = tickets_.find(ticket.id);
+    SAGE_CHECK_AS(RuntimeError, it != tickets_.end(),
+                  "Session::wait: unknown or already-collected ticket ",
+                  ticket.id);
+    t = it->second;
+    stream_done_cv_.wait(lock, [&] { return t->done; });
+    tickets_.erase(t->id);
+  }
+  // `done` was set under stream_mu_ after the last node landed its
+  // share, so the shares are quiescent and safely readable here.
+  if (t->error) std::rethrow_exception(t->error);
+  RunStats stats = collect_(*t);
+  stats.host_seconds = support::wall_seconds() - t->submit_wall;
+  ++runs_completed_;
+  return stats;
+}
+
+std::vector<RunStats> Session::drain() {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    ids.reserve(tickets_.size());
+    for (const auto& [id, ticket] : tickets_) ids.push_back(id);
+  }
+  std::vector<RunStats> all;
+  all.reserve(ids.size());
+  for (const std::uint64_t id : ids) all.push_back(wait(Ticket{id}));
+  return all;
+}
+
+int Session::in_flight() const {
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  return static_cast<int>(tickets_.size());
+}
+
+void Session::stream_worker_(net::NodeContext& node) {
+  const int rank = node.rank();
+  const int node_count = static_cast<int>(states_.size());
+
+  // Marks this node's share of `ticket` finished (stream_mu_ held). The
+  // last node to land a ticket computes its completion facts -- tickets
+  // complete in submission order, so the previous ticket's complete_vt
+  // is already final -- and wakes the host.
+  const auto land = [&](StreamTicket& ticket, std::exception_ptr error) {
+    auto& share = ticket.nodes[static_cast<std::size_t>(rank)];
+    share.end_vt = node.now();
+    if (error) {
+      epoch_failed_ = true;
+      if (ticket.error_rank < 0 || rank < ticket.error_rank) {
+        ticket.error = std::move(error);
+        ticket.error_rank = rank;
+      }
+    }
+    if (++ticket.nodes_done == node_count) {
+      support::VirtualSeconds complete = 0.0;
+      for (const auto& s : ticket.nodes) {
+        complete = std::max(complete, s.end_vt);
+      }
+      ticket.complete_vt = complete;
+      if (ticket.index > 0) {
+        ticket.stream_period =
+            complete - epoch_tickets_[ticket.index - 1]->complete_vt;
+      }
+      ticket.done = true;
+      stream_done_cv_.notify_all();
+    }
+  };
+
+  std::size_t cursor = 0;
+  for (;;) {
+    std::shared_ptr<StreamTicket> ticket;
+    {
+      std::unique_lock<std::mutex> lock(stream_mu_);
+      stream_cv_.wait(lock, [&] {
+        return epoch_failed_ || epoch_closing_ ||
+               cursor < epoch_tickets_.size();
+      });
+      if (epoch_failed_) {
+        // A node died: poison every ticket this node never started so
+        // completion bookkeeping converges, then leave the dispatch.
+        // No further tickets can join a failed epoch (submit_ checks
+        // under this mutex), so the sweep is complete.
+        for (; cursor < epoch_tickets_.size(); ++cursor) {
+          land(*epoch_tickets_[cursor],
+               std::make_exception_ptr(RuntimeError(
+                   "streaming epoch aborted by a node failure")));
+        }
+        return;
+      }
+      if (cursor >= epoch_tickets_.size()) return;  // epoch closing
+      ticket = epoch_tickets_[cursor++];
+    }
+
+    std::exception_ptr error;
+    try {
+      run_node_ticket_(node, *ticket);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    land(*ticket, std::move(error));
+    if (epoch_failed_) {
+      for (; cursor < epoch_tickets_.size(); ++cursor) {
+        land(*epoch_tickets_[cursor],
+             std::make_exception_ptr(RuntimeError(
+                 "streaming epoch aborted by a node failure")));
+      }
+      stream_cv_.notify_all();  // wake peers into their poison sweep
+      return;
+    }
+  }
+}
+
+RunStats Session::collect_(StreamTicket& ticket) {
+  const TicketParams& params = ticket.params;
+  const int iterations = params.iterations;
+
   RunStats stats;
+  stats.ticket = ticket.id;
   stats.iterations = iterations;
-  stats.makespan = report.makespan();
+  stats.makespan = ticket.complete_vt;
+  stats.stream_period = ticket.stream_period;
+  // Fabric and pool counters are epoch-cumulative at collection time:
+  // exact per run on the synchronous path (one ticket per epoch over a
+  // freshly reset fabric), cumulative-so-far under overlap.
   stats.fabric_messages = machine_->fabric().total_messages();
   stats.fabric_bytes = machine_->fabric().total_bytes();
 
@@ -620,16 +942,16 @@ RunStats Session::run(const RunRequest& request) {
   stats.faults.injected_corruptions = fault_counters.corruptions;
   stats.faults.injected_delays = fault_counters.delays;
   stats.faults.retries = fault_counters.retransmits;
-  for (const auto& state : states_) {
-    stats.faults.timeouts += state->observed_timeouts;
-    stats.faults.corruptions_detected += state->observed_corruptions;
-    stats.faults.stalls += state->stalls;
+  for (const auto& share : ticket.nodes) {
+    stats.faults.timeouts += share.observed_timeouts;
+    stats.faults.corruptions_detected += share.observed_corruptions;
+    stats.faults.stalls += share.stalls;
   }
   stats.faults.degraded_nodes = static_cast<int>(dead_nodes_.size());
 
-  for (const auto& state : states_) {
-    stats.data_plane.bytes_copied += state->bytes_copied;
-    stats.data_plane.bytes_moved += state->bytes_moved;
+  for (const auto& share : ticket.nodes) {
+    stats.data_plane.bytes_copied += share.bytes_copied;
+    stats.data_plane.bytes_moved += share.bytes_moved;
   }
   const net::BufferPoolStats pool_stats = machine_->fabric().pool().stats();
   stats.data_plane.pool_hits = pool_stats.hits - pool_mark_.hits;
@@ -643,12 +965,12 @@ RunStats Session::run(const RunRequest& request) {
   std::vector<double> ends(static_cast<std::size_t>(iterations), 0.0);
   std::vector<bool> has_start(static_cast<std::size_t>(iterations), false);
   std::vector<bool> has_end(static_cast<std::size_t>(iterations), false);
-  for (const auto& state : states_) {
-    for (std::size_t i = 0; i < state->iter_start.size() &&
+  for (const auto& share : ticket.nodes) {
+    for (std::size_t i = 0; i < share.iter_start.size() &&
                             i < static_cast<std::size_t>(iterations);
          ++i) {
-      if (!has_start[i] || state->iter_start[i] < starts[i]) {
-        starts[i] = state->iter_start[i];
+      if (!has_start[i] || share.iter_start[i] < starts[i]) {
+        starts[i] = share.iter_start[i];
         has_start[i] = true;
       }
     }
@@ -656,15 +978,15 @@ RunStats Session::run(const RunRequest& request) {
     // they are appended in iteration order per node, so fold by index
     // modulo the per-node count per iteration.
     const std::size_t per_iter =
-        state->iter_end.empty()
+        share.iter_end.empty()
             ? 0
-            : state->iter_end.size() / static_cast<std::size_t>(iterations);
-    for (std::size_t i = 0; i < state->iter_end.size(); ++i) {
+            : share.iter_end.size() / static_cast<std::size_t>(iterations);
+    for (std::size_t i = 0; i < share.iter_end.size(); ++i) {
       if (per_iter == 0) break;
       const std::size_t iter = i / per_iter;
       if (iter >= static_cast<std::size_t>(iterations)) break;
-      if (!has_end[iter] || state->iter_end[i] > ends[iter]) {
-        ends[iter] = state->iter_end[i];
+      if (!has_end[iter] || share.iter_end[i] > ends[iter]) {
+        ends[iter] = share.iter_end[i];
         has_end[iter] = true;
       }
     }
@@ -694,8 +1016,8 @@ RunStats Session::run(const RunRequest& request) {
   }
 
   // Results: sum kernel-reported values per function per iteration.
-  for (const auto& state : states_) {
-    for (const auto& [fn_id, iter, value] : state->results) {
+  for (const auto& share : ticket.nodes) {
+    for (const auto& [fn_id, iter, value] : share.results) {
       const std::string& name = program_->config.function(fn_id).name;
       auto& series = stats.results[name];
       if (series.size() < static_cast<std::size_t>(iterations)) {
@@ -705,47 +1027,97 @@ RunStats Session::run(const RunRequest& request) {
     }
   }
 
-  if (run_trace_) {
+  // Per-stage occupancy over this ticket's span: kernel-busy virtual
+  // seconds (all threads) / (span x thread count). The stage nearest
+  // 1.0 is the one that sets the steady-state period.
+  if (params.metrics) {
+    support::VirtualSeconds span_start = ticket.nodes.empty()
+                                             ? 0.0
+                                             : ticket.nodes.front().start_vt;
+    for (const auto& share : ticket.nodes) {
+      span_start = std::min(span_start, share.start_vt);
+    }
+    const support::VirtualSeconds span = ticket.complete_vt - span_start;
+    const GlueConfig& config = program_->config;
+    for (const FunctionConfig& fn : config.functions) {
+      double busy = 0.0;
+      for (const auto& share : ticket.nodes) {
+        busy += share.fn_busy[static_cast<std::size_t>(fn.id)];
+      }
+      const double capacity = span * static_cast<double>(fn.threads);
+      stats.occupancy[fn.name] = capacity > 0.0 ? busy / capacity : 0.0;
+    }
+  }
+
+  if (params.trace) {
     std::vector<const viz::EventBuffer*> buffers;
-    buffers.reserve(states_.size());
-    for (const auto& state : states_) buffers.push_back(&state->events);
+    buffers.reserve(ticket.nodes.size());
+    for (const auto& share : ticket.nodes) buffers.push_back(&share.events);
     stats.trace = viz::Trace::merge(buffers);
   }
 
-  if (run_metrics_) export_metrics_(stats);
+  if (params.metrics) {
+    // Fold the per-ticket kernel accumulators into the (quiescent --
+    // workers never touch it) registry, reproducing exactly the shard
+    // cells the node threads used to write inline: same shard, same
+    // accumulation order, cells untouched where no call landed.
+    metrics_.reset();
+    for (std::size_t r = 0; r < ticket.nodes.size(); ++r) {
+      const auto& share = ticket.nodes[r];
+      for (std::size_t fn = 0; fn < share.fn_calls.size(); ++fn) {
+        if (share.fn_calls[fn] == 0.0) continue;
+        metrics_.add(static_cast<int>(r), fn_busy_ids_[fn],
+                     share.fn_busy[fn]);
+        metrics_.add(static_cast<int>(r), fn_calls_ids_[fn],
+                     share.fn_calls[fn]);
+      }
+    }
+    export_metrics_(stats, ticket);
+  }
 
-  stats.host_seconds = support::wall_seconds() - host_start;
-  ++runs_completed_;
   return stats;
 }
 
-std::vector<RunStats> Session::run_batch(int runs, const RunRequest& request) {
-  SAGE_CHECK_AS(RuntimeError, runs > 0, "run_batch needs runs > 0, got ",
-                runs);
-  std::vector<RunStats> all;
-  all.reserve(static_cast<std::size_t>(runs));
-  for (int i = 0; i < runs; ++i) all.push_back(run(request));
-  return all;
-}
-
-void Session::node_program_(net::NodeContext& node) {
+void Session::run_node_ticket_(net::NodeContext& node, StreamTicket& ticket) {
   const int rank = node.rank();
   NodeState& state = *states_[static_cast<std::size_t>(rank)];
+  StreamTicket::NodeShare& share =
+      ticket.nodes[static_cast<std::size_t>(rank)];
   const CompiledProgram& program = *program_;
   const GlueConfig& cfg = program.config;
-  const int iterations = run_iterations_;
-  const bool unique = run_policy_ == BufferPolicy::kUniquePerFunction;
-  const bool trace = run_trace_;
-  const bool metrics = run_metrics_;
-  const int buffer_depth = options_.buffer_depth;
+  const TicketParams& params = ticket.params;
+  const int iterations = params.iterations;
+  const bool unique = params.policy == BufferPolicy::kUniquePerFunction;
+  const bool trace = params.trace;
+  const bool metrics = params.metrics;
   const double recv_timeout = options_.recv_timeout_s;
+
+  share.start_vt = node.now();
+  if (ticket.index > 0) {
+    // Later tickets of an epoch re-create the staging image a warm
+    // reset gives the first one: zeroed bytes (a host-side memset; the
+    // virtual clock is untouched), so read-before-write kernels see the
+    // same input whether data sets overlapped or ran back to back.
+    for (auto& storage : state.staging) {
+      std::fill(storage.begin(), storage.end(), std::byte{0});
+    }
+  }
+
+  // Per-channel effective flow-control depth: an explicit epoch depth
+  // wins; streamed epochs fall back to the compiler's static ring bound
+  // (TransferOp::ring_depth); synchronous epochs leave credits off (0 =
+  // unbounded), exactly the pre-streaming behaviour.
+  const auto op_depth = [&](const TransferOp& op) {
+    if (epoch_depth_ > 0) return epoch_depth_;
+    return epoch_streaming_ ? op.ring_depth : 0;
+  };
 
   // Fault mode: with an active plan, every remote transfer (data and
   // flow-control credits) travels framed over the reliable fabric path.
   // The happy path below is untouched when `faulty` is false -- that is
   // the bit-identical contract.
-  const net::FaultPlan* plan = run_plan_.get();
-  const bool faulty = plan != nullptr && plan->active();
+  const net::FaultPlan* plan = epoch_plan_.get();
+  const bool faulty = epoch_faulty_;
   net::Fabric& fabric = node.fabric();
   net::BufferPool& pool = fabric.pool();
 
@@ -767,7 +1139,7 @@ void Session::node_program_(net::NodeContext& node) {
     e.end_vt = node.now();
     e.bytes = bytes;
     e.label = std::move(label);
-    state.events.record(e);
+    share.events.record(e);
   };
 
   /// Reliable framed send (fault mode only). The payload is a complete
@@ -792,7 +1164,7 @@ void Session::node_program_(net::NodeContext& node) {
         e.end_vt = node.now();
         e.bytes = body_bytes;
         e.label = label;
-        state.events.record(e);
+        share.events.record(e);
       }
     }
   };
@@ -811,7 +1183,7 @@ void Session::node_program_(net::NodeContext& node) {
       net::Message msg = fabric.recv(rank, src_node, tag, recv_timeout);
       node.clock().join(msg.arrival_vt);
       if (msg.fault == net::FaultKind::kDrop) {
-        ++state.observed_timeouts;
+        ++share.observed_timeouts;
         record_fault(fn_id, t, iter, t_before, 0, label + " [timeout]");
         continue;
       }
@@ -821,7 +1193,7 @@ void Session::node_program_(net::NodeContext& node) {
         valid = frame_valid(msg.payload);
       }
       if (!valid) {
-        ++state.observed_corruptions;
+        ++share.observed_corruptions;
         record_fault(fn_id, t, iter, t_before, msg.payload.size(),
                      label + " [corrupt]");
         continue;
@@ -877,19 +1249,19 @@ void Session::node_program_(net::NodeContext& node) {
       if (stall > 0) {
         const double t_before = node.now();
         node.clock().advance(stall);
-        ++state.stalls;
+        ++share.stalls;
         record_fault(-1, 0, iter, t_before, 0, "stall");
       }
     }
     if (state.hosts_source) {
-      state.iter_start.push_back(node.now());
+      share.iter_start.push_back(node.now());
       if (trace) {
         viz::Event e;
         e.kind = viz::EventKind::kIterationStart;
         e.iteration = iter;
         e.start_vt = e.end_vt = node.now();
         e.label = "iteration";
-        state.events.record(e);
+        share.events.record(e);
       }
     }
 
@@ -929,7 +1301,7 @@ void Session::node_program_(net::NodeContext& node) {
             e.end_vt = node.now();
             e.bytes = body.size();
             e.label = buf.label;
-            state.events.record(e);
+            share.events.record(e);
           }
           std::vector<std::byte>& dst_staging =
               state.staging[static_cast<std::size_t>(op.dst_slot)];
@@ -950,11 +1322,11 @@ void Session::node_program_(net::NodeContext& node) {
               unpack_bytes(op.segs, body, dst_staging);
             }
           }
-          state.bytes_copied += unique ? 2 * op.bytes : op.bytes;
+          share.bytes_copied += unique ? 2 * op.bytes : op.bytes;
           // Release the pooled block before the credit round-trip so the
           // producer's next payload can reuse it.
           payload.reset();
-          if (buffer_depth > 0) {
+          if (op_depth(op) > 0) {
             send_credit(op.src_node, op.tag, fn_id, t, iter,
                         buf.label + " credit");
           }
@@ -984,12 +1356,13 @@ void Session::node_program_(net::NodeContext& node) {
           kernels_[static_cast<std::size_t>(fn_id)](kctx);
         }
         if (metrics) {
-          // Two fixed-slot shard writes: far cheaper than a trace event
-          // and, like the probes, charged to host time only.
-          metrics_.add(rank, fn_busy_ids_[static_cast<std::size_t>(fn_id)],
-                       node.now() - exec_start);
-          metrics_.add(rank, fn_calls_ids_[static_cast<std::size_t>(fn_id)],
-                       1.0);
+          // Two fixed-slot accumulator writes, folded into the metrics
+          // registry shards at collection (the registry stays host-only
+          // while tickets overlap); like the probes, charged to host
+          // time only.
+          share.fn_busy[static_cast<std::size_t>(fn_id)] +=
+              node.now() - exec_start;
+          share.fn_calls[static_cast<std::size_t>(fn_id)] += 1.0;
         }
         if (trace && cfg.probed(fn_id)) {
           viz::Event start;
@@ -999,24 +1372,24 @@ void Session::node_program_(net::NodeContext& node) {
           start.iteration = iter;
           start.start_vt = start.end_vt = exec_start;
           start.label = fn.name;
-          state.events.record(start);
+          share.events.record(start);
           viz::Event end = start;
           end.kind = viz::EventKind::kFunctionEnd;
           end.start_vt = end.end_vt = node.now();
-          state.events.record(end);
+          share.events.record(end);
         }
         if (kctx.has_result()) {
-          state.results.emplace_back(fn_id, iter, kctx.result());
+          share.results.emplace_back(fn_id, iter, kctx.result());
         }
         if (fn.role == "sink") {
-          state.iter_end.push_back(node.now());
+          share.iter_end.push_back(node.now());
           if (trace) {
             viz::Event e;
             e.kind = viz::EventKind::kIterationEnd;
             e.iteration = iter;
             e.start_vt = e.end_vt = node.now();
             e.label = "iteration";
-            state.events.record(e);
+            share.events.record(e);
           }
         }
 
@@ -1046,7 +1419,7 @@ void Session::node_program_(net::NodeContext& node) {
                 copy_bytes(op.segs, src_staging, dst_staging);
               }
             }
-            state.bytes_copied += unique ? 2 * op.bytes : op.bytes;
+            share.bytes_copied += unique ? 2 * op.bytes : op.bytes;
             if (trace) {
               viz::Event e;
               e.kind = viz::EventKind::kBufferCopy;
@@ -1057,14 +1430,19 @@ void Session::node_program_(net::NodeContext& node) {
               e.end_vt = node.now();
               e.bytes = op.bytes;
               e.label = buf.label;
-              state.events.record(e);
+              share.events.record(e);
             }
             continue;
           }
 
-          if (buffer_depth > 0 && iter >= buffer_depth) {
-            // Wait for a free physical-buffer slot (credit from the
-            // consumer for iteration iter - depth).
+          const int depth = op_depth(op);
+          if (depth > 0 &&
+              state.sends_done[static_cast<std::size_t>(op_idx)] >=
+                  static_cast<std::uint32_t>(depth)) {
+            // Wait for a free slot in this channel's physical-buffer
+            // ring: the consumer's credit for send (n - depth). The
+            // counter is epoch-continuous, so a producer k tickets
+            // ahead still respects the ring bound across data sets.
             wait_credit(op.dst_node, op.tag, fn_id, t, iter,
                         buf.label + " credit");
           }
@@ -1095,7 +1473,7 @@ void Session::node_program_(net::NodeContext& node) {
                 }
               }
               write_frame_header(payload.writable(), op.bytes, checksum);
-              state.bytes_copied += unique ? 2 * op.bytes : op.bytes;
+              share.bytes_copied += unique ? 2 * op.bytes : op.bytes;
             } else if (unique) {
               // The unique policy models an extra data access: stage
               // through the logical buffer, then into the payload --
@@ -1105,7 +1483,7 @@ void Session::node_program_(net::NodeContext& node) {
                   state.logical[static_cast<std::size_t>(op.logical_slot)];
               pack_bytes(op.segs, src_staging, logical);
               std::memcpy(body.data(), logical.data(), op.bytes);
-              state.bytes_copied += 2 * op.bytes;
+              share.bytes_copied += 2 * op.bytes;
             } else if (op.contiguous) {
               // Zero-copy departure: borrow the staging slice into the
               // payload with a single pass, modeled as a DMA gather
@@ -1113,11 +1491,11 @@ void Session::node_program_(net::NodeContext& node) {
               std::memcpy(body.data(),
                           src_staging.data() + op.segs.front().src_off,
                           op.bytes);
-              state.bytes_copied += op.bytes;
+              share.bytes_copied += op.bytes;
             } else {
               support::ComputeScope scope(node.clock(), node.cpu_scale());
               pack_bytes(op.segs, src_staging, body);
-              state.bytes_copied += op.bytes;
+              share.bytes_copied += op.bytes;
             }
             if (!unique && op.share_group >= 0) {
               last_group = op.share_group;
@@ -1131,7 +1509,8 @@ void Session::node_program_(net::NodeContext& node) {
             node.clock().join(fabric.send(rank, op.dst_node, op.tag,
                                           std::move(payload), node.now()));
           }
-          state.bytes_moved += op.bytes;
+          share.bytes_moved += op.bytes;
+          ++state.sends_done[static_cast<std::size_t>(op_idx)];
           if (trace) {
             viz::Event e;
             e.kind = viz::EventKind::kSend;
@@ -1142,7 +1521,7 @@ void Session::node_program_(net::NodeContext& node) {
             e.end_vt = node.now();
             e.bytes = op.bytes;
             e.label = buf.label;
-            state.events.record(e);
+            share.events.record(e);
           }
         }
       }

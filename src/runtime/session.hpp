@@ -29,16 +29,32 @@
 //                         to message/consumer staging (the planned
 //                         "90% of hand-coded" improvement).
 //
-// Lifecycle: create -> run()* -> close (or destruction). Each run is
-// bit-equivalent to a cold engine run: virtual clocks restart at zero,
-// the fabric is drained and its totals zeroed, trace buffers and result
-// series are cleared, and staging memory is rezeroed.
+// Streaming: the paper's Table 1 separates *period* (time between data
+// sets) from *latency* (time through the chain). Session::submit()
+// opens that gap: consecutive submissions overlap inside one machine
+// *epoch* -- one dispatch of the node threads spanning many tickets --
+// with credit-based flow control (ring bounds computed by the compiler,
+// see TransferOp::ring_depth) keeping every producer at most k
+// iterations ahead of its consumers. The steady-state period is then
+// set by the slowest stage, not the whole chain. run()/run_batch() are
+// thin synchronous wrappers over submit()+wait().
+//
+// Lifecycle: create -> run()/submit()* -> close (or destruction). Each
+// synchronous run is bit-equivalent to a cold engine run: virtual
+// clocks restart at zero, the fabric is drained and its totals zeroed,
+// trace buffers and result series are cleared, and staging memory is
+// rezeroed. Overlapped submissions keep bit-identical *results*
+// (checksums) -- flow-control traffic and virtual times may differ from
+// the sequential schedule, and fabric/pool counters are epoch-cumulative
+// at collection time.
 #pragma once
 
 #include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -92,9 +108,11 @@ struct ExecuteOptions {
   double recv_timeout_s = 60.0;
   /// Physical-buffer depth per logical-buffer channel: a producer may
   /// run at most this many iterations ahead of its consumer (credit
-  /// flow control). 0 = unbounded (pipelining limited only by the
-  /// schedule). Models the finite physical buffers the paper's runtime
-  /// allocated per logical buffer.
+  /// flow control). For synchronous run()s, 0 = unbounded (pipelining
+  /// limited only by the schedule); for streamed submissions, 0 = use
+  /// each channel's compiler-computed static bound
+  /// (TransferOp::ring_depth). Models the finite physical buffers the
+  /// paper's runtime allocated per logical buffer.
   int buffer_depth = 0;
   /// Content-addressed plan-cache directory. Non-empty: Session::create
   /// (from a GlueConfig) consults `<dir>/<fingerprint>.plan` before
@@ -189,22 +207,53 @@ struct RunStats {
   FaultStats faults;
   /// Zero-copy data-plane accounting (see DataPlaneStats).
   DataPlaneStats data_plane;
+  /// Ticket id this stats object answers (0 for pre-streaming callers
+  /// that never see tickets -- run() fills it in too).
+  std::uint64_t ticket = 0;
+  /// Achieved streaming period: virtual time between this ticket's
+  /// completion and the previous ticket's completion inside one epoch.
+  /// 0 when the ticket opened its epoch (first submission, or any
+  /// synchronous run()) -- the steady-state measure only exists once
+  /// the pipeline is primed.
+  support::VirtualSeconds stream_period = 0.0;
+  /// Per-stage occupancy: each function's kernel-busy virtual seconds
+  /// (summed over threads) divided by (ticket span x thread count) --
+  /// the fraction of the stage's capacity this data set used. Near 1.0
+  /// identifies the stage that sets the steady-state period.
+  std::map<std::string, double> occupancy;
 
   support::VirtualSeconds mean_latency() const;
 };
 
-/// Per-run overrides for a warm session; fields left unset inherit the
-/// session's ExecuteOptions.
-struct RunRequest {
+/// The per-run-overridable parameter subset, in optional form: a field
+/// left unset inherits the session's ExecuteOptions value. One struct
+/// serves both the streaming submit() surface and the synchronous
+/// run()/run_batch() wrappers (RunRequest is the deprecated alias);
+/// ExecuteOptions carries the same fields in plain resolved form.
+struct RunOverrides {
   /// Iterations for this run; 0 inherits the session default.
   int iterations = 0;
   std::optional<BufferPolicy> buffer_policy;
   std::optional<bool> collect_trace;
   std::optional<bool> collect_metrics;
   std::optional<support::VirtualSeconds> latency_threshold;
+  /// Per-submission flow-control depth; unset inherits the session's
+  /// buffer_depth (see its streaming-vs-synchronous semantics).
+  std::optional<int> buffer_depth;
   /// Per-run fault plan; unset inherits the session's plan, an explicit
   /// nullptr disables faults for this run.
   std::optional<std::shared_ptr<const net::FaultPlan>> fault_plan;
+};
+
+/// Deprecated spelling of RunOverrides, from when the struct was
+/// specific to the synchronous run() path.
+using RunRequest [[deprecated(
+    "use sage::runtime::RunOverrides")]] = RunOverrides;
+
+/// Handle to one streamed submission; redeem with Session::poll /
+/// Session::wait. Value-semantic and cheap (an id).
+struct Ticket {
+  std::uint64_t id = 0;
 };
 
 /// What Session::recover() did.
@@ -262,12 +311,50 @@ class Session {
   const ExecuteOptions& options() const { return options_; }
 
   /// Executes one run on the warm machine and reports its stats.
-  RunStats run(const RunRequest& request = {});
+  /// Synchronous wrapper over submit()+wait(): quiesces any in-flight
+  /// streaming work first, so every run() stays bit-equivalent to a
+  /// cold engine run.
+  RunStats run(const RunOverrides& request = {});
 
-  /// Convenience: `runs` consecutive warm runs, one RunStats each.
-  std::vector<RunStats> run_batch(int runs, const RunRequest& request = {});
+  /// Deprecated convenience: `runs` consecutive (non-overlapped) warm
+  /// runs, one RunStats each. Use submit()/wait() -- or drain() -- to
+  /// overlap data sets instead of serializing them.
+  [[deprecated(
+      "use Session::submit/wait (streaming) or loop Session::run")]]
+  std::vector<RunStats> run_batch(int runs, const RunOverrides& request = {});
 
-  /// Number of completed runs since construction.
+  // --- streaming ------------------------------------------------------------
+  /// Enqueues one data-set run and returns immediately with a ticket.
+  /// Consecutive submissions overlap: all tickets of one epoch execute
+  /// on a single machine dispatch with epoch-continuous virtual clocks,
+  /// and credit flow control (explicit buffer_depth, or the compiled
+  /// per-channel ring_depth when the resolved depth is 0) lets a
+  /// producer run iteration i+k while its consumer finishes i. A new
+  /// epoch starts -- with the full cold-equivalent reset -- whenever
+  /// submit() finds the pipeline idle; a submission whose resolved
+  /// fault plan or depth differs from the active epoch's quiesces the
+  /// epoch first. Results are bit-identical to back-to-back run()s;
+  /// fabric totals and pool counters in the returned stats are
+  /// epoch-cumulative at collection time.
+  Ticket submit(const RunOverrides& request = {});
+
+  /// True when `ticket` has finished executing (wait() will not block).
+  /// Throws sage::RuntimeError for unknown or already-collected ids.
+  bool poll(Ticket ticket) const;
+
+  /// Blocks until `ticket` completes and returns its stats. Each ticket
+  /// is redeemable exactly once; node errors surface here (first
+  /// erroring rank wins, matching Machine::run). Collect tickets in
+  /// submission order for deterministic metrics snapshots.
+  RunStats wait(Ticket ticket);
+
+  /// Waits for every outstanding ticket, in submission order.
+  std::vector<RunStats> drain();
+
+  /// Submitted-but-not-yet-collected tickets.
+  int in_flight() const;
+
+  /// Number of completed (collected) runs since construction.
   int runs_completed() const { return runs_completed_; }
 
   /// Degraded-mode recovery: marks `dead_ranks` dead and deterministically
@@ -294,8 +381,32 @@ class Session {
 
  private:
   struct NodeState;
+  struct StreamTicket;
+  /// Per-ticket resolved execution parameters (RunOverrides folded over
+  /// ExecuteOptions; the single resolution point for both surfaces).
+  struct TicketParams {
+    int iterations = 0;
+    BufferPolicy policy = BufferPolicy::kUniquePerFunction;
+    bool trace = true;
+    bool metrics = true;
+    support::VirtualSeconds threshold = 0.0;
+    int depth = 0;  // resolved explicit depth (0: ring bounds / off)
+    std::shared_ptr<const net::FaultPlan> plan;
+  };
 
-  void node_program_(net::NodeContext& node);
+  TicketParams resolve_(const RunOverrides& request) const;
+  Ticket submit_(const RunOverrides& request, bool streaming);
+  void begin_epoch_(const TicketParams& params, bool streaming);
+  /// Waits for all queued tickets, parks the epoch, and joins the
+  /// machine dispatch. Uncollected tickets stay redeemable.
+  void end_epoch_();
+  /// One node's worker loop for an epoch: pulls tickets in submission
+  /// order and executes this node's share of each.
+  void stream_worker_(net::NodeContext& node);
+  void run_node_ticket_(net::NodeContext& node, StreamTicket& ticket);
+  /// Host-side collection: aggregates a completed ticket into RunStats
+  /// (latencies, results, trace merge, metrics fold + snapshot).
+  RunStats collect_(StreamTicket& ticket);
   void reset_between_runs_();
   void allocate_states_();
   /// Tops the fabric's buffer pool up to the steady-state working set of
@@ -305,7 +416,7 @@ class Session {
   void define_metrics_();
   /// Folds iteration latencies, fault counters, and the fabric's
   /// per-link totals into the registry and snapshots it into `stats`.
-  void export_metrics_(RunStats& stats);
+  void export_metrics_(RunStats& stats, const StreamTicket& ticket);
   /// Ids of the four per-link series for (src, dst), defining them on
   /// first sight (ids persist across warm runs; values reset).
   const std::array<int, 4>& link_metric_ids_(int src, int dst);
@@ -327,6 +438,8 @@ class Session {
   viz::MetricsRegistry metrics_;
   std::vector<int> fn_busy_ids_;   // by function id
   std::vector<int> fn_calls_ids_;  // by function id
+  std::vector<int> fn_occupancy_ids_;  // by function id (streaming)
+  int stream_period_id_ = -1;
   int iterations_id_ = -1;
   int latency_hist_id_ = -1;
   int violations_id_ = -1;
@@ -349,17 +462,31 @@ class Session {
   int cache_lookup_id_ = -1;  // -1 when the plan cache was not consulted
   // (src, dst) -> {messages, bytes, retransmits, busy seconds} ids.
   std::map<std::pair<int, int>, std::array<int, 4>> link_ids_;
-  /// Pool counters at run start (per-run deltas for DataPlaneStats).
+  /// Pool counters at epoch start (collection-time deltas for
+  /// DataPlaneStats; exact per run on the synchronous path, cumulative
+  /// under overlap).
   net::BufferPoolStats pool_mark_;
 
-  // Per-run parameters, written by run() before dispatch; the machine's
-  // dispatch handshake publishes them to the node threads.
-  int run_iterations_ = 0;
-  BufferPolicy run_policy_ = BufferPolicy::kUniquePerFunction;
-  bool run_trace_ = true;
-  bool run_metrics_ = true;
-  support::VirtualSeconds run_threshold_ = 0.0;
-  std::shared_ptr<const net::FaultPlan> run_plan_;
+  // --- streaming epoch state ------------------------------------------------
+  // One epoch = one Machine::dispatch spanning >= 1 tickets. The host
+  // thread (submit/wait/drain -- Sessions stay single-host-threaded)
+  // owns epoch boundaries; node workers and the host meet on stream_mu_.
+  mutable std::mutex stream_mu_;
+  std::condition_variable stream_cv_;       // workers: new ticket / close
+  std::condition_variable stream_done_cv_;  // host: ticket completion
+  std::vector<std::shared_ptr<StreamTicket>> epoch_tickets_;
+  std::map<std::uint64_t, std::shared_ptr<StreamTicket>> tickets_;
+  net::Machine::NodeProgram epoch_program_;  // alive across the dispatch
+  bool epoch_active_ = false;
+  bool epoch_closing_ = false;
+  bool epoch_failed_ = false;
+  /// Epoch-wide execution parameters (fabric-level state that cannot
+  /// change between overlapped tickets).
+  bool epoch_streaming_ = false;  // ring-depth defaults + period stats
+  bool epoch_faulty_ = false;
+  int epoch_depth_ = 0;
+  std::shared_ptr<const net::FaultPlan> epoch_plan_;
+  std::uint64_t next_ticket_id_ = 1;
 
   // Degraded-mode state: ranks excluded by recover(), and a pending
   // report to surface as kRecovery trace events on the next run.

@@ -292,6 +292,26 @@ std::string report(const Trace& trace, const MetricsSnapshot& metrics,
     }
   }
 
+  // --- streaming: achieved period and per-stage occupancy -------------------
+  // Only present once a pipeline is primed: the period gauge stays 0 for
+  // synchronous runs and for the ticket that opened its epoch.
+  const MetricValue* stream_period = metrics.find(families::kStreamPeriod);
+  if (stream_period != nullptr && stream_period->value > 0.0) {
+    os << "streaming: achieved period "
+       << support::format_seconds(stream_period->value) << "\n";
+    const MetricValue* busiest = nullptr;
+    for (const MetricValue& v : metrics.series) {
+      if (v.name != families::kStageOccupancy) continue;
+      os << "  stage " << label_of(v, "function") << ": "
+         << static_cast<int>(v.value * 100.0) << "% occupied\n";
+      if (busiest == nullptr || v.value > busiest->value) busiest = &v;
+    }
+    if (busiest != nullptr && busiest->value > 0.0) {
+      os << "  period set by " << label_of(*busiest, "function")
+         << " (the stage nearest full occupancy)\n";
+    }
+  }
+
   // --- faults and recovery --------------------------------------------------
   double injected = 0.0;
   for (const MetricValue& v : metrics.series) {

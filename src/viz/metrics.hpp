@@ -63,6 +63,12 @@ inline constexpr const char* kDataBytesMoved = "sage_data_bytes_moved_total";
 inline constexpr const char* kPoolHits = "sage_buffer_pool_hits_total";
 inline constexpr const char* kPoolMisses = "sage_buffer_pool_misses_total";
 inline constexpr const char* kPoolBlocks = "sage_buffer_pool_blocks";
+// Streaming-executor probes (see docs/RUNTIME.md "Streaming
+// execution"). Occupancy and the achieved period are ratios/intervals
+// of measured virtual time, so they jitter run to run and are
+// registered time-based.
+inline constexpr const char* kStageOccupancy = "sage_stage_occupancy_ratio";
+inline constexpr const char* kStreamPeriod = "sage_stream_period_seconds";
 // Program-compilation provenance (Compiler -> Program -> Executor; see
 // docs/RUNTIME.md "Lifecycle"). Both are host-wall-clock / environment
 // facts (compile cost, whether a plan-cache entry existed), so they are

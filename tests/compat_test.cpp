@@ -1,8 +1,10 @@
-// Compatibility pins for the deprecated PR-1 surface: the
+// Compatibility pins for the deprecated surface: the
 // runtime::EngineOptions and core::ExecuteOptions aliases, the
-// boolean-trap Project::generate(bool), and the one-shot Engine wrapper
-// over Session. These must keep compiling and keep their cold-run
-// equivalence until the aliases are removed.
+// boolean-trap Project::generate(bool), the one-shot Engine wrapper
+// over Session, and the PR-6 streaming-redesign leftovers (the
+// RunRequest alias of RunOverrides and Session::run_batch). These must
+// keep compiling and keep their cold-run equivalence until the aliases
+// are removed.
 #include <gtest/gtest.h>
 
 #include <type_traits>
@@ -10,6 +12,8 @@
 #include "apps/benchmarks.hpp"
 #include "core/project.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/session.hpp"
+#include "support/error.hpp"
 
 // The whole point of this file is to exercise deprecated names.
 #if defined(__GNUC__) || defined(__clang__)
@@ -52,6 +56,36 @@ TEST(CompatTest, EngineWrapperMatchesSessionRuns) {
   const runtime::RunStats second = engine.run();
   EXPECT_EQ(second.results, first.results);
   EXPECT_EQ(second.fabric_messages, first.fabric_messages);
+}
+
+TEST(CompatTest, DeprecatedRunRequestAliasIsRunOverrides) {
+  static_assert(std::is_same_v<runtime::RunRequest, runtime::RunOverrides>);
+
+  // Old-style call sites keep compiling: the alias spells the override
+  // struct and passes anywhere run()/submit() accept it.
+  runtime::RunRequest request;
+  request.iterations = 3;
+  core::Project project(apps::make_cornerturn_workspace(32, 2));
+  auto session = project.open_session();
+  EXPECT_EQ(session->run(request).iterations, 3);
+}
+
+TEST(CompatTest, DeprecatedRunBatchStillRunsAndStillThrows) {
+  core::Project project(apps::make_cornerturn_workspace(32, 2));
+  runtime::ExecuteOptions options;
+  options.iterations = 2;
+  options.collect_trace = false;
+  auto session = project.open_session(options);
+
+  // Semantics unchanged: n consecutive non-overlapped warm runs...
+  const std::vector<runtime::RunStats> batch = session->run_batch(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].results, batch[1].results);
+  EXPECT_EQ(batch[0].results, session->run().results);
+
+  // ...including the argument validation.
+  EXPECT_THROW(session->run_batch(0), RuntimeError);
+  EXPECT_THROW(session->run_batch(-3), RuntimeError);
 }
 
 TEST(CompatTest, DeprecatedForceGenerateStillRegenerates) {

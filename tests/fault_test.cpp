@@ -462,7 +462,7 @@ TEST(FaultPipelineTest, PerRunPlanOverridesSessionPlan) {
   const runtime::RunStats faulted = session->run();
   EXPECT_GT(faulted.faults.retries + faulted.faults.injected_delays, 0u);
 
-  runtime::RunRequest no_faults;
+  runtime::RunOverrides no_faults;
   no_faults.fault_plan = std::shared_ptr<const FaultPlan>();  // disable
   const runtime::RunStats clean = session->run(no_faults);
   EXPECT_EQ(clean.faults, runtime::FaultStats());

@@ -237,7 +237,7 @@ TEST(SessionMetricsTest, CollectMetricsOffLeavesSnapshotEmpty) {
   // And per-run override on a warm session.
   core::Project warm_project(apps::make_fft2d_workspace(64, 2));
   auto session = warm_project.open_session(fast_options());
-  runtime::RunRequest off;
+  runtime::RunOverrides off;
   off.collect_metrics = false;
   EXPECT_TRUE(session->run(off).metrics.empty());
   EXPECT_FALSE(session->run().metrics.empty());
@@ -314,7 +314,8 @@ TEST_P(MetricsDeterminismTest, DeterministicSubsetIsBitIdentical) {
   // Warm path: one session, kRuns runs.
   core::Project warm_project(metrics_workspace(param.app));
   auto session = warm_project.open_session(metrics_options(param));
-  const std::vector<runtime::RunStats> warm = session->run_batch(kRuns);
+  std::vector<runtime::RunStats> warm;
+  for (int r = 0; r < kRuns; ++r) warm.push_back(session->run());
 
   const MetricsSnapshot reference = warm[0].metrics.deterministic_subset();
   ASSERT_FALSE(reference.empty());

@@ -56,7 +56,8 @@ TEST_P(WarmColdDeterminismTest, WarmRunsMatchColdRunsExactly) {
   // Warm path: one session, kRuns runs.
   core::Project warm_project(make_workspace(param.app));
   auto session = warm_project.open_session(options_of(param));
-  const std::vector<RunStats> warm = session->run_batch(kRuns);
+  std::vector<RunStats> warm;
+  for (int r = 0; r < kRuns; ++r) warm.push_back(session->run());
   ASSERT_EQ(warm.size(), static_cast<std::size_t>(kRuns));
   EXPECT_EQ(session->runs_completed(), kRuns);
 
@@ -165,14 +166,14 @@ TEST(SessionTest, EngineWrapperMatchesSession) {
   EXPECT_EQ(from_session.fabric_bytes, from_engine.fabric_bytes);
 }
 
-TEST(SessionTest, RunRequestOverridesPerRunOnly) {
+TEST(SessionTest, RunOverridesApplyPerRunOnly) {
   core::Project project(make_workspace("cornerturn"));
   ExecuteOptions options;
   options.iterations = 2;
   options.collect_trace = false;
   auto session = project.open_session(options);
 
-  RunRequest more;
+  RunOverrides more;
   more.iterations = 5;
   EXPECT_EQ(session->run(more).iterations, 5);
   // The next default run falls back to the session option.
@@ -180,7 +181,7 @@ TEST(SessionTest, RunRequestOverridesPerRunOnly) {
 
   // A per-run policy override matches a session configured with that
   // policy outright.
-  RunRequest shared;
+  RunOverrides shared;
   shared.buffer_policy = BufferPolicy::kShared;
   const RunStats overridden = session->run(shared);
 
@@ -199,7 +200,7 @@ TEST(SessionTest, TraceCollectionFollowsRequest) {
   auto session = project.open_session(options);
 
   EXPECT_TRUE(session->run().trace.events().empty());
-  RunRequest traced;
+  RunOverrides traced;
   traced.collect_trace = true;
   EXPECT_FALSE(session->run(traced).trace.events().empty());
   // And off again: the reset must clear the event buffers.
@@ -245,13 +246,6 @@ TEST(SessionTest, ClosedSessionRefusesToRun) {
   EXPECT_TRUE(session->closed());
   EXPECT_THROW(session->run(), RuntimeError);
   session->close();  // idempotent
-}
-
-TEST(SessionTest, BadBatchAndIterationCountsThrow) {
-  core::Project project(make_workspace("cornerturn"));
-  auto session = project.open_session();
-  EXPECT_THROW(session->run_batch(0), RuntimeError);
-  EXPECT_THROW(session->run_batch(-3), RuntimeError);
 }
 
 }  // namespace

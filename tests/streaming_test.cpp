@@ -1,0 +1,394 @@
+// Streaming-executor tests: Session::submit/poll/wait/drain, the
+// pipelined epoch machinery behind them, and the contracts the redesign
+// pins down:
+//   * overlapped submissions produce *bit-identical* sink checksums to
+//     the same data sets run back to back (warm and fresh), for
+//     explicit depths and for the compiler's per-channel ring bounds;
+//   * credit flow control bounds the producers (and the pipeline still
+//     completes when every channel is squeezed to depth 1);
+//   * an active fault plan composes with overlap -- frames, ARQ, and
+//     stalls keep the clean checksums under depth-3 streaming;
+//   * recover() quiesces mid-stream and later submissions run degraded;
+//   * on a pipelined stage chain the steady-state period drops below
+//     the single-data-set latency (period != latency, paper Table 1).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hpp"
+#include "core/project.hpp"
+#include "model/app.hpp"
+#include "model/hardware.hpp"
+#include "model/mapping.hpp"
+#include "net/fault.hpp"
+#include "runtime/session.hpp"
+#include "support/error.hpp"
+#include "viz/exporters.hpp"
+
+namespace sage::runtime {
+namespace {
+
+std::unique_ptr<model::Workspace> make_workspace(const std::string& app) {
+  if (app == "fft2d") return apps::make_fft2d_workspace(64, 2);
+  return apps::make_cornerturn_workspace(64, 2);
+}
+
+/// The paper's period-vs-latency shape: a 4-stage chain with stage i
+/// mapped to node i, so consecutive data sets overlap across stages.
+std::unique_ptr<model::Workspace> make_pipelined_chain(std::size_t n = 64) {
+  constexpr int kStages = 4;
+  auto ws = std::make_unique<model::Workspace>("chain");
+  model::ModelObject& root = ws->root();
+  model::add_cspi_platform(root, kStages);
+  model::ModelObject& app = model::add_application(root, "stage_chain");
+  const std::vector<std::size_t> dims{n, n};
+
+  model::ModelObject& src = model::add_function(app, "src", "matrix_source", 1);
+  src.set_property("role", "source");
+  model::add_port(src, "out", model::PortDirection::kOut,
+                  model::Striping::kStriped, "cfloat", dims, 0);
+  std::string prev = "src";
+  for (int s = 0; s < kStages - 2; ++s) {
+    const std::string name = "fft_stage" + std::to_string(s);
+    model::ModelObject& fn =
+        model::add_function(app, name, "isspl.fft_rows", 1);
+    model::add_port(fn, "in", model::PortDirection::kIn,
+                    model::Striping::kStriped, "cfloat", dims, 0);
+    model::add_port(fn, "out", model::PortDirection::kOut,
+                    model::Striping::kStriped, "cfloat", dims, 0);
+    model::connect(app, prev + ".out", name + ".in");
+    prev = name;
+  }
+  model::ModelObject& sink = model::add_function(app, "sink", "matrix_sink", 1);
+  sink.set_property("role", "sink");
+  model::add_port(sink, "in", model::PortDirection::kIn,
+                  model::Striping::kStriped, "cfloat", dims, 0);
+  model::connect(app, prev + ".out", "sink.in");
+
+  model::ModelObject& mapping = model::add_mapping(root, "mapping", "cspi");
+  const std::vector<std::string> fns = {"src", "fft_stage0", "fft_stage1",
+                                        "sink"};
+  for (int i = 0; i < kStages; ++i) {
+    model::assign_ranks(root, mapping, fns[static_cast<std::size_t>(i)], {i});
+  }
+  ws->validate_or_throw();
+  return ws;
+}
+
+std::shared_ptr<const net::FaultPlan> chaos_plan(std::uint64_t seed) {
+  auto plan = std::make_shared<net::FaultPlan>();
+  plan->seed = seed;
+  net::LinkFaultRule drop;
+  drop.kind = net::FaultKind::kDrop;
+  drop.probability = 0.05;
+  plan->link_rules.push_back(drop);
+  net::LinkFaultRule corrupt;
+  corrupt.kind = net::FaultKind::kCorrupt;
+  corrupt.probability = 0.05;
+  corrupt.corrupt_bytes = 4;
+  plan->link_rules.push_back(corrupt);
+  net::StallRule stall;
+  stall.node = 1;
+  stall.iteration = 0;
+  stall.stall_vt = 1e-3;
+  plan->stall_rules.push_back(stall);
+  return plan;
+}
+
+// --- overlapped vs sequential bit-identity ---------------------------------
+
+struct StreamCase {
+  std::string app;
+  int depth = 0;  // 0 = the compiler's per-channel ring bounds
+};
+
+std::string stream_case_name(
+    const ::testing::TestParamInfo<StreamCase>& info) {
+  return info.param.app +
+         (info.param.depth == 0 ? std::string("_ring")
+                                : "_depth" + std::to_string(info.param.depth));
+}
+
+class StreamingDeterminismTest : public ::testing::TestWithParam<StreamCase> {
+};
+
+TEST_P(StreamingDeterminismTest, OverlappedMatchesSequentialBitExactly) {
+  const StreamCase& param = GetParam();
+  constexpr int kSets = 4;
+  ExecuteOptions options;
+  options.iterations = 2;
+  options.collect_trace = false;
+
+  // Sequential reference: back-to-back synchronous runs.
+  core::Project seq_project(make_workspace(param.app));
+  auto seq = seq_project.open_session(options);
+  std::vector<RunStats> sequential;
+  for (int i = 0; i < kSets; ++i) sequential.push_back(seq->run());
+
+  // Fresh-session stream: k overlapped submissions on one epoch.
+  core::Project stream_project(make_workspace(param.app));
+  auto session = stream_project.open_session(options);
+  RunOverrides request;
+  if (param.depth > 0) request.buffer_depth = param.depth;
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kSets; ++i) tickets.push_back(session->submit(request));
+  EXPECT_EQ(session->in_flight(), kSets);
+  std::vector<RunStats> fresh;
+  for (const Ticket t : tickets) fresh.push_back(session->wait(t));
+  EXPECT_EQ(session->in_flight(), 0);
+
+  // Warm stream: a second epoch on the same session.
+  tickets.clear();
+  for (int i = 0; i < kSets; ++i) tickets.push_back(session->submit(request));
+  const std::vector<RunStats> warm = session->drain();
+  ASSERT_EQ(warm.size(), static_cast<std::size_t>(kSets));
+
+  for (int i = 0; i < kSets; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    // The tentpole contract: overlap may reshape traffic and virtual
+    // times, but the sink checksums are bit-identical to the
+    // sequential schedule -- for the fresh epoch and the warm one.
+    EXPECT_EQ(fresh[idx].results, sequential[idx].results);
+    EXPECT_EQ(warm[idx].results, sequential[idx].results);
+    EXPECT_EQ(fresh[idx].iterations, sequential[idx].iterations);
+    EXPECT_GT(fresh[idx].makespan, 0.0);
+  }
+  // Tickets collect in submission order and say which run they answer.
+  for (int i = 1; i < kSets; ++i) {
+    EXPECT_GT(warm[static_cast<std::size_t>(i)].ticket,
+              warm[static_cast<std::size_t>(i - 1)].ticket);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsByApp, StreamingDeterminismTest,
+    ::testing::Values(StreamCase{"fft2d", 0}, StreamCase{"fft2d", 1},
+                      StreamCase{"fft2d", 2}, StreamCase{"fft2d", 3},
+                      StreamCase{"cornerturn", 0},
+                      StreamCase{"cornerturn", 2}),
+    stream_case_name);
+
+// --- ticket API semantics --------------------------------------------------
+
+TEST(StreamingTest, TicketLifecycleAndErrors) {
+  core::Project project(make_workspace("cornerturn"));
+  ExecuteOptions options;
+  options.iterations = 1;
+  options.collect_trace = false;
+  auto session = project.open_session(options);
+
+  EXPECT_THROW(session->poll(Ticket{9999}), RuntimeError);
+  EXPECT_THROW(session->wait(Ticket{9999}), RuntimeError);
+  EXPECT_EQ(session->in_flight(), 0);
+  EXPECT_TRUE(session->drain().empty());
+
+  const Ticket ticket = session->submit();
+  EXPECT_EQ(session->in_flight(), 1);
+  const RunStats stats = session->wait(ticket);
+  EXPECT_EQ(stats.ticket, ticket.id);
+  EXPECT_EQ(stats.iterations, 1);
+  // A ticket redeems exactly once.
+  EXPECT_THROW(session->wait(ticket), RuntimeError);
+  EXPECT_THROW(session->poll(ticket), RuntimeError);
+
+  // poll() flips to true without collecting.
+  const Ticket second = session->submit();
+  while (!session->poll(second)) {
+  }
+  EXPECT_EQ(session->in_flight(), 1);
+  EXPECT_EQ(session->wait(second).ticket, second.id);
+
+  // A synchronous run() between streams quiesces and stays correct.
+  const RunStats sync = session->run();
+  EXPECT_EQ(sync.stream_period, 0.0);  // sync runs open a private epoch
+  EXPECT_EQ(session->runs_completed(), 3);
+}
+
+TEST(StreamingTest, TicketsSurviveEpochBoundaries) {
+  // Uncollected tickets stay redeemable after their epoch closes --
+  // here forced shut by a depth change and by a synchronous run().
+  core::Project project(make_workspace("fft2d"));
+  ExecuteOptions options;
+  options.iterations = 1;
+  options.collect_trace = false;
+  auto session = project.open_session(options);
+
+  const Ticket a = session->submit();
+  RunOverrides deeper;
+  deeper.buffer_depth = 2;
+  const Ticket b = session->submit(deeper);  // incompatible: new epoch
+  const RunStats sync = session->run();      // quiesces again
+
+  const RunStats stats_a = session->wait(a);
+  const RunStats stats_b = session->wait(b);
+  EXPECT_EQ(stats_a.results, stats_b.results);
+  EXPECT_EQ(stats_a.results, sync.results);
+}
+
+// --- credit flow control ---------------------------------------------------
+
+TEST(StreamingTest, CreditExhaustionStillDrainsAtDepthOne) {
+  // Depth 1 exhausts every channel's credits immediately: each producer
+  // must block until its consumer drains the single slot. The stream
+  // must still complete (no deadlock), bit-identical to depth 3.
+  core::Project squeezed_project(make_pipelined_chain());
+  ExecuteOptions options;
+  options.iterations = 2;
+  options.collect_trace = false;
+  auto squeezed = squeezed_project.open_session(options);
+  RunOverrides one;
+  one.buffer_depth = 1;
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) tickets.push_back(squeezed->submit(one));
+  const std::vector<RunStats> tight = squeezed->drain();
+
+  core::Project roomy_project(make_pipelined_chain());
+  auto roomy = roomy_project.open_session(options);
+  RunOverrides three;
+  three.buffer_depth = 3;
+  for (int i = 0; i < 4; ++i) roomy->submit(three);
+  const std::vector<RunStats> loose = roomy->drain();
+
+  ASSERT_EQ(tight.size(), loose.size());
+  for (std::size_t i = 0; i < tight.size(); ++i) {
+    EXPECT_EQ(tight[i].results, loose[i].results);
+  }
+  // Credits are real traffic: the bounded stream carries flow-control
+  // messages a synchronous unbounded run does not.
+  core::Project sync_project(make_pipelined_chain());
+  const RunStats unbounded = sync_project.execute(options);
+  EXPECT_GT(tight.back().fabric_messages,
+            4 * unbounded.fabric_messages - 1);
+}
+
+TEST(StreamingTest, PipelinedSteadyStatePeriodBeatsLatency) {
+  // Paper Table 1: period != latency once stages pipeline. Stream
+  // enough data sets for a steady state and compare the achieved
+  // period (virtual time between consecutive completions) against the
+  // single-data-set latency. Both are virtual times, so the ratio is
+  // deterministic; the 0.6x bound is the PR's acceptance criterion at
+  // depth >= 2 (the default submit resolves to the compiled ring
+  // bounds, all >= 2), and bench/pipeline_period measures ~0.15x.
+  core::Project project(make_pipelined_chain(128));
+  ExecuteOptions options;
+  options.iterations = 1;
+  options.collect_trace = false;
+  auto session = project.open_session(options);
+
+  const RunStats single = session->run();
+  const double latency = single.mean_latency();
+  ASSERT_GT(latency, 0.0);
+
+  constexpr int kSets = 8;
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kSets; ++i) tickets.push_back(session->submit());
+  const std::vector<RunStats> stream = session->drain();
+  ASSERT_EQ(stream.size(), static_cast<std::size_t>(kSets));
+
+  EXPECT_EQ(stream.front().stream_period, 0.0);  // primed the pipeline
+  double period_sum = 0.0;
+  int period_count = 0;
+  for (std::size_t i = kSets / 2; i < stream.size(); ++i) {
+    EXPECT_GT(stream[i].stream_period, 0.0);
+    period_sum += stream[i].stream_period;
+    ++period_count;
+  }
+  const double period = period_sum / period_count;
+  EXPECT_LT(period, 0.6 * latency);
+
+  // Per-stage occupancy surfaces in the stats and in the metrics.
+  const RunStats& last = stream.back();
+  ASSERT_EQ(last.occupancy.size(), 4u);
+  for (const auto& [fn, ratio] : last.occupancy) {
+    EXPECT_GE(ratio, 0.0) << fn;
+    EXPECT_LE(ratio, 1.0) << fn;
+  }
+  const viz::MetricValue* occupancy = last.metrics.find(
+      viz::families::kStageOccupancy, {{"function", "fft_stage0"}});
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_DOUBLE_EQ(occupancy->value, last.occupancy.at("fft_stage0"));
+  const viz::MetricValue* period_metric =
+      last.metrics.find(viz::families::kStreamPeriod);
+  ASSERT_NE(period_metric, nullptr);
+  EXPECT_DOUBLE_EQ(period_metric->value, last.stream_period);
+
+  // And the human report grows its streaming section.
+  const std::string report = viz::report(last.trace, last.metrics);
+  EXPECT_NE(report.find("streaming: achieved period"), std::string::npos);
+  EXPECT_NE(report.find("period set by"), std::string::npos);
+}
+
+// --- faults and recovery under overlap -------------------------------------
+
+TEST(StreamingTest, FaultChaosUnderDepthThreeKeepsCleanChecksums) {
+  ExecuteOptions options;
+  options.iterations = 2;
+  options.collect_trace = false;
+
+  core::Project clean_project(make_workspace("cornerturn"));
+  auto clean_session = clean_project.open_session(options);
+  const RunStats baseline = clean_session->run();
+
+  ExecuteOptions chaotic = options;
+  chaotic.fault_plan = chaos_plan(0xC0FFEE);
+  chaotic.buffer_depth = 3;
+  core::Project chaos_project(make_workspace("cornerturn"));
+  auto session = chaos_project.open_session(chaotic);
+  constexpr int kSets = 4;
+  for (int i = 0; i < kSets; ++i) session->submit();
+  const std::vector<RunStats> stream = session->drain();
+  ASSERT_EQ(stream.size(), static_cast<std::size_t>(kSets));
+
+  std::uint64_t injected = 0;
+  for (const RunStats& stats : stream) {
+    // ARQ under overlap: every data frame eventually landed clean, so
+    // each overlapped data set still answers the fault-free checksums.
+    EXPECT_EQ(stats.results, baseline.results);
+    EXPECT_EQ(stats.faults.stalls, 1u);  // node 1, iteration 0, per set
+  }
+  // Injected-fault counters are epoch-cumulative at collection; the
+  // last ticket sees the whole epoch's chaos, and there was some.
+  injected = stream.back().faults.injected_drops +
+             stream.back().faults.injected_corruptions;
+  EXPECT_GT(injected, 0u);
+}
+
+TEST(StreamingTest, RecoverQuiescesMidStream) {
+  ExecuteOptions options;
+  options.iterations = 2;
+  options.collect_trace = false;
+  core::Project project(make_pipelined_chain());
+  auto session = project.open_session(options);
+
+  std::vector<Ticket> before;
+  for (int i = 0; i < 3; ++i) before.push_back(session->submit());
+  // recover() lands every in-flight ticket, then remaps; the earlier
+  // tickets stay redeemable and answer full-strength results.
+  const RecoveryReport report = session->recover({3});
+  EXPECT_EQ(report.dead_nodes, std::vector<int>{3});
+  EXPECT_GT(report.moved_threads, 0);
+
+  std::vector<RunStats> healthy;
+  for (const Ticket t : before) healthy.push_back(session->wait(t));
+  for (const RunStats& stats : healthy) {
+    EXPECT_EQ(stats.faults.degraded_nodes, 1);  // collected post-remap
+    EXPECT_EQ(stats.results, healthy.front().results);
+  }
+
+  // Streaming resumes on the remapped program.
+  for (int i = 0; i < 3; ++i) session->submit();
+  const std::vector<RunStats> degraded = session->drain();
+  ASSERT_EQ(degraded.size(), 3u);
+  const RunStats reference = session->run();
+  for (const RunStats& stats : degraded) {
+    EXPECT_EQ(stats.results, reference.results);
+    EXPECT_EQ(stats.faults.degraded_nodes, 1);
+  }
+  EXPECT_EQ(degraded.front().results, healthy.front().results);
+}
+
+}  // namespace
+}  // namespace sage::runtime

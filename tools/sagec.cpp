@@ -22,8 +22,11 @@
 //             [--plan-cache dir]
 //             [--fault-plan plan.txt] [--fault-seed N]
 //       generate and execute on the emulated platform through a warm
-//       run-time session (-r repeats the run warm); print the
-//       Visualizer summary and host cost. --fault-plan attaches a
+//       run-time session (-r N streams N-1 further data sets through
+//       the warm pipeline as overlapped submissions, reporting the
+//       achieved period and per-stage occupancy; --depth caps each
+//       producer's lead over its consumers); print the Visualizer
+//       summary and host cost. --fault-plan attaches a
 //       deterministic fault schedule (see net/fault.hpp for the
 //       format); --fault-seed overrides the plan's seed.
 //   sagec stats <model-file|quickstart|radar|fft2d|cornerturn>
@@ -312,14 +315,46 @@ int cmd_run(const Args& args) {
               to_string(program.cache_outcome));
   runtime::RunStats stats = session->run();
   const double cold_host = stats.host_seconds;
-  for (int r = 1; r < runs; ++r) stats = session->run();
+  // Further data sets stream through the warm pipeline: overlapped
+  // submissions on one machine epoch, so the achieved period (virtual
+  // time between completions) can drop below the single-set latency.
+  double stream_host = 0.0;
+  double period_sum = 0.0;
+  int period_count = 0;
+  if (runs > 1) {
+    std::vector<runtime::Ticket> tickets;
+    tickets.reserve(static_cast<std::size_t>(runs - 1));
+    for (int r = 1; r < runs; ++r) tickets.push_back(session->submit());
+    for (const runtime::Ticket ticket : tickets) {
+      stats = session->wait(ticket);
+      if (stats.stream_period > 0) {
+        period_sum += stats.stream_period;
+        ++period_count;
+      }
+    }
+    stream_host = stats.host_seconds;  // wall clock of the whole stream
+  }
   std::printf("iterations: %d\n", stats.iterations);
-  std::printf("mean latency: %.3f ms (virtual)\n",
-              stats.mean_latency() * 1e3);
+  const double latency = stats.mean_latency();
+  std::printf("mean latency: %.3f ms (virtual)\n", latency * 1e3);
   std::printf("period:       %.3f ms (virtual)\n", stats.period * 1e3);
   if (runs > 1) {
-    std::printf("host cost:    %.3f ms cold, %.3f ms warm (%d runs)\n",
-                cold_host * 1e3, stats.host_seconds * 1e3, runs);
+    std::printf("host cost:    %.3f ms cold, %.3f ms for %d streamed"
+                " data sets\n",
+                cold_host * 1e3, stream_host * 1e3, runs - 1);
+    if (period_count > 0) {
+      const double period = period_sum / period_count;
+      std::printf("streaming:    achieved period %.3f ms (virtual),"
+                  " overlap %.2fx\n",
+                  period * 1e3, period > 0 ? latency / period : 0.0);
+    }
+    if (!stats.occupancy.empty()) {
+      std::printf("occupancy:   ");
+      for (const auto& [fn, ratio] : stats.occupancy) {
+        std::printf(" %s=%.2f", fn.c_str(), ratio);
+      }
+      std::printf("  (fraction of stage capacity; ~1.0 sets the period)\n");
+    }
   } else {
     std::printf("host cost:    %.3f ms\n", cold_host * 1e3);
   }
