@@ -14,7 +14,10 @@
 #            engine/session execution paths, the streaming executor --
 #            overlapped tickets on one machine epoch with credit flow
 #            control -- multi-session sharing of one CompiledProgram,
-#            and the metrics registry's lock-free per-node shards).
+#            the metrics registry's lock-free per-node shards, and the
+#            serve::Server fleet: caller threads racing admission and
+#            quota accounting against worker threads realizing
+#            coalesced streaming tickets).
 #   ubsan -- UndefinedBehaviorSanitizer: the arithmetic-heavy paths
 #            (compiled transfer programs and their serialized form,
 #            striping/run-intersection math, FFT permutation and twiddle
@@ -33,21 +36,22 @@ case "$flavor" in
     cmake_flag=-DSAGE_ASAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test viz_test metrics_test program_test \
-      random_graph_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
+      random_graph_test serve_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve)'
     ;;
   tsan)
     cmake_flag=-DSAGE_TSAN=ON
     targets="net_test mpi_test engine_test session_test streaming_test \
-      fault_test viz_test metrics_test program_test random_graph_test"
-    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond)'
+      fault_test viz_test metrics_test program_test random_graph_test \
+      serve_test"
+    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve)'
     ;;
   ubsan)
     cmake_flag=-DSAGE_UBSAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test isspl_test registry_test metrics_test \
-      program_test random_graph_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond)'
+      program_test random_graph_test serve_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond|Serve)'
     ;;
   *)
     echo "usage: $0 <asan|tsan|ubsan> [build-dir]" >&2

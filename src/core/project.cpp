@@ -56,6 +56,11 @@ std::shared_ptr<const runtime::CompiledProgram> Project::compile_program(
   return program_;
 }
 
+runtime::ExecuteOptions Project::resolved_options(
+    const runtime::ExecuteOptions& options) {
+  return resolve_options_(options);
+}
+
 std::unique_ptr<runtime::Session> Project::open_session(
     const runtime::ExecuteOptions& options) {
   return std::make_unique<runtime::Session>(compile_program(options),

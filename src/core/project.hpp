@@ -109,6 +109,15 @@ class Project {
   std::unique_ptr<runtime::Session> open_session(
       const runtime::ExecuteOptions& options = {});
 
+  /// The execute options open_session() would actually run with: any
+  /// field left unset in `options` filled from the hardware model
+  /// (`fabric` from the interconnect properties, `cpu_scales` from the
+  /// per-processor speeds). For callers that construct sessions
+  /// themselves -- serve::Server fleets, bare runtime::Session -- and
+  /// still want the workspace's platform derivation.
+  runtime::ExecuteOptions resolved_options(
+      const runtime::ExecuteOptions& options = {});
+
   /// Non-throwing counterpart of open_session for validators and CLIs:
   /// model/config/mapping problems come back as an error message.
   Result<std::unique_ptr<runtime::Session>> try_open_session(

@@ -1,6 +1,9 @@
 #include "runtime/compiler.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -313,11 +316,23 @@ std::shared_ptr<const CompiledProgram> PlanCache::load(
 }
 
 bool PlanCache::store(std::uint64_t key, const CompiledProgram& program) const {
+  // Content addressing makes stores idempotent: if a valid entry for
+  // this key already exists (another thread or process won the race),
+  // there is nothing to write -- and skipping keeps "exactly one store"
+  // observable under concurrent compile_or_load of the same key.
+  if (load(key) != nullptr) return true;
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) return false;
   const std::string path = path_of(key);
-  const std::string tmp = path + ".tmp";
+  // The temp name must be writer-unique: a fixed suffix would let two
+  // concurrent stores interleave writes into one temp file and rename a
+  // corrupted blob into place.
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream tmp_os;
+  tmp_os << path << ".tmp." << ::getpid() << "."
+         << counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = tmp_os.str();
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
@@ -326,7 +341,11 @@ bool PlanCache::store(std::uint64_t key, const CompiledProgram& program) const {
     if (!out) return false;
   }
   std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 std::shared_ptr<const CompiledProgram> compile_or_load(

@@ -339,6 +339,11 @@ class Session {
   Ticket submit(const RunOverrides& request = {});
 
   /// True when `ticket` has finished executing (wait() will not block).
+  /// A ticket already redeemed by wait()/drain() is *collected*, not
+  /// pending: polling it throws the same "unknown or already-collected
+  /// ticket" sage::RuntimeError as wait() would (pinned in
+  /// compat_test.cpp) -- completion state lives exactly as long as the
+  /// ticket is redeemable.
   /// Throws sage::RuntimeError for unknown or already-collected ids.
   bool poll(Ticket ticket) const;
 
@@ -348,7 +353,10 @@ class Session {
   /// submission order for deterministic metrics snapshots.
   RunStats wait(Ticket ticket);
 
-  /// Waits for every outstanding ticket, in submission order.
+  /// Waits for every outstanding ticket, in submission order. With zero
+  /// tickets in flight this is a documented no-op returning an empty
+  /// vector -- it does not throw, block, or disturb the active epoch
+  /// (the epoch stays open for further compatible submissions).
   std::vector<RunStats> drain();
 
   /// Submitted-but-not-yet-collected tickets.

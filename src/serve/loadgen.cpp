@@ -1,0 +1,95 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "support/error.hpp"
+
+namespace sage::serve {
+
+std::vector<support::VirtualSeconds> poisson_arrivals(int count, double rate,
+                                                      std::uint64_t seed) {
+  SAGE_CHECK_AS(RuntimeError, rate > 0.0,
+                "poisson_arrivals needs a positive rate, got ", rate);
+  std::vector<support::VirtualSeconds> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(std::max(0, count)));
+  // mt19937's sequence is fully specified by the standard; the inverse
+  // CDF keeps the transform specified too (std::exponential_distribution
+  // is not pinned across library implementations).
+  std::mt19937 gen(static_cast<std::uint32_t>(seed));
+  support::VirtualSeconds t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const double u =
+        (static_cast<double>(gen()) + 0.5) / 4294967296.0;  // (0, 1)
+    t += -std::log1p(-u) / rate;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+namespace {
+
+support::VirtualSeconds percentile(
+    const std::vector<support::VirtualSeconds>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank: smallest value with at least q of the mass below it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+LoadPoint drive_load(Server& server, std::uint64_t program,
+                     const std::vector<support::VirtualSeconds>& arrivals,
+                     double offered_rate, const std::string& tenant) {
+  LoadPoint point;
+  point.offered_rate = offered_rate;
+  point.requests = static_cast<int>(arrivals.size());
+
+  std::vector<ServeTicket> admitted;
+  admitted.reserve(arrivals.size());
+  for (const support::VirtualSeconds arrival : arrivals) {
+    RunRequest request;
+    request.tenant = tenant;
+    request.arrival_vt = arrival;
+    const ServeTicket ticket = server.submit(program, request);
+    if (ticket.admitted()) {
+      admitted.push_back(ticket);
+    } else {
+      ++point.shed;
+    }
+  }
+  point.admitted = static_cast<int>(admitted.size());
+
+  std::vector<support::VirtualSeconds> latencies;
+  latencies.reserve(admitted.size());
+  support::VirtualSeconds first_arrival =
+      arrivals.empty() ? 0.0 : arrivals.front();
+  support::VirtualSeconds last_finish = first_arrival;
+  double latency_sum = 0.0;
+  for (const ServeTicket& ticket : admitted) {
+    const Response response = server.wait(ticket);
+    if (!response.ok()) ++point.errors;
+    latencies.push_back(response.latency_vt());
+    latency_sum += response.latency_vt();
+    last_finish = std::max(last_finish, response.finish_vt);
+    if (response.coalesced) ++point.coalesced;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  point.span_vt = last_finish - first_arrival;
+  point.throughput = point.span_vt > 0.0
+                         ? static_cast<double>(point.admitted) / point.span_vt
+                         : 0.0;
+  point.p50_latency_vt = percentile(latencies, 0.50);
+  point.p99_latency_vt = percentile(latencies, 0.99);
+  point.mean_latency_vt =
+      latencies.empty() ? 0.0
+                        : latency_sum / static_cast<double>(latencies.size());
+  point.max_latency_vt = latencies.empty() ? 0.0 : latencies.back();
+  return point;
+}
+
+}  // namespace sage::serve

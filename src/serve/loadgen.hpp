@@ -1,0 +1,63 @@
+// openSAGE -- deterministic open-loop load generation for serve::Server.
+//
+// The headline serve artifact is a load curve: p50/p99 latency and
+// throughput vs. offered load. Both halves are deterministic:
+//
+//   * arrivals come from a seeded Poisson process realized with an
+//     explicit inverse-CDF transform over std::mt19937 draws (the
+//     standard library's exponential_distribution algorithm is
+//     implementation-defined; the generator below is pinned bit-for-bit
+//     everywhere);
+//   * the server's admission/latency accounting runs in virtual time
+//     (see server.hpp), so the whole measured curve is a pure function
+//     of (schedule, calibration) -- host speed changes throughput of
+//     the *bench binary*, never the numbers it reports.
+//
+// Open loop means arrivals do not wait for completions: every request
+// is submitted with its schedule timestamp regardless of how far the
+// fleet has fallen behind, which is what exposes queueing collapse
+// beyond the saturation rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "support/clock.hpp"
+
+namespace sage::serve {
+
+/// Cumulative arrival timestamps (virtual seconds) of a Poisson process
+/// with the given mean `rate` (arrivals per virtual second).
+/// Deterministic for a fixed (count, rate, seed).
+std::vector<support::VirtualSeconds> poisson_arrivals(int count, double rate,
+                                                      std::uint64_t seed);
+
+/// One measured point of the load curve.
+struct LoadPoint {
+  double offered_rate = 0.0;  // arrivals per virtual second
+  int requests = 0;
+  int admitted = 0;
+  int shed = 0;
+  int errors = 0;
+  int coalesced = 0;
+  /// First arrival to last completion, virtual seconds.
+  support::VirtualSeconds span_vt = 0.0;
+  /// Completions per virtual second over the span.
+  double throughput = 0.0;
+  support::VirtualSeconds p50_latency_vt = 0.0;
+  support::VirtualSeconds p99_latency_vt = 0.0;
+  support::VirtualSeconds mean_latency_vt = 0.0;
+  support::VirtualSeconds max_latency_vt = 0.0;
+};
+
+/// Drives one open-loop run: submits every arrival in schedule order
+/// against `program` (sheds are counted, never retried), waits for all
+/// admitted requests, and reduces the responses to a LoadPoint.
+/// `offered_rate` is recorded in the result verbatim.
+LoadPoint drive_load(Server& server, std::uint64_t program,
+                     const std::vector<support::VirtualSeconds>& arrivals,
+                     double offered_rate, const std::string& tenant = "default");
+
+}  // namespace sage::serve

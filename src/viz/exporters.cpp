@@ -312,6 +312,62 @@ std::string report(const Trace& trace, const MetricsSnapshot& metrics,
     }
   }
 
+  // --- serve: fleet admission / shed / latency ------------------------------
+  // Present only for serve::Server snapshots (session snapshots never
+  // define these families).
+  const MetricValue* serve_completed = metrics.find(families::kServeCompleted);
+  if (serve_completed != nullptr) {
+    double serve_admitted = 0.0;
+    double serve_shed = 0.0;
+    for (const MetricValue& v : metrics.series) {
+      if (v.name == families::kServeAdmitted) serve_admitted += v.value;
+      if (v.name == families::kServeShed) serve_shed += v.value;
+    }
+    os << "serve: " << static_cast<std::uint64_t>(serve_admitted)
+       << " admitted, " << static_cast<std::uint64_t>(serve_shed) << " shed, "
+       << static_cast<std::uint64_t>(serve_completed->value) << " completed";
+    const MetricValue* serve_errors = metrics.find(families::kServeErrors);
+    if (serve_errors != nullptr && serve_errors->value > 0.0) {
+      os << ", " << static_cast<std::uint64_t>(serve_errors->value)
+         << " errors";
+    }
+    const MetricValue* serve_coalesced =
+        metrics.find(families::kServeCoalesced);
+    if (serve_coalesced != nullptr && serve_coalesced->value > 0.0) {
+      os << " (" << static_cast<std::uint64_t>(serve_coalesced->value)
+         << " coalesced onto streaming epochs)";
+    }
+    os << "\n";
+    const MetricValue* serve_sessions =
+        metrics.find(families::kServeSessions, {});
+    const MetricValue* serve_queue = metrics.find(families::kServeQueueDepth);
+    if (serve_sessions != nullptr || serve_queue != nullptr) {
+      os << "  fleet: "
+         << (serve_sessions != nullptr
+                 ? static_cast<std::uint64_t>(serve_sessions->value)
+                 : 0)
+         << " warm sessions, peak queue depth "
+         << (serve_queue != nullptr
+                 ? static_cast<std::uint64_t>(serve_queue->value)
+                 : 0)
+         << "\n";
+    }
+    const MetricValue* serve_latency = metrics.find(families::kServeLatency);
+    if (serve_latency != nullptr && serve_latency->histogram.count > 0) {
+      os << "  latency: mean "
+         << support::format_seconds(serve_latency->histogram.sum /
+                                    static_cast<double>(
+                                        serve_latency->histogram.count))
+         << " over " << serve_latency->histogram.count << " requests\n";
+    }
+    // Per-tenant admission lines, in definition order.
+    for (const MetricValue& v : metrics.series) {
+      if (v.name != families::kServeAdmitted) continue;
+      os << "  tenant " << label_of(v, "tenant") << ": "
+         << static_cast<std::uint64_t>(v.value) << " admitted\n";
+    }
+  }
+
   // --- faults and recovery --------------------------------------------------
   double injected = 0.0;
   for (const MetricValue& v : metrics.series) {

@@ -69,6 +69,20 @@ inline constexpr const char* kPoolBlocks = "sage_buffer_pool_blocks";
 // registered time-based.
 inline constexpr const char* kStageOccupancy = "sage_stage_occupancy_ratio";
 inline constexpr const char* kStreamPeriod = "sage_stream_period_seconds";
+// Multi-tenant service probes (serve::Server; see docs/SERVE.md). All
+// serve accounting runs in virtual time under the server's scheduling
+// model, so every family below is deterministic for a fixed arrival
+// schedule.
+inline constexpr const char* kServeQueueDepth = "sage_serve_queue_depth";
+inline constexpr const char* kServeAdmitted = "sage_serve_admitted_total";
+inline constexpr const char* kServeShed = "sage_serve_shed_total";
+inline constexpr const char* kServeCompleted = "sage_serve_completed_total";
+inline constexpr const char* kServeErrors = "sage_serve_errors_total";
+inline constexpr const char* kServeCoalesced = "sage_serve_coalesced_total";
+inline constexpr const char* kServeSessions = "sage_serve_sessions";
+inline constexpr const char* kServeLatency = "sage_serve_latency_seconds";
+inline constexpr const char* kServeQueueSeconds =
+    "sage_serve_queue_seconds";
 // Program-compilation provenance (Compiler -> Program -> Executor; see
 // docs/RUNTIME.md "Lifecycle"). Both are host-wall-clock / environment
 // facts (compile cost, whether a plan-cache entry existed), so they are

@@ -10,6 +10,8 @@
 //   SAGE_UPDATE_GOLDEN=1 ./build/tests/program_test
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -409,6 +411,88 @@ TEST(PlanCacheTest, FingerprintTracksConfigAndRegistry) {
 
   EXPECT_NE(Compiler::fingerprint(cornerturn, test_registry()),
             Compiler::fingerprint(cornerturn, registry));
+}
+
+TEST(PlanCacheTest, ConcurrentCompileOrLoadStoresExactlyOnce) {
+  // Two threads race compile_or_load on one key. The cache must end up
+  // with exactly one entry (no temp residue -- writer-unique temp names
+  // plus the already-stored pre-check make stores idempotent), and both
+  // threads must hold byte-identical programs.
+  const ScratchDir dir("concurrent");
+  const GlueConfig config = make_cornerturn_config();
+  const FunctionRegistry registry = standard_registry();
+  const std::uint64_t key = Compiler::fingerprint(config, registry);
+
+  std::array<std::shared_ptr<const CompiledProgram>, 2> programs;
+  std::atomic<int> ready{0};
+  std::array<std::thread, 2> racers;
+  for (std::size_t t = 0; t < racers.size(); ++t) {
+    racers[t] = std::thread([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }  // line both threads up on the same race window
+      programs[t] = compile_or_load(config, registry, dir.path());
+    });
+  }
+  for (std::thread& racer : racers) racer.join();
+
+  ASSERT_NE(programs[0], nullptr);
+  ASSERT_NE(programs[1], nullptr);
+  EXPECT_EQ(programs[0]->fingerprint, key);
+  EXPECT_EQ(programs[1]->fingerprint, key);
+  EXPECT_EQ(programs[0]->serialize(), programs[1]->serialize());
+
+  // Exactly one store: the one .plan entry, zero temp files left over.
+  int plans = 0;
+  int residue = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".plan") {
+      ++plans;
+    } else {
+      ++residue;
+    }
+  }
+  EXPECT_EQ(plans, 1);
+  EXPECT_EQ(residue, 0);
+  const auto cached = PlanCache(dir.path()).load(key);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->serialize(), programs[0]->serialize());
+}
+
+TEST(PlanCacheTest, StoreIsFailSoftAroundCorruptTempAndEntries) {
+  const ScratchDir dir("fail_soft");
+  const GlueConfig config = make_cornerturn_config();
+  const FunctionRegistry registry = standard_registry();
+  const auto program = Compiler::compile(config, registry);
+  const std::uint64_t key = program->fingerprint;
+  const PlanCache cache(dir.path());
+
+  // A crashed writer's corrupted temp file (the pre-fix fixed-suffix
+  // name) must not poison a later store: unique temp names never touch
+  // it, and the stored entry round-trips clean.
+  std::filesystem::create_directories(dir.path());
+  std::ofstream(cache.path_of(key) + ".tmp", std::ios::binary)
+      << std::string(512, 'x');
+  ASSERT_TRUE(cache.store(key, *program));
+  const auto loaded = cache.load(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->serialize(), program->serialize());
+
+  // A corrupted *entry* reads as a miss, and the next compile_or_load
+  // repairs it in place (the pre-check skips only *valid* entries).
+  std::ofstream(cache.path_of(key), std::ios::binary | std::ios::trunc)
+      << std::string(4096, 'y');
+  EXPECT_EQ(cache.load(key), nullptr);
+  const auto repaired = compile_or_load(config, registry, dir.path());
+  EXPECT_EQ(repaired->cache_outcome, PlanCacheOutcome::kMiss);
+  const auto healthy = cache.load(key);
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_EQ(healthy->serialize(), repaired->serialize());
+
+  // Storing over a valid entry is an idempotent no-op that reports
+  // success.
+  EXPECT_TRUE(cache.store(key, *program));
+  EXPECT_NE(cache.load(key), nullptr);
 }
 
 TEST(PlanCacheTest, CompileOrLoadStampsProvenance) {

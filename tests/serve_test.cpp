@@ -1,0 +1,539 @@
+// serve::Server tests: the multi-tenant session service and its
+// deterministic load harness. The contracts pinned here:
+//   * results served by a fleet are *bit-identical* to solo
+//     Session::run -- fresh fleets and warm ones, under K caller
+//     threads x M programs;
+//   * admission-control rejects surface as typed verdicts on the
+//     ticket, never as blocked callers or exceptions from submit();
+//   * per-tenant quota accounting is exact under contention: K
+//     concurrent same-arrival submissions admit exactly quota-many
+//     regardless of thread interleaving;
+//   * with a pinned calibration, two servers driven by one seeded
+//     arrival schedule agree bit-for-bit on every verdict and latency
+//     (the replay property the load bench rides);
+//   * the serve metric families land in MetricsRegistry snapshots and
+//     viz::report.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.hpp"
+#include "core/project.hpp"
+#include "runtime/session.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+#include "viz/exporters.hpp"
+
+namespace sage::serve {
+namespace {
+
+std::unique_ptr<model::Workspace> make_workspace(const std::string& app) {
+  if (app == "fft2d") return apps::make_fft2d_workspace(64, 2);
+  return apps::make_cornerturn_workspace(64, 2);
+}
+
+runtime::ExecuteOptions quiet_options() {
+  runtime::ExecuteOptions options;
+  options.iterations = 1;
+  options.collect_trace = false;
+  return options;
+}
+
+/// A project plus the solo-session reference results every serve test
+/// compares against.
+struct AppFixture {
+  explicit AppFixture(const std::string& app)
+      : project(make_workspace(app)) {
+    options = project.resolved_options(quiet_options());
+    program = project.compile_program(options);
+    auto solo = project.open_session(options);
+    reference = solo->run().results;
+  }
+
+  core::Project project;
+  runtime::ExecuteOptions options;
+  std::shared_ptr<const runtime::CompiledProgram> program;
+  std::map<std::string, std::vector<double>> reference;
+};
+
+// --- solo equivalence ------------------------------------------------------
+
+TEST(ServeTest, ServedResultsMatchSoloRunBitExactly) {
+  AppFixture app("fft2d");
+  ServerOptions options;
+  options.execute = app.options;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("fft2d", app.program, app.project.registry());
+  EXPECT_EQ(key, app.program->fingerprint);
+
+  // Fresh fleet, then warm (second request reuses the calibrated
+  // session): both serve the solo checksums bit-identically.
+  const Response fresh = server.run(key);
+  const Response warm = server.run(key);
+  EXPECT_TRUE(fresh.ok()) << fresh.error;
+  EXPECT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(fresh.stats.results, app.reference);
+  EXPECT_EQ(warm.stats.results, app.reference);
+  EXPECT_EQ(fresh.tenant, "default");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.shed_total(), 0u);
+
+  // Re-registering the same fingerprint is idempotent.
+  EXPECT_EQ(server.add_program("fft2d-again", app.program,
+                               app.project.registry()),
+            key);
+  EXPECT_EQ(server.programs().size(), 1u);
+}
+
+TEST(ServeTest, CalibrationExposesTheVirtualTimeModel) {
+  AppFixture app("fft2d");
+  ServerOptions options;
+  options.execute = app.options;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("fft2d", app.program, app.project.registry());
+
+  const ProgramInfo info = server.program_info(key);
+  EXPECT_EQ(info.key, key);
+  EXPECT_EQ(info.name, "fft2d");
+  EXPECT_GT(info.solo_latency_vt, 0.0);
+  EXPECT_GT(info.stream_period_vt, 0.0);
+  // Streaming never models slower than solo; saturation follows.
+  EXPECT_LE(info.stream_period_vt, info.solo_latency_vt);
+  EXPECT_GT(info.saturation_rate(), 0.0);
+  EXPECT_THROW(server.program_info(key + 1), RuntimeError);
+}
+
+// --- concurrency matrix: K caller threads x M programs ---------------------
+
+TEST(ServeTest, ConcurrencyMatrixServesEveryTenantBitExactly) {
+  AppFixture fft("fft2d");
+  AppFixture corner("cornerturn");
+  ServerOptions options;
+  options.execute = fft.options;  // same 4-node platform for both apps
+  options.workers = 3;
+  options.max_sessions_per_program = 2;
+  options.max_queue_depth = 256;
+  Server server(options);
+  const std::uint64_t fft_key =
+      server.add_program("fft2d", fft.program, fft.project.registry());
+  const std::uint64_t corner_key = server.add_program(
+      "cornerturn", corner.program, corner.project.registry());
+  ASSERT_NE(fft_key, corner_key);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    callers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const bool use_fft = (t + i) % 2 == 0;
+        RunRequest request;
+        request.tenant = "tenant-" + std::to_string(t);
+        const Response response =
+            server.run(use_fft ? fft_key : corner_key, request);
+        if (!response.ok()) failures.fetch_add(1);
+        const auto& want = use_fft ? fft.reference : corner.reference;
+        if (response.stats.results != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_EQ(stats.shed_total(), 0u);
+  EXPECT_EQ(stats.tenants.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tenant, per_tenant] : stats.tenants) {
+    EXPECT_EQ(per_tenant.admitted, static_cast<std::uint64_t>(kPerThread))
+        << tenant;
+    EXPECT_EQ(per_tenant.completed, per_tenant.admitted) << tenant;
+    EXPECT_EQ(per_tenant.errors, 0u) << tenant;
+  }
+  EXPECT_EQ(server.in_flight(), 0);
+}
+
+// --- admission control: typed sheds, never blocked callers -----------------
+
+TEST(ServeTest, BoundedQueueShedsWithTypedVerdicts) {
+  AppFixture app("cornerturn");
+  ServerOptions options;
+  options.execute = app.options;
+  options.max_sessions_per_program = 1;
+  options.max_queue_depth = 0;  // nothing may wait: admit-or-shed
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("cornerturn", app.program, app.project.registry());
+
+  // One burst instant: the first request starts immediately on the one
+  // session; every other would have to wait and is shed, typed.
+  RunRequest burst;
+  burst.arrival_vt = 0.0;
+  const ServeTicket first = server.submit(key, burst);
+  EXPECT_TRUE(first.admitted());
+  for (int i = 0; i < 4; ++i) {
+    const ServeTicket shed = server.submit(key, burst);
+    EXPECT_FALSE(shed.admitted());
+    EXPECT_EQ(shed.admission, Admission::kQueueFull);
+    EXPECT_STREQ(to_string(shed.admission), "queue-full");
+    // Shed tickets are not redeemable -- and say so, typed.
+    EXPECT_THROW(server.wait(shed), RuntimeError);
+    EXPECT_THROW(server.poll(shed), RuntimeError);
+  }
+  // An unknown program is its own verdict, not a crash.
+  const ServeTicket unknown = server.submit(key + 1, burst);
+  EXPECT_EQ(unknown.admission, Admission::kUnknownProgram);
+
+  const Response served = server.wait(first);
+  EXPECT_TRUE(served.ok()) << served.error;
+  EXPECT_EQ(served.stats.results, app.reference);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed_queue, 4u);
+  EXPECT_EQ(stats.shed_unknown, 1u);
+  EXPECT_EQ(stats.shed_total(), 5u);
+
+  // After shutdown the verdict is kShutdown -- still typed, still
+  // instant.
+  server.shutdown();
+  const ServeTicket late = server.submit(key, burst);
+  EXPECT_EQ(late.admission, Admission::kShutdown);
+}
+
+TEST(ServeTest, TenantQuotaExactUnderContention) {
+  AppFixture app("cornerturn");
+  ServerOptions options;
+  options.execute = app.options;
+  options.max_sessions_per_program = 2;
+  options.max_queue_depth = 256;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("cornerturn", app.program, app.project.registry());
+  TenantQuota quota;
+  quota.max_in_flight = 2;
+  server.set_quota("metered", quota);
+
+  // K threads race same-instant submissions. Virtual-time quota
+  // accounting makes the outcome independent of interleaving: exactly
+  // max_in_flight admissions, the rest shed kTenantQuota.
+  constexpr int kThreads = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<int> quota_shed{0};
+  std::atomic<int> other{0};
+  std::vector<ServeTicket> tickets(kThreads);
+  std::vector<std::thread> callers;
+  callers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    callers.emplace_back([&, t] {
+      RunRequest request;
+      request.tenant = "metered";
+      request.arrival_vt = 0.0;
+      tickets[static_cast<std::size_t>(t)] = server.submit(key, request);
+      const Admission verdict =
+          tickets[static_cast<std::size_t>(t)].admission;
+      if (verdict == Admission::kAdmitted) {
+        admitted.fetch_add(1);
+      } else if (verdict == Admission::kTenantQuota) {
+        quota_shed.fetch_add(1);
+      } else {
+        other.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+
+  EXPECT_EQ(admitted.load(), quota.max_in_flight);
+  EXPECT_EQ(quota_shed.load(), kThreads - quota.max_in_flight);
+  EXPECT_EQ(other.load(), 0);
+  const ServerStats mid = server.stats();
+  EXPECT_EQ(mid.tenants.at("metered").admitted,
+            static_cast<std::uint64_t>(quota.max_in_flight));
+  EXPECT_EQ(mid.tenants.at("metered").shed,
+            static_cast<std::uint64_t>(kThreads - quota.max_in_flight));
+
+  for (const ServeTicket& ticket : tickets) {
+    if (ticket.admitted()) {
+      EXPECT_EQ(server.wait(ticket).stats.results, app.reference);
+    }
+  }
+
+  // Lifetime cap: at most max_requests ever admitted for the tenant.
+  TenantQuota lifetime;
+  lifetime.max_requests = 3;
+  server.set_quota("capped", lifetime);
+  int capped_admitted = 0;
+  for (int i = 0; i < 5; ++i) {
+    RunRequest request;
+    request.tenant = "capped";
+    const ServeTicket ticket = server.submit(key, request);
+    if (ticket.admitted()) {
+      ++capped_admitted;
+      server.wait(ticket);
+    } else {
+      EXPECT_EQ(ticket.admission, Admission::kTenantQuota);
+    }
+  }
+  EXPECT_EQ(capped_admitted, 3);
+}
+
+// --- coalescing and fleet growth -------------------------------------------
+
+TEST(ServeTest, BurstCoalescesOntoOneStreamingEpoch) {
+  AppFixture app("fft2d");
+  ServerOptions options;
+  options.execute = app.options;
+  options.max_sessions_per_program = 1;
+  options.max_queue_depth = 16;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("fft2d", app.program, app.project.registry());
+  const ProgramInfo info = server.program_info(key);
+
+  constexpr int kBurst = 5;
+  RunRequest burst;
+  burst.arrival_vt = 0.0;
+  std::vector<ServeTicket> tickets;
+  for (int i = 0; i < kBurst; ++i) tickets.push_back(server.submit(key, burst));
+  std::vector<Response> responses;
+  for (const ServeTicket& ticket : tickets) {
+    responses.push_back(server.wait(ticket));
+  }
+
+  // First request opens the pipeline at the solo latency; the rest ride
+  // the shared epoch, spaced by exactly the calibrated period.
+  EXPECT_FALSE(responses.front().coalesced);
+  EXPECT_DOUBLE_EQ(responses.front().finish_vt, info.solo_latency_vt);
+  for (int i = 1; i < kBurst; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_TRUE(responses[idx].coalesced) << i;
+    EXPECT_EQ(responses[idx].session_index, 0) << i;
+    EXPECT_DOUBLE_EQ(
+        responses[idx].finish_vt - responses[idx - 1].finish_vt,
+        info.stream_period_vt)
+        << i;
+    EXPECT_EQ(responses[idx].stats.results, app.reference) << i;
+  }
+  EXPECT_EQ(server.stats().coalesced, static_cast<std::uint64_t>(kBurst - 1));
+}
+
+TEST(ServeTest, FleetGrowsLazilyToTheCap) {
+  AppFixture app("fft2d");
+  ServerOptions options;
+  options.execute = app.options;
+  options.max_sessions_per_program = 2;
+  options.max_queue_depth = 16;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("fft2d", app.program, app.project.registry());
+  EXPECT_EQ(server.program_info(key).sessions, 1);
+
+  // Same-instant pair: the second request finds session 0 busy and
+  // grows the fleet instead of queueing behind it.
+  RunRequest burst;
+  burst.arrival_vt = 0.0;
+  const ServeTicket a = server.submit(key, burst);
+  const ServeTicket b = server.submit(key, burst);
+  const Response ra = server.wait(a);
+  const Response rb = server.wait(b);
+  EXPECT_EQ(ra.session_index, 0);
+  EXPECT_EQ(rb.session_index, 1);
+  EXPECT_FALSE(rb.coalesced);  // its own fresh pipeline, not a queue
+  EXPECT_EQ(server.program_info(key).sessions, 2);
+
+  // At the cap the next same-instant request coalesces onto the
+  // least-loaded session instead of growing further.
+  const ServeTicket c = server.submit(key, burst);
+  const Response rc = server.wait(c);
+  EXPECT_TRUE(rc.coalesced);
+  EXPECT_EQ(server.program_info(key).sessions, 2);
+  EXPECT_EQ(ra.stats.results, app.reference);
+  EXPECT_EQ(rb.stats.results, app.reference);
+  EXPECT_EQ(rc.stats.results, app.reference);
+}
+
+// --- deterministic replay ---------------------------------------------------
+
+/// Two fresh servers with a pinned virtual-time calibration, one seeded
+/// arrival schedule: every admission verdict, latency, and aggregate
+/// must agree bit-for-bit. This is the property that makes the load
+/// bench's reported curve a pure function of (schedule, calibration).
+TEST(ServeTest, PinnedCalibrationReplaysBitForBit) {
+  const std::vector<support::VirtualSeconds> arrivals =
+      poisson_arrivals(48, 6.0, 0x5EED);
+  ASSERT_EQ(arrivals.size(), 48u);
+  // Deterministic generator: same seed, same schedule.
+  EXPECT_EQ(poisson_arrivals(48, 6.0, 0x5EED), arrivals);
+  EXPECT_NE(poisson_arrivals(48, 6.0, 0x5EED + 1), arrivals);
+
+  auto run_once = [&](AppFixture& app) {
+    ServerOptions options;
+    options.execute = app.options;
+    options.workers = 2;
+    options.max_sessions_per_program = 2;
+    options.max_queue_depth = 4;
+    options.calibration_latency = 0.5;
+    options.calibration_period = 0.125;
+    Server server(options);
+    const std::uint64_t key =
+        server.add_program("fft2d", app.program, app.project.registry());
+    const LoadPoint point = drive_load(server, key, arrivals, 6.0);
+    return std::make_pair(point, server.stats());
+  };
+
+  AppFixture app("fft2d");
+  const auto [first, first_stats] = run_once(app);
+  const auto [second, second_stats] = run_once(app);
+
+  EXPECT_EQ(first.admitted, second.admitted);
+  EXPECT_EQ(first.shed, second.shed);
+  EXPECT_EQ(first.errors, 0);
+  EXPECT_EQ(first.coalesced, second.coalesced);
+  EXPECT_EQ(first.p50_latency_vt, second.p50_latency_vt);
+  EXPECT_EQ(first.p99_latency_vt, second.p99_latency_vt);
+  EXPECT_EQ(first.mean_latency_vt, second.mean_latency_vt);
+  EXPECT_EQ(first.span_vt, second.span_vt);
+  EXPECT_EQ(first.throughput, second.throughput);
+  EXPECT_EQ(first_stats.admitted, second_stats.admitted);
+  EXPECT_EQ(first_stats.shed_queue, second_stats.shed_queue);
+  EXPECT_EQ(first_stats.peak_queue_depth, second_stats.peak_queue_depth);
+  EXPECT_EQ(first_stats.tenants.at("default"),
+            second_stats.tenants.at("default"));
+  // The tiny queue at 0.75x the pinned saturation (16/s) sheds some of
+  // the 6/s burst structure's clumps -- the point exercises both paths.
+  EXPECT_GT(first.admitted, 0);
+}
+
+/// The acceptance-criterion shape, in miniature and exactly: at half
+/// the saturation rate, p99 latency stays within 3x the solo latency.
+TEST(ServeTest, HalfSaturationP99WithinThreeSoloLatencies) {
+  AppFixture app("fft2d");
+  ServerOptions options;
+  options.execute = app.options;
+  options.workers = 2;
+  options.max_sessions_per_program = 2;
+  options.max_queue_depth = 64;
+  options.calibration_latency = 1.0;
+  options.calibration_period = 0.25;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("fft2d", app.program, app.project.registry());
+  const ProgramInfo info = server.program_info(key);
+  ASSERT_DOUBLE_EQ(info.saturation_rate(), 8.0);  // 2 sessions / 0.25s
+
+  const double rate = 0.5 * info.saturation_rate();
+  const LoadPoint point =
+      drive_load(server, key, poisson_arrivals(64, rate, 0xCAFE), rate);
+  EXPECT_EQ(point.shed, 0);
+  EXPECT_EQ(point.errors, 0);
+  EXPECT_LE(point.p99_latency_vt, 3.0 * info.solo_latency_vt);
+  EXPECT_GE(point.p50_latency_vt, info.stream_period_vt);
+}
+
+// --- metrics surface --------------------------------------------------------
+
+TEST(ServeTest, MetricFamiliesLandInSnapshotsAndReport) {
+  AppFixture app("cornerturn");
+  ServerOptions options;
+  options.execute = app.options;
+  options.max_sessions_per_program = 1;
+  options.max_queue_depth = 0;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("cornerturn", app.program, app.project.registry());
+
+  RunRequest request;
+  request.tenant = "acme";
+  request.arrival_vt = 0.0;
+  const ServeTicket admitted = server.submit(key, request);
+  const ServeTicket shed = server.submit(key, request);
+  ASSERT_TRUE(admitted.admitted());
+  ASSERT_FALSE(shed.admitted());
+  server.wait(admitted);
+
+  const viz::MetricsSnapshot snapshot = server.metrics();
+  const viz::MetricValue* admitted_series = snapshot.find(
+      viz::families::kServeAdmitted, {{"tenant", "acme"}});
+  ASSERT_NE(admitted_series, nullptr);
+  EXPECT_DOUBLE_EQ(admitted_series->value, 1.0);
+  const viz::MetricValue* shed_series = snapshot.find(
+      viz::families::kServeShed,
+      {{"tenant", "acme"}, {"reason", "queue-full"}});
+  ASSERT_NE(shed_series, nullptr);
+  EXPECT_DOUBLE_EQ(shed_series->value, 1.0);
+  const viz::MetricValue* completed =
+      snapshot.find(viz::families::kServeCompleted);
+  ASSERT_NE(completed, nullptr);
+  EXPECT_DOUBLE_EQ(completed->value, 1.0);
+  const viz::MetricValue* latency =
+      snapshot.find(viz::families::kServeLatency);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->histogram.count, 1u);
+  EXPECT_GT(latency->histogram.sum, 0.0);
+  const viz::MetricValue* sessions =
+      snapshot.find(viz::families::kServeSessions, {});
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_DOUBLE_EQ(sessions->value, 1.0);
+
+  // The human report gains its serve section.
+  const std::string text = viz::report(viz::Trace(), snapshot);
+  EXPECT_NE(text.find("serve: 1 admitted, 1 shed, 1 completed"),
+            std::string::npos);
+  EXPECT_NE(text.find("tenant acme: 1 admitted"), std::string::npos);
+  // And the Prometheus exposition carries the families.
+  const std::string prom = viz::prometheus_text(snapshot);
+  EXPECT_NE(prom.find("sage_serve_admitted_total"), std::string::npos);
+  EXPECT_NE(prom.find("sage_serve_latency_seconds"), std::string::npos);
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+TEST(ServeTest, DrainCollectsEverythingInSubmissionOrder) {
+  AppFixture app("fft2d");
+  ServerOptions options;
+  options.execute = app.options;
+  options.max_queue_depth = 16;
+  Server server(options);
+  const std::uint64_t key =
+      server.add_program("fft2d", app.program, app.project.registry());
+
+  EXPECT_TRUE(server.drain().empty());  // zero in flight: a no-op
+  std::vector<ServeTicket> tickets;
+  for (int i = 0; i < 4; ++i) tickets.push_back(server.submit(key));
+  EXPECT_EQ(server.in_flight(), 4);
+  const std::vector<Response> responses = server.drain();
+  ASSERT_EQ(responses.size(), 4u);
+  for (std::size_t i = 1; i < responses.size(); ++i) {
+    EXPECT_GT(responses[i].id, responses[i - 1].id);
+  }
+  EXPECT_EQ(server.in_flight(), 0);
+  for (const Response& response : responses) {
+    EXPECT_EQ(response.stats.results, app.reference);
+  }
+  // poll flips to done-ness; a collected ticket is gone.
+  EXPECT_THROW(server.poll(tickets.front()), RuntimeError);
+  server.shutdown();
+  server.shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace sage::serve

@@ -13,8 +13,11 @@
 //     the single-data-set latency (period != latency, paper Table 1).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -389,6 +392,128 @@ TEST(StreamingTest, RecoverQuiescesMidStream) {
   }
   EXPECT_EQ(degraded.front().results, healthy.front().results);
 }
+
+// --- deterministic soak: seeded op interleavings ----------------------------
+
+/// Property soak for the ticket API: a seeded stream of
+/// submit/poll/wait/drain/recover operations interleaved across two
+/// sessions sharing one CompiledProgram. Invariants checked throughout:
+///   * no ticket is lost -- every submission is redeemed exactly once
+///     by the end;
+///   * no ticket double-redeems -- a collected id throws on re-wait and
+///     re-poll;
+///   * no reordering within a stream -- collection in submission order
+///     answers strictly increasing ticket ids, and drain() preserves
+///     submission order;
+///   * every collected result stays bit-identical to the solo
+///     reference, before and after a mid-soak recover().
+class StreamingSoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingSoakTest, SeededInterleavingsPreserveTicketContracts) {
+  ExecuteOptions options;
+  options.iterations = 1;
+  options.collect_trace = false;
+  core::Project project(make_pipelined_chain());
+  const std::shared_ptr<const CompiledProgram> program =
+      project.compile_program(options);
+
+  // Two executors, one immutable program.
+  std::array<std::unique_ptr<Session>, 2> sessions = {
+      project.open_session(options), project.open_session(options)};
+  ASSERT_EQ(sessions[0]->program_ptr().get(), sessions[1]->program_ptr().get());
+  ASSERT_EQ(sessions[0]->program_ptr().get(), program.get());
+
+  // Results are mapping-independent checksums, so one solo reference
+  // covers full-strength and post-recover collections alike.
+  const auto reference = sessions[0]->run().results;
+
+  struct PerSession {
+    std::deque<Ticket> outstanding;  // submission order
+    std::uint64_t collected = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t last_collected_id = 0;
+    bool recovered = false;
+  };
+  std::array<PerSession, 2> state;
+
+  std::mt19937 gen(static_cast<std::uint32_t>(GetParam()));
+  auto collect_one = [&](int s, const RunStats& stats, std::uint64_t want_id) {
+    // In-stream order: collecting in submission order must answer
+    // strictly increasing ids, specifically the oldest outstanding.
+    EXPECT_EQ(stats.ticket, want_id);
+    EXPECT_GT(stats.ticket, state[static_cast<std::size_t>(s)]
+                                .last_collected_id);
+    state[static_cast<std::size_t>(s)].last_collected_id = stats.ticket;
+    EXPECT_EQ(stats.results, reference);
+    ++state[static_cast<std::size_t>(s)].collected;
+  };
+
+  constexpr int kOps = 80;
+  for (int op = 0; op < kOps; ++op) {
+    const int s = static_cast<int>(gen() % 2);
+    PerSession& mine = state[static_cast<std::size_t>(s)];
+    Session& session = *sessions[static_cast<std::size_t>(s)];
+    const std::uint32_t dice = gen() % 100;
+    if (op == kOps / 2 && !mine.recovered) {
+      // Mid-soak recovery with work in flight: earlier tickets stay
+      // redeemable, later submissions run degraded, same checksums.
+      const RecoveryReport report = session.recover({3});
+      EXPECT_EQ(report.dead_nodes, std::vector<int>{3});
+      mine.recovered = true;
+      // The recovered session forked a private recompile; its twin
+      // still runs the shared program.
+      EXPECT_NE(session.program_ptr().get(),
+                sessions[static_cast<std::size_t>(1 - s)]->program_ptr().get());
+    } else if (dice < 45 || mine.outstanding.empty()) {
+      RunOverrides request;
+      if (gen() % 4 == 0) request.buffer_depth = 2;  // epoch boundary
+      mine.outstanding.push_back(session.submit(request));
+      ++mine.submitted;
+    } else if (dice < 65) {
+      // poll never collects: in_flight is unchanged whatever it says.
+      const int before = session.in_flight();
+      session.poll(mine.outstanding.front());
+      EXPECT_EQ(session.in_flight(), before);
+    } else if (dice < 85) {
+      const Ticket oldest = mine.outstanding.front();
+      mine.outstanding.pop_front();
+      collect_one(s, session.wait(oldest), oldest.id);
+      // Exactly-once: the collected id is dead for wait and poll.
+      EXPECT_THROW(session.wait(oldest), RuntimeError);
+      EXPECT_THROW(session.poll(oldest), RuntimeError);
+    } else {
+      const std::vector<RunStats> all = session.drain();
+      ASSERT_EQ(all.size(), mine.outstanding.size());
+      for (const RunStats& stats : all) {
+        const Ticket oldest = mine.outstanding.front();
+        mine.outstanding.pop_front();
+        collect_one(s, stats, oldest.id);
+      }
+      EXPECT_EQ(session.in_flight(), 0);
+    }
+  }
+
+  // Final drain: nothing lost, everything redeemed exactly once.
+  for (int s = 0; s < 2; ++s) {
+    PerSession& mine = state[static_cast<std::size_t>(s)];
+    Session& session = *sessions[static_cast<std::size_t>(s)];
+    const std::vector<RunStats> rest = session.drain();
+    ASSERT_EQ(rest.size(), mine.outstanding.size());
+    for (const RunStats& stats : rest) {
+      const Ticket oldest = mine.outstanding.front();
+      mine.outstanding.pop_front();
+      collect_one(s, stats, oldest.id);
+    }
+    EXPECT_TRUE(mine.outstanding.empty());
+    EXPECT_EQ(session.in_flight(), 0);
+    EXPECT_EQ(mine.collected, mine.submitted);
+    EXPECT_GT(mine.submitted, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingSoakTest,
+                         ::testing::Values(0xDEADBEEFull, 0x5EEDull,
+                                           0xA5A5A5A5ull));
 
 }  // namespace
 }  // namespace sage::runtime

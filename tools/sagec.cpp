@@ -41,6 +41,22 @@
 //   sagec alter <script.alt> [-m model-file] [-o dir]
 //       run an Alter program (optionally against a model); print its
 //       (print ...) log and write its emit streams
+//   sagec serve <model-file|fft2d|cornerturn|quickstart|radar>
+//             [--workers N] [--sessions M] [--queue D] [--requests R]
+//             [--rate r | --load f] [--seed S] [--tenants T] [--quota Q]
+//             [-i iterations] [--plan-cache dir] [--format text|prom|csv]
+//             [-o file]
+//       stand up the multi-tenant session service on the design and
+//       drive it with a bounded, seeded open-loop request schedule:
+//       a warm-session fleet per program (lazily grown to --sessions),
+//       admission control at --queue depth, requests spread round-robin
+//       over --tenants tenants (--quota caps each tenant's in-flight
+//       requests). --rate is arrivals/virtual-second; --load expresses
+//       the rate as a fraction of the fleet's calibrated saturation.
+//       Prints the admission/latency summary, then the serve metrics in
+//       the chosen format.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -57,6 +73,8 @@
 #include "model/app.hpp"
 #include "model/hardware.hpp"
 #include "model/serialize.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "support/error.hpp"
 #include "viz/analysis.hpp"
 #include "viz/exporters.hpp"
@@ -84,7 +102,14 @@ using namespace sage;
                " [-o file]\n"
                "        [--fault-plan plan.txt] [--fault-seed N]\n"
                "  alter <script.alt> [-m model-file] [-o dir]\n"
-               "  analyze <trace.csv> [--latency-bound ms]\n");
+               "  analyze <trace.csv> [--latency-bound ms]\n"
+               "  serve <model-file|fft2d|cornerturn|quickstart|radar>"
+               " [--workers N] [--sessions M]\n"
+               "        [--queue D] [--requests R] [--rate r | --load f]"
+               " [--seed S]\n"
+               "        [--tenants T] [--quota Q] [-i iters]"
+               " [--plan-cache dir]\n"
+               "        [--format text|prom|csv] [-o file]\n");
   std::exit(2);
 }
 
@@ -509,6 +534,132 @@ int cmd_alter(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  if (args.positional.empty()) usage();
+  const std::string& target = args.positional[0];
+  std::unique_ptr<model::Workspace> ws =
+      make_demo(target, 256, target == "radar" ? 8 : 4);
+  if (ws == nullptr) ws = model::load_workspace(read_file(target));
+  core::Project project(std::move(ws));
+
+  runtime::ExecuteOptions execute;
+  execute.iterations = std::stoi(args.flag_or("i", "1"));
+  execute.collect_trace = false;
+  execute.plan_cache_dir = args.flag_or("plan-cache", "");
+
+  serve::ServerOptions options;
+  options.workers = std::stoi(args.flag_or("workers", "2"));
+  options.max_sessions_per_program = std::stoi(args.flag_or("sessions", "2"));
+  options.max_queue_depth = std::stoi(args.flag_or("queue", "64"));
+  options.execute = project.resolved_options(execute);
+  serve::Server server(options);
+  const std::uint64_t key = server.add_program(
+      target, project.compile_program(execute), project.registry());
+
+  const serve::ProgramInfo info = server.program_info(key);
+  std::printf("serving %s: fingerprint %016llx, %d worker(s), fleet cap %d,"
+              " queue depth %d\n",
+              target.c_str(), static_cast<unsigned long long>(key),
+              options.workers, options.max_sessions_per_program,
+              options.max_queue_depth);
+  std::printf("calibration:  solo latency %.3f ms, stream period %.3f ms,"
+              " saturation %.1f req/s (virtual)\n",
+              info.solo_latency_vt * 1e3, info.stream_period_vt * 1e3,
+              info.saturation_rate());
+
+  // The offered load: an explicit rate, or a fraction of saturation.
+  const int requests = std::stoi(args.flag_or("requests", "32"));
+  double rate = std::stod(args.flag_or("rate", "0"));
+  if (rate <= 0.0) {
+    rate = std::stod(args.flag_or("load", "0.5")) * info.saturation_rate();
+  }
+  const std::uint64_t seed = std::stoull(args.flag_or("seed", "42"));
+  const int tenants = std::max(1, std::stoi(args.flag_or("tenants", "1")));
+  const int quota = std::stoi(args.flag_or("quota", "0"));
+  if (quota > 0) {
+    serve::TenantQuota tenant_quota;
+    tenant_quota.max_in_flight = quota;
+    for (int t = 0; t < tenants; ++t) {
+      server.set_quota("tenant-" + std::to_string(t), tenant_quota);
+    }
+  }
+
+  // One bounded open-loop schedule, round-robin across tenants.
+  const std::vector<support::VirtualSeconds> arrivals =
+      serve::poisson_arrivals(requests, rate, seed);
+  std::vector<serve::ServeTicket> admitted;
+  admitted.reserve(arrivals.size());
+  int shed = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    serve::RunRequest request;
+    request.tenant = "tenant-" + std::to_string(i % tenants);
+    request.arrival_vt = arrivals[i];
+    const serve::ServeTicket ticket = server.submit(key, request);
+    if (ticket.admitted()) {
+      admitted.push_back(ticket);
+    } else {
+      ++shed;
+    }
+  }
+  std::vector<double> latencies;
+  latencies.reserve(admitted.size());
+  int errors = 0;
+  for (const serve::ServeTicket& ticket : admitted) {
+    const serve::Response response = server.wait(ticket);
+    if (!response.ok()) ++errors;
+    latencies.push_back(response.latency_vt());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(latencies.size())));
+    return latencies[std::min(latencies.size() - 1,
+                              rank == 0 ? 0 : rank - 1)];
+  };
+  const serve::ServerStats stats = server.stats();
+  std::printf("load:         %d requests at %.1f req/s (%.2fx saturation),"
+              " seed %llu, %d tenant(s)\n",
+              requests, rate,
+              info.saturation_rate() > 0 ? rate / info.saturation_rate() : 0.0,
+              static_cast<unsigned long long>(seed), tenants);
+  std::printf("admission:    %llu admitted, %d shed (%llu queue, %llu quota),"
+              " peak queue depth %d\n",
+              static_cast<unsigned long long>(stats.admitted), shed,
+              static_cast<unsigned long long>(stats.shed_queue),
+              static_cast<unsigned long long>(stats.shed_quota),
+              stats.peak_queue_depth);
+  std::printf("fleet:        %d warm session(s), %llu coalesced request(s),"
+              " %d error(s)\n",
+              stats.sessions,
+              static_cast<unsigned long long>(stats.coalesced), errors);
+  std::printf("latency:      p50 %.3f ms, p99 %.3f ms, max %.3f ms"
+              " (virtual)\n",
+              pct(0.50) * 1e3, pct(0.99) * 1e3,
+              (latencies.empty() ? 0.0 : latencies.back()) * 1e3);
+  server.shutdown();
+
+  const std::string format = args.flag_or("format", "text");
+  std::string out;
+  if (format == "prom") {
+    out = viz::prometheus_text(server.metrics());
+  } else if (format == "csv") {
+    out = viz::metrics_csv(server.metrics());
+  } else if (format == "text") {
+    out = viz::report(viz::Trace(), server.metrics());
+  } else {
+    raise<Error>("unknown format '", format, "' (want text, prom, or csv)");
+  }
+  const std::string path = args.flag_or("o", "");
+  if (path.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    write_file(path, out);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), out.size());
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -526,6 +677,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "alter") return cmd_alter(args);
     if (command == "analyze") return cmd_analyze(args);
+    if (command == "serve") return cmd_serve(args);
     usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sagec: %s\n", e.what());
