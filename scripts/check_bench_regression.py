@@ -38,7 +38,8 @@ import sys
 DEFAULT_THRESHOLD = 0.10
 DEFAULT_MIN_SECONDS = 0.001
 GATED_BENCHES = ("table1_fft2d", "table1_cornerturn", "scaling",
-                 "session_create", "pipeline_period", "serve_load")
+                 "session_create", "pipeline_period", "serve_load",
+                 "transport_overhead")
 
 
 def load_report(path):

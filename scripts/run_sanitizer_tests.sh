@@ -14,10 +14,12 @@
 #            engine/session execution paths, the streaming executor --
 #            overlapped tickets on one machine epoch with credit flow
 #            control -- multi-session sharing of one CompiledProgram,
-#            the metrics registry's lock-free per-node shards, and the
+#            the metrics registry's lock-free per-node shards, the
 #            serve::Server fleet: caller threads racing admission and
 #            quota accounting against worker threads realizing
-#            coalesced streaming tickets).
+#            coalesced streaming tickets -- and the transport backends:
+#            shmem sender/drain threads around the forked node
+#            processes' rings, and the TCP per-node reader threads).
 #   ubsan -- UndefinedBehaviorSanitizer: the arithmetic-heavy paths
 #            (compiled transfer programs and their serialized form,
 #            striping/run-intersection math, FFT permutation and twiddle
@@ -36,22 +38,22 @@ case "$flavor" in
     cmake_flag=-DSAGE_ASAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test viz_test metrics_test program_test \
-      random_graph_test serve_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve)'
+      random_graph_test serve_test transport_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem)'
     ;;
   tsan)
     cmake_flag=-DSAGE_TSAN=ON
     targets="net_test mpi_test engine_test session_test streaming_test \
       fault_test viz_test metrics_test program_test random_graph_test \
-      serve_test"
-    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve)'
+      serve_test transport_test"
+    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem)'
     ;;
   ubsan)
     cmake_flag=-DSAGE_UBSAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test isspl_test registry_test metrics_test \
-      program_test random_graph_test serve_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond|Serve)'
+      program_test random_graph_test serve_test transport_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem)'
     ;;
   *)
     echo "usage: $0 <asan|tsan|ubsan> [build-dir]" >&2

@@ -9,7 +9,7 @@
 
 namespace sage::net {
 
-Fabric::Fabric(int node_count, FabricModel model)
+Fabric::Fabric(int node_count, FabricModel model, TransportOptions transport)
     : node_count_(node_count),
       model_(std::move(model)),
       boxes_(node_count),
@@ -17,6 +17,18 @@ Fabric::Fabric(int node_count, FabricModel model)
       link_stats_(static_cast<std::size_t>(node_count) * node_count),
       link_free_(static_cast<std::size_t>(node_count) * node_count, 0.0) {
   SAGE_CHECK_AS(CommError, node_count > 0, "fabric needs at least one node");
+  // The sink every backend converges on: the destination mailbox. The
+  // in-process backend calls it synchronously on the sender's thread
+  // (the historical path, verbatim); shmem/tcp call it from their
+  // receive threads after the bytes crossed the process boundary.
+  transport_ = make_transport(transport, node_count, pool_,
+                              [this](int dst, Parcel&& parcel) {
+                                Mailbox& box =
+                                    boxes_[static_cast<std::size_t>(dst)];
+                                std::lock_guard<std::mutex> lock(box.mu);
+                                box.queue.push_back(std::move(parcel));
+                                box.cv.notify_all();
+                              });
 }
 
 void Fabric::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
@@ -118,12 +130,7 @@ support::VirtualSeconds Fabric::enqueue_(int src, int dst, int tag,
     }
   }
 
-  {
-    Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(std::move(parcel));
-    box.cv.notify_all();
-  }
+  transport_->deliver(dst, std::move(parcel));
   return sender_after;
 }
 
@@ -287,6 +294,11 @@ std::map<std::pair<int, int>, LinkStats> Fabric::link_stats() const {
 }
 
 void Fabric::reset() {
+  // Settle the transport first: with an async backend (shmem rings,
+  // TCP), accepted messages may still be crossing the wire, and a
+  // parcel landing *after* the drain below would leak into the next
+  // run's mailboxes -- breaking warm-run determinism.
+  transport_->flush();
   for (Mailbox& box : boxes_) {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queue.clear();  // releases parcel payloads back to the pool

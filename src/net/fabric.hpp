@@ -33,6 +33,7 @@
 #include "net/buffer_pool.hpp"
 #include "net/fabric_model.hpp"
 #include "net/fault.hpp"
+#include "net/transport.hpp"
 #include "support/clock.hpp"
 
 namespace sage::net {
@@ -103,13 +104,24 @@ struct SendReceipt {
 
 class Fabric {
  public:
-  Fabric(int node_count, FabricModel model);
+  /// `transport` picks the mechanism that moves accepted messages to
+  /// their mailboxes (see net/transport.hpp); the default is the
+  /// historical zero-copy in-process path. The cost model, fault
+  /// injection, and every deterministic counter are transport-blind:
+  /// the fabric resolves them *before* the transport sees the parcel.
+  Fabric(int node_count, FabricModel model, TransportOptions transport = {});
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   int node_count() const { return node_count_; }
   const FabricModel& model() const { return model_; }
+
+  /// The mechanism backend this fabric was built with.
+  TransportKind transport_kind() const { return transport_->kind(); }
+  /// Backend handle (test hooks: node_pid for kill -9 drills).
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
 
   /// Attaches (or clears, with nullptr) the fault plan consulted by
   /// every non-exempt send. Must not race with in-flight traffic --
@@ -188,23 +200,17 @@ class Fabric {
   BufferPool& pool() { return pool_; }
   const BufferPool& pool() const { return pool_; }
 
-  /// Returns the fabric to its just-constructed state: drains every
-  /// mailbox (e.g. unclaimed flow-control credits from a finished run),
-  /// zeroes the message/byte totals, and clears the per-link contention
-  /// history. Must not race with in-flight send/recv -- callers reset
-  /// between runs, while the node threads are parked.
+  /// Returns the fabric to its just-constructed state: flushes the
+  /// transport (an async backend may still hold accepted messages in
+  /// flight -- they must land or be abandoned *now*, not leak into the
+  /// next run), drains every mailbox (e.g. unclaimed flow-control
+  /// credits from a finished run), zeroes the message/byte totals, and
+  /// clears the per-link contention history. Must not race with
+  /// in-flight send/recv -- callers reset between runs, while the node
+  /// threads are parked.
   void reset();
 
  private:
-  struct Parcel {
-    int src;
-    int tag;
-    Payload payload;
-    support::VirtualSeconds arrival_vt;
-    FaultKind fault = FaultKind::kNone;
-    int attempt = 0;
-  };
-
   struct Mailbox {
     mutable std::mutex mu;
     std::condition_variable cv;
@@ -265,6 +271,10 @@ class Fabric {
   // Contention model: per board-pair channel (minmax key), the virtual
   // time at which the link becomes free.
   std::vector<double> link_free_;
+  // Declared last: the transport's receive threads push into boxes_
+  // and allocate from pool_, so it must be destroyed (threads joined,
+  // node processes reaped) before either of them.
+  std::unique_ptr<Transport> transport_;
 };
 
 }  // namespace sage::net

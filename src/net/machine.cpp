@@ -15,18 +15,22 @@ support::VirtualSeconds MachineReport::makespan() const {
   return worst;
 }
 
-Machine::Machine(int node_count, FabricModel fabric_model, double cpu_scale)
+Machine::Machine(int node_count, FabricModel fabric_model, double cpu_scale,
+                 TransportOptions transport)
     : node_count_(node_count),
       scales_(static_cast<std::size_t>(std::max(node_count, 0)), cpu_scale),
-      fabric_(std::make_unique<Fabric>(node_count, std::move(fabric_model))) {
+      fabric_(std::make_unique<Fabric>(node_count, std::move(fabric_model),
+                                       transport)) {
   SAGE_CHECK_AS(CommError, node_count > 0, "machine needs at least one node");
   SAGE_CHECK_AS(CommError, cpu_scale > 0, "cpu_scale must be positive");
 }
 
-Machine::Machine(FabricModel fabric_model, std::vector<double> per_node_scales)
+Machine::Machine(FabricModel fabric_model, std::vector<double> per_node_scales,
+                 TransportOptions transport)
     : node_count_(static_cast<int>(per_node_scales.size())),
       scales_(std::move(per_node_scales)),
-      fabric_(std::make_unique<Fabric>(node_count_, std::move(fabric_model))) {
+      fabric_(std::make_unique<Fabric>(node_count_, std::move(fabric_model),
+                                       transport)) {
   SAGE_CHECK_AS(CommError, node_count_ > 0, "machine needs at least one node");
   for (double s : scales_) {
     SAGE_CHECK_AS(CommError, s > 0, "cpu_scale must be positive");

@@ -76,9 +76,11 @@ struct MachineReport {
 /// The emulated platform: node count + fabric + CPU speed model.
 class Machine {
  public:
-  Machine(int node_count, FabricModel fabric_model, double cpu_scale = 1.0);
+  Machine(int node_count, FabricModel fabric_model, double cpu_scale = 1.0,
+          TransportOptions transport = {});
   /// Heterogeneous machine: one CPU scale per node.
-  Machine(FabricModel fabric_model, std::vector<double> per_node_scales);
+  Machine(FabricModel fabric_model, std::vector<double> per_node_scales,
+          TransportOptions transport = {});
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;

@@ -1,0 +1,38 @@
+// openSAGE -- the shared-memory transport backend.
+//
+// One forked process per emulated node plays the node's *communication
+// processor* (the paper's platforms hung a programmable NIC -- Myrinet
+// LANai, RACEway adapter -- off every compute node; the fork is its
+// emulation-grade equivalent). Every parcel crosses two real process
+// boundaries:
+//
+//   sender thread (parent) --[in-ring src->dst]--> node process dst
+//   node process dst       --[out-ring dst]----->  drain thread (parent)
+//
+// Rings are fixed-size SPSC byte rings in one MAP_SHARED|MAP_ANONYMOUS
+// segment; wakeups are futexes on per-node activity counters. Frames
+// larger than a ring stream through it in chunks, so the ring size
+// bounds memory, not message size. The forked children touch only the
+// shared segment, the futex syscall, and _exit -- no malloc, no stdio,
+// no locks -- so forking from a threaded parent is safe.
+//
+// `kill -9` of a node process is a first-class, testable fault: sends
+// into the dead node raise sage::CommError, its undelivered traffic is
+// abandoned, and the session's recover() machinery takes it from there.
+#pragma once
+
+#include <memory>
+
+#include "net/transport.hpp"
+
+namespace sage::net {
+
+/// Builds the forked-node-process shared-memory backend. Throws
+/// sage::CommError when mmap or fork fails. Only built on Linux (the
+/// futex doorbells); other platforms get a CommError.
+std::unique_ptr<Transport> make_shmem_transport(const TransportOptions& options,
+                                                int node_count,
+                                                BufferPool& pool,
+                                                Transport::DeliverFn deliver);
+
+}  // namespace sage::net

@@ -129,21 +129,15 @@ void copy_bytes(const std::vector<ByteSeg>& segs,
 // credits) travels inside a checksummed frame, so receivers can reject
 // corrupted deliveries without trusting fabric metadata: a corruption
 // whose byte flips happen to cancel leaves the payload intact and is
-// rightly accepted. Header: magic u32 | payload length u32 | FNV-1a u64.
+// rightly accepted. The format (magic u32 | payload length u32 | FNV-1a
+// u64) is the shared wire framing in net/framing.hpp, the same one the
+// shmem/TCP transport backends put on every cross-process parcel.
 
-constexpr std::uint32_t kFrameMagic = 0x46454753u;  // "SGEF"
-constexpr std::size_t kFrameHeaderBytes = 16;
-constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t fnv1a_accum(std::uint64_t h, const std::byte* data,
-                          std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= std::to_integer<std::uint64_t>(data[i]);
-    h *= kFnvPrime;
-  }
-  return h;
-}
+using net::fnv1a_accum;
+using net::frame_valid;
+using net::kFnvOffsetBasis;
+using net::kFrameHeaderBytes;
+using net::write_frame_header;
 
 /// Gathers compiled segments straight into a frame body while folding
 /// the FNV-1a checksum into the copy pass (each segment is hashed while
@@ -157,29 +151,6 @@ std::uint64_t pack_bytes_hashed(const std::vector<ByteSeg>& segs,
     h = fnv1a_accum(h, packed.data() + s.packed_off, s.len);
   }
   return h;
-}
-
-void write_frame_header(std::span<std::byte> frame, std::size_t body_bytes,
-                        std::uint64_t checksum) {
-  const std::uint32_t magic = kFrameMagic;
-  const auto length = static_cast<std::uint32_t>(body_bytes);
-  std::memcpy(frame.data(), &magic, sizeof magic);
-  std::memcpy(frame.data() + 4, &length, sizeof length);
-  std::memcpy(frame.data() + 8, &checksum, sizeof checksum);
-}
-
-bool frame_valid(std::span<const std::byte> frame) {
-  if (frame.size() < kFrameHeaderBytes) return false;
-  std::uint32_t magic = 0;
-  std::uint32_t length = 0;
-  std::uint64_t checksum = 0;
-  std::memcpy(&magic, frame.data(), sizeof magic);
-  std::memcpy(&length, frame.data() + 4, sizeof length);
-  std::memcpy(&checksum, frame.data() + 8, sizeof checksum);
-  if (magic != kFrameMagic) return false;
-  if (length != frame.size() - kFrameHeaderBytes) return false;
-  return fnv1a_accum(kFnvOffsetBasis, frame.data() + kFrameHeaderBytes,
-                     frame.size() - kFrameHeaderBytes) == checksum;
 }
 
 }  // namespace
@@ -213,10 +184,11 @@ Session::Session(std::shared_ptr<const CompiledProgram> program,
   net::FabricModel fabric =
       options_.fabric ? *options_.fabric : net::myrinet_fabric();
   if (options_.cpu_scales.empty()) {
-    machine_ = std::make_unique<net::Machine>(config.nodes, std::move(fabric));
+    machine_ = std::make_unique<net::Machine>(config.nodes, std::move(fabric),
+                                              1.0, options_.transport);
   } else {
-    machine_ = std::make_unique<net::Machine>(std::move(fabric),
-                                              options_.cpu_scales);
+    machine_ = std::make_unique<net::Machine>(
+        std::move(fabric), options_.cpu_scales, options_.transport);
   }
 
   allocate_states_();
@@ -597,6 +569,12 @@ Result<std::unique_ptr<Session>> Session::create(
   }
 }
 
+net::Fabric& Session::fabric() {
+  SAGE_CHECK_AS(RuntimeError, machine_ != nullptr,
+                "Session::fabric() on a closed session");
+  return machine_->fabric();
+}
+
 void Session::close() {
   if (closed()) return;
   // Land any in-flight epoch before parking the machine. Uncollected
@@ -850,15 +828,20 @@ void Session::stream_worker_(net::NodeContext& node) {
   // Marks this node's share of `ticket` finished (stream_mu_ held). The
   // last node to land a ticket computes its completion facts -- tickets
   // complete in submission order, so the previous ticket's complete_vt
-  // is already final -- and wakes the host.
-  const auto land = [&](StreamTicket& ticket, std::exception_ptr error) {
+  // is already final -- and wakes the host. A real error from any rank
+  // always outranks the generic poison placeholder: poison lands with
+  // rank + node_count so the root cause is what wait() rethrows even
+  // when a lower rank swept the ticket before the failing rank landed.
+  const auto land = [&](StreamTicket& ticket, std::exception_ptr error,
+                        bool poison = false) {
     auto& share = ticket.nodes[static_cast<std::size_t>(rank)];
     share.end_vt = node.now();
     if (error) {
       epoch_failed_ = true;
-      if (ticket.error_rank < 0 || rank < ticket.error_rank) {
+      const int error_rank = rank + (poison ? node_count : 0);
+      if (ticket.error_rank < 0 || error_rank < ticket.error_rank) {
         ticket.error = std::move(error);
-        ticket.error_rank = rank;
+        ticket.error_rank = error_rank;
       }
     }
     if (++ticket.nodes_done == node_count) {
@@ -893,7 +876,8 @@ void Session::stream_worker_(net::NodeContext& node) {
         for (; cursor < epoch_tickets_.size(); ++cursor) {
           land(*epoch_tickets_[cursor],
                std::make_exception_ptr(RuntimeError(
-                   "streaming epoch aborted by a node failure")));
+                   "streaming epoch aborted by a node failure")),
+               /*poison=*/true);
         }
         return;
       }
@@ -914,7 +898,8 @@ void Session::stream_worker_(net::NodeContext& node) {
       for (; cursor < epoch_tickets_.size(); ++cursor) {
         land(*epoch_tickets_[cursor],
              std::make_exception_ptr(RuntimeError(
-                 "streaming epoch aborted by a node failure")));
+                 "streaming epoch aborted by a node failure")),
+             /*poison=*/true);
       }
       stream_cv_.notify_all();  // wake peers into their poison sweep
       return;

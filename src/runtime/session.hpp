@@ -102,6 +102,12 @@ struct ExecuteOptions {
   /// Per-node CPU scale (empty: the Project facade derives from the
   /// hardware model; a bare Session/Engine uses 1.0 everywhere).
   std::vector<double> cpu_scales;
+  /// Which mechanism carries fabric messages (see net/transport.hpp):
+  /// the in-process zero-copy path (default), shared-memory rings
+  /// between forked node processes, or TCP loopback sockets. The
+  /// compiled program, flow control, and fault verdicts are
+  /// transport-blind -- results are bit-identical across backends.
+  net::TransportOptions transport;
   /// Host wall-clock budget for each blocking receive; expired waits
   /// throw sage::CommError (schedule bugs surface as failures, not
   /// hangs).
@@ -380,6 +386,11 @@ class Session {
 
   /// Ranks currently excluded by recover() (sorted).
   const std::vector<int>& dead_nodes() const { return dead_nodes_; }
+
+  /// The live fabric under this session (test hook: transport kind and
+  /// node_pid for kill -9 drills). Throws sage::RuntimeError once
+  /// closed.
+  net::Fabric& fabric();
 
   /// Parks down the emulated machine (joins node threads). Further run()
   /// calls throw sage::RuntimeError. Idempotent; the destructor closes

@@ -19,7 +19,7 @@
 //       serialized plan blob
 //   sagec run <model-file> [-i iterations] [-r runs]
 //             [--policy unique|shared] [--depth d] [--trace file.json]
-//             [--plan-cache dir]
+//             [--plan-cache dir] [--transport inproc|shmem|tcp]
 //             [--fault-plan plan.txt] [--fault-seed N]
 //       generate and execute on the emulated platform through a warm
 //       run-time session (-r N streams N-1 further data sets through
@@ -28,7 +28,10 @@
 //       producer's lead over its consumers); print the Visualizer
 //       summary and host cost. --fault-plan attaches a
 //       deterministic fault schedule (see net/fault.hpp for the
-//       format); --fault-seed overrides the plan's seed.
+//       format); --fault-seed overrides the plan's seed. --transport
+//       picks the byte-moving backend (in-process queues, shared-memory
+//       rings between forked node processes, or TCP loopback sockets);
+//       results are bit-identical across all three.
 //   sagec stats <model-file|quickstart|radar|fft2d|cornerturn>
 //             [-i iterations] [--run N] [--threshold seconds]
 //             [--format text|prom|csv|chrome] [-o file]
@@ -56,8 +59,11 @@
 //       Prints the admission/latency summary, then the serve metrics in
 //       the chosen format.
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -73,6 +79,7 @@
 #include "model/app.hpp"
 #include "model/hardware.hpp"
 #include "model/serialize.hpp"
+#include "net/transport.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "support/error.hpp"
@@ -95,12 +102,14 @@ using namespace sage;
                "  compile <model-file> [--plan-cache dir] [-o file.plan]\n"
                "  run <model-file> [-i iters] [-r runs] [--policy unique|shared]"
                " [--depth d] [--trace file.json] [--plan-cache dir]"
+               " [--transport inproc|shmem|tcp]"
                " [--fault-plan plan.txt] [--fault-seed N]\n"
                "  stats <model-file|quickstart|radar|fft2d|cornerturn>"
                " [-i iters] [--run N]\n"
                "        [--threshold seconds] [--format text|prom|csv|chrome]"
                " [-o file]\n"
-               "        [--fault-plan plan.txt] [--fault-seed N]\n"
+               "        [--transport inproc|shmem|tcp]"
+               " [--fault-plan plan.txt] [--fault-seed N]\n"
                "  alter <script.alt> [-m model-file] [-o dir]\n"
                "  analyze <trace.csv> [--latency-bound ms]\n"
                "  serve <model-file|fft2d|cornerturn|quickstart|radar>"
@@ -109,7 +118,8 @@ using namespace sage;
                " [--seed S]\n"
                "        [--tenants T] [--quota Q] [-i iters]"
                " [--plan-cache dir]\n"
-               "        [--format text|prom|csv] [-o file]\n");
+               "        [--transport inproc|shmem|tcp]"
+               " [--format text|prom|csv] [-o file]\n");
   std::exit(2);
 }
 
@@ -157,6 +167,79 @@ Args parse_args(int argc, char** argv, int start) {
   return args;
 }
 
+// --- checked flag parsers ---------------------------------------------------
+// Every numeric flag goes through one of these instead of a raw
+// std::stoi/std::stoull: the whole value must parse (no trailing junk),
+// it must fit the flag's documented range, and the error names the flag
+// -- `sagec run m -i banana` dies with a usable message instead of an
+// uncaught std::invalid_argument.
+
+long long parse_flag_int(const std::string& name, const std::string& value,
+                         long long min, long long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    raise<Error>("flag --", name, ": '", value, "' is not an integer");
+  }
+  if (parsed < min || parsed > max) {
+    raise<Error>("flag --", name, ": ", parsed, " is out of range [", min, ", ",
+                 max, "]");
+  }
+  return parsed;
+}
+
+int flag_int(const Args& args, const std::string& name,
+             const std::string& fallback, long long min, long long max) {
+  return static_cast<int>(
+      parse_flag_int(name, args.flag_or(name, fallback), min, max));
+}
+
+std::uint64_t flag_u64(const Args& args, const std::string& name,
+                       const std::string& fallback) {
+  const std::string value = args.flag_or(name, fallback);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || value[0] == '-' ||
+      end != value.c_str() + value.size() || errno == ERANGE) {
+    raise<Error>("flag --", name, ": '", value,
+                 "' is not an unsigned integer");
+  }
+  return parsed;
+}
+
+double flag_double(const Args& args, const std::string& name,
+                   const std::string& fallback, double min, double max) {
+  const std::string value = args.flag_or(name, fallback);
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() ||
+      errno == ERANGE || !std::isfinite(parsed)) {
+    raise<Error>("flag --", name, ": '", value, "' is not a number");
+  }
+  if (parsed < min || parsed > max) {
+    raise<Error>("flag --", name, ": ", parsed, " is out of range [", min, ", ",
+                 max, "]");
+  }
+  return parsed;
+}
+
+/// `--transport inproc|shmem|tcp`: which mechanism moves the bytes.
+/// The default is the historical in-process fabric.
+net::TransportOptions flag_transport(const Args& args) {
+  const std::string name = args.flag_or("transport", "inproc");
+  const auto kind = net::parse_transport_kind(name);
+  if (!kind.has_value()) {
+    raise<Error>("flag --transport: unknown backend '", name,
+                 "' (want inproc, shmem, or tcp)");
+  }
+  net::TransportOptions transport;
+  transport.kind = *kind;
+  return transport;
+}
+
 /// Builds one of the ready-made designs by name, or returns nullptr.
 std::unique_ptr<model::Workspace> make_demo(const std::string& which,
                                             std::size_t n, int nodes) {
@@ -173,10 +256,10 @@ std::unique_ptr<model::Workspace> make_demo(const std::string& which,
 int cmd_demo(const Args& args) {
   if (args.positional.empty()) usage();
   const std::string& which = args.positional[0];
-  const auto n =
-      static_cast<std::size_t>(std::stoul(args.flag_or("n", "256")));
+  const auto n = static_cast<std::size_t>(
+      parse_flag_int("n", args.flag_or("n", "256"), 1, 1 << 20));
   const int nodes =
-      std::stoi(args.flag_or("p", which == "radar" ? "8" : "4"));
+      flag_int(args, "p", which == "radar" ? "8" : "4", 1, 4096);
 
   std::unique_ptr<model::Workspace> ws = make_demo(which, n, nodes);
   if (ws == nullptr) {
@@ -315,19 +398,21 @@ int cmd_run(const Args& args) {
   core::Project project(std::move(ws));
   runtime::ExecuteOptions options;
   options.plan_cache_dir = args.flag_or("plan-cache", "");
-  options.iterations = std::stoi(args.flag_or("i", "3"));
-  options.buffer_depth = std::stoi(args.flag_or("depth", "0"));
+  options.iterations = flag_int(args, "i", "3", 1, 1000000);
+  options.buffer_depth = flag_int(args, "depth", "0", 0, 1000000);
+  options.transport = flag_transport(args);
   const std::string policy = args.flag_or("policy", "unique");
   options.buffer_policy = (policy == "shared")
                               ? runtime::BufferPolicy::kShared
                               : runtime::BufferPolicy::kUniquePerFunction;
-  const int runs = std::stoi(args.flag_or("r", "1"));
+  const int runs = flag_int(args, "r", "1", 1, 1000000);
 
   const std::string plan_path = args.flag_or("fault-plan", "");
   if (!plan_path.empty()) {
     net::FaultPlan plan = net::FaultPlan::parse(read_file(plan_path));
-    const std::string seed = args.flag_or("fault-seed", "");
-    if (!seed.empty()) plan.seed = std::stoull(seed);
+    if (!args.flag_or("fault-seed", "").empty()) {
+      plan.seed = flag_u64(args, "fault-seed", "");
+    }
     options.fault_plan = std::make_shared<const net::FaultPlan>(std::move(plan));
   }
 
@@ -439,19 +524,22 @@ int cmd_stats(const Args& args) {
 
   core::Project project(std::move(ws));
   runtime::ExecuteOptions options;
-  options.iterations = std::stoi(args.flag_or("i", "3"));
-  options.latency_threshold = std::stod(args.flag_or("threshold", "0"));
+  options.iterations = flag_int(args, "i", "3", 1, 1000000);
+  options.latency_threshold =
+      flag_double(args, "threshold", "0", 0.0, 1e9);
+  options.transport = flag_transport(args);
   const std::string plan_path = args.flag_or("fault-plan", "");
   if (!plan_path.empty()) {
     net::FaultPlan plan = net::FaultPlan::parse(read_file(plan_path));
-    const std::string seed = args.flag_or("fault-seed", "");
-    if (!seed.empty()) plan.seed = std::stoull(seed);
+    if (!args.flag_or("fault-seed", "").empty()) {
+      plan.seed = flag_u64(args, "fault-seed", "");
+    }
     options.fault_plan = std::make_shared<const net::FaultPlan>(std::move(plan));
   }
 
   // --run N exercises the warm path; the exported run is the last one
   // (each run's metrics restart at zero -- the warm-session contract).
-  const int runs = std::stoi(args.flag_or("run", "1"));
+  const int runs = flag_int(args, "run", "1", 1, 1000000);
   auto session = project.open_session(options);
   runtime::RunStats stats = session->run();
   for (int r = 1; r < runs; ++r) stats = session->run();
@@ -488,7 +576,7 @@ int cmd_analyze(const Args& args) {
   const viz::Trace trace = viz::Trace::from_csv(read_file(args.positional[0]));
   std::printf("%s", viz::summary_report(trace).c_str());
   const double threshold =
-      std::stod(args.flag_or("latency-bound", "0")) * 1e-3;  // ms -> s
+      flag_double(args, "latency-bound", "0", 0.0, 1e9) * 1e-3;  // ms -> s
   if (threshold > 0) {
     const auto violations = viz::latency_violations(trace, threshold);
     std::printf("\nlatency violations over %.3f ms: %zu\n", threshold * 1e3,
@@ -543,14 +631,15 @@ int cmd_serve(const Args& args) {
   core::Project project(std::move(ws));
 
   runtime::ExecuteOptions execute;
-  execute.iterations = std::stoi(args.flag_or("i", "1"));
+  execute.iterations = flag_int(args, "i", "1", 1, 1000000);
   execute.collect_trace = false;
   execute.plan_cache_dir = args.flag_or("plan-cache", "");
+  execute.transport = flag_transport(args);
 
   serve::ServerOptions options;
-  options.workers = std::stoi(args.flag_or("workers", "2"));
-  options.max_sessions_per_program = std::stoi(args.flag_or("sessions", "2"));
-  options.max_queue_depth = std::stoi(args.flag_or("queue", "64"));
+  options.workers = flag_int(args, "workers", "2", 1, 1024);
+  options.max_sessions_per_program = flag_int(args, "sessions", "2", 1, 4096);
+  options.max_queue_depth = flag_int(args, "queue", "64", 1, 1 << 20);
   options.execute = project.resolved_options(execute);
   serve::Server server(options);
   const std::uint64_t key = server.add_program(
@@ -568,14 +657,15 @@ int cmd_serve(const Args& args) {
               info.saturation_rate());
 
   // The offered load: an explicit rate, or a fraction of saturation.
-  const int requests = std::stoi(args.flag_or("requests", "32"));
-  double rate = std::stod(args.flag_or("rate", "0"));
+  const int requests = flag_int(args, "requests", "32", 1, 10000000);
+  double rate = flag_double(args, "rate", "0", 0.0, 1e12);
   if (rate <= 0.0) {
-    rate = std::stod(args.flag_or("load", "0.5")) * info.saturation_rate();
+    rate = flag_double(args, "load", "0.5", 0.0, 1e6) *
+           info.saturation_rate();
   }
-  const std::uint64_t seed = std::stoull(args.flag_or("seed", "42"));
-  const int tenants = std::max(1, std::stoi(args.flag_or("tenants", "1")));
-  const int quota = std::stoi(args.flag_or("quota", "0"));
+  const std::uint64_t seed = flag_u64(args, "seed", "42");
+  const int tenants = flag_int(args, "tenants", "1", 1, 1000000);
+  const int quota = flag_int(args, "quota", "0", 0, 1000000);
   if (quota > 0) {
     serve::TenantQuota tenant_quota;
     tenant_quota.max_in_flight = quota;
