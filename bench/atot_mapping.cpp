@@ -7,11 +7,20 @@
 // round-robin, and random baselines on the benchmark designs and on a
 // heterogeneous synthetic design, reporting the cost-model objective and
 // the list-scheduler latency estimate for each.
+//
+// `--json <file>` writes the objectives as gated "host" labels
+// ("atot/<problem>/<mapper>", warm_seconds = cost-model objective,
+// cold_seconds = list-scheduler latency): the mappers are deterministic,
+// so check_bench_regression.py turns the baseline into a mapping-quality
+// gate -- a GA or cost-model change that worsens any objective by more
+// than the threshold fails CI.
 #include <cstdio>
+#include <string>
 
 #include "apps/benchmarks.hpp"
 #include "atot/mapper.hpp"
 #include "atot/scheduler.hpp"
+#include "bench_util.hpp"
 #include "model/app.hpp"
 #include "model/hardware.hpp"
 #include "model/mapping.hpp"
@@ -21,7 +30,8 @@ namespace {
 
 using namespace sage;
 
-void report(const char* label, const atot::MappingProblem& problem) {
+void report(const char* label, const atot::MappingProblem& problem,
+            bench::JsonReport& json) {
   const atot::Assignment random =
       atot::random_mapping(problem, support::Rng::kDefaultSeed);
   const atot::Assignment round_robin = atot::round_robin_mapping(problem);
@@ -38,6 +48,12 @@ void report(const char* label, const atot::MappingProblem& problem) {
     std::printf("csv,atot,%s,%s,%.8f,%.8f,%.8f,%.8f\n", label, name,
                 cost.objective, cost.max_load, cost.total_comm,
                 sched.latency);
+    bench::HostCost quality;
+    quality.label = std::string("atot/") + label + "/" + name;
+    quality.cold_seconds = sched.latency;
+    quality.warm_seconds = cost.objective;
+    quality.warm_runs = 1;
+    json.hosts.push_back(quality);
   };
 
   std::printf("%s (%d tasks on %d processors)\n", label, problem.task_count(),
@@ -88,14 +104,23 @@ atot::MappingProblem synthetic_problem() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("AToT mapping quality: GA vs baselines\n");
   std::printf("(objective = load + comm + 0.5*imbalance, cost-model seconds)\n\n");
 
+  bench::JsonReport json;
+  json.bench = "atot_mapping";
+  json.runs = 1;        // the mappers are deterministic
+  json.iterations = 1;  // objectives, not host timings
+
   report("fft2d-1024-8n",
-         atot::build_problem(*apps::make_fft2d_workspace(1024, 8)));
+         atot::build_problem(*apps::make_fft2d_workspace(1024, 8)), json);
   report("cornerturn-512-4n",
-         atot::build_problem(*apps::make_cornerturn_workspace(512, 4)));
-  report("synthetic-hetero", synthetic_problem());
+         atot::build_problem(*apps::make_cornerturn_workspace(512, 4)), json);
+  report("synthetic-hetero", synthetic_problem(), json);
+
+  if (const char* path = bench::json_path(argc, argv)) {
+    if (!bench::write_json(json, path)) return 2;
+  }
   return 0;
 }

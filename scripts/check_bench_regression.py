@@ -39,7 +39,7 @@ DEFAULT_THRESHOLD = 0.10
 DEFAULT_MIN_SECONDS = 0.001
 GATED_BENCHES = ("table1_fft2d", "table1_cornerturn", "scaling",
                  "session_create", "pipeline_period", "serve_load",
-                 "transport_overhead")
+                 "transport_overhead", "atot_mapping", "tune_convergence")
 
 
 def load_report(path):

@@ -19,7 +19,9 @@
 #            quota accounting against worker threads realizing
 #            coalesced streaming tickets -- and the transport backends:
 #            shmem sender/drain threads around the forked node
-#            processes' rings, and the TCP per-node reader threads).
+#            processes' rings, the TCP per-node reader threads, and the
+#            online tuner hot-swapping programs against a host thread
+#            blocked in wait()).
 #   ubsan -- UndefinedBehaviorSanitizer: the arithmetic-heavy paths
 #            (compiled transfer programs and their serialized form,
 #            striping/run-intersection math, FFT permutation and twiddle
@@ -38,22 +40,22 @@ case "$flavor" in
     cmake_flag=-DSAGE_ASAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test viz_test metrics_test program_test \
-      random_graph_test serve_test transport_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem)'
+      random_graph_test serve_test transport_test tuner_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner)'
     ;;
   tsan)
     cmake_flag=-DSAGE_TSAN=ON
     targets="net_test mpi_test engine_test session_test streaming_test \
       fault_test viz_test metrics_test program_test random_graph_test \
-      serve_test transport_test"
-    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem)'
+      serve_test transport_test tuner_test"
+    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner)'
     ;;
   ubsan)
     cmake_flag=-DSAGE_UBSAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test isspl_test registry_test metrics_test \
-      program_test random_graph_test serve_test transport_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem)'
+      program_test random_graph_test serve_test transport_test tuner_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner)'
     ;;
   *)
     echo "usage: $0 <asan|tsan|ubsan> [build-dir]" >&2

@@ -150,4 +150,76 @@ std::unique_ptr<model::Workspace> make_radar_workspace(std::size_t pulses,
   return ws;
 }
 
+std::unique_ptr<model::Workspace> make_tuning_workspace(std::size_t n,
+                                                        int stages,
+                                                        int fast_procs,
+                                                        int slow_procs) {
+  constexpr int kThreads = 2;  // per function
+  SAGE_CHECK_AS(ModelError, stages >= 1, "tuning pipeline needs >= 1 stage");
+  SAGE_CHECK_AS(ModelError, fast_procs >= 1 && slow_procs >= 1,
+                "tuning platform needs >= 1 fast and >= 1 slow processor");
+  check_pipeline_args(n, kThreads);
+
+  auto ws = std::make_unique<model::Workspace>("tuning");
+  ModelObject& root = ws->root();
+
+  // The skewed machine: the fast board's processors run 16x quicker
+  // than the slow board's (cpu_scale 0.25 vs 4.0). Fast processors take
+  // ranks [0, fast_procs), slow ones the rest.
+  ModelObject& hw = model::add_hardware(root, "hetero");
+  ModelObject& fast_board = model::add_board(hw, "fast_board");
+  for (int p = 0; p < fast_procs; ++p) {
+    model::add_processor(fast_board, "fast" + std::to_string(p), 400.0,
+                         256ull << 20, /*cpu_scale=*/0.25);
+  }
+  ModelObject& slow_board = model::add_board(hw, "slow_board");
+  for (int p = 0; p < slow_procs; ++p) {
+    model::add_processor(slow_board, "slow" + std::to_string(p), 100.0,
+                         256ull << 20, /*cpu_scale=*/4.0);
+  }
+
+  ModelObject& app = model::add_application(root, "tuning_chain");
+  const std::vector<std::size_t> dims{n, n};
+  const double fft_work =
+      static_cast<double>(n) * static_cast<double>(n) * 10.0;
+
+  ModelObject& src = model::add_function(app, "src", "matrix_source",
+                                         kThreads);
+  src.set_property("role", "source");
+  model::add_port(src, "out", PortDirection::kOut, Striping::kStriped,
+                  "cfloat", dims, 0);
+
+  std::vector<std::string> chain{"src"};
+  for (int s = 0; s < stages; ++s) {
+    const std::string name = "stage" + std::to_string(s);
+    add_stage(app, name.c_str(), "isspl.fft_rows", kThreads, "cfloat",
+              "cfloat", dims, dims, 0, 0, fft_work);
+    chain.push_back(name);
+  }
+
+  ModelObject& sink = model::add_function(app, "sink", "matrix_sink",
+                                          kThreads);
+  sink.set_property("role", "sink");
+  model::add_port(sink, "in", PortDirection::kIn, Striping::kStriped,
+                  "cfloat", dims, 0);
+  chain.push_back("sink");
+
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    model::connect(app, chain[i] + ".out", chain[i + 1] + ".in");
+  }
+
+  // The deliberately bad start: every function's threads cycle over the
+  // slow ranks only; the fast processors sit idle until a tuner moves
+  // work onto them.
+  std::vector<int> slow_ranks(static_cast<std::size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    slow_ranks[static_cast<std::size_t>(t)] = fast_procs + (t % slow_procs);
+  }
+  ModelObject& mapping = model::add_mapping(root, "mapping", "hetero");
+  for (const std::string& fn : chain) {
+    model::assign_ranks(root, mapping, fn, slow_ranks);
+  }
+  return ws;
+}
+
 }  // namespace sage::apps

@@ -26,4 +26,17 @@ std::unique_ptr<model::Workspace> make_quickstart_workspace(
 std::unique_ptr<model::Workspace> make_radar_workspace(
     std::size_t pulses = 256, std::size_t range = 512, int nodes = 8);
 
+/// Online-tuning demo: a deliberately skewed heterogeneous platform --
+/// `fast_procs` quick processors (400 MHz, cpu_scale 0.25) next to
+/// `slow_procs` processors 16x slower (100 MHz, cpu_scale 4.0) --
+/// running a source -> `stages` row-FFT stages -> sink chain of
+/// two-threaded functions over an n x n complex matrix. The baked-in
+/// mapping is deliberately bad: every function sits on the slow
+/// processors, the fast ones idle. `sagec tune` and
+/// bench/tune_convergence start here and let the online AToT loop dig
+/// the placement out (ROADMAP: "metrics-driven re-mapping").
+std::unique_ptr<model::Workspace> make_tuning_workspace(
+    std::size_t n = 128, int stages = 4, int fast_procs = 2,
+    int slow_procs = 2);
+
 }  // namespace sage::apps

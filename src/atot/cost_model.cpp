@@ -189,6 +189,85 @@ CostBreakdown evaluate(const MappingProblem& problem,
   return cost;
 }
 
+CostModel::CostModel(MappingProblem problem, std::vector<double> cpu_scales)
+    : problem_(std::move(problem)), cpu_scales_(std::move(cpu_scales)) {
+  SAGE_CHECK(cpu_scales_.empty() ||
+                 static_cast<int>(cpu_scales_.size()) == problem_.proc_count(),
+             "cpu_scales size ", cpu_scales_.size(), " != processor count ",
+             problem_.proc_count());
+  for (int p = 0; p < problem_.proc_count(); ++p) {
+    problem_.proc_flops[static_cast<std::size_t>(p)] =
+        kCalibratedUnitFlops / cpu_scale(p);
+  }
+}
+
+double CostModel::cpu_scale(int p) const {
+  if (cpu_scales_.empty()) return 1.0;
+  SAGE_CHECK(p >= 0 && p < static_cast<int>(cpu_scales_.size()),
+             "cpu_scale of bad processor ", p);
+  const double scale = cpu_scales_[static_cast<std::size_t>(p)];
+  return scale > 0 ? scale : 1.0;
+}
+
+void CostModel::calibrate(const CalibrationProfile& profile) {
+  if (profile.empty()) return;
+  const Assignment& measured = profile.measured_assignment;
+  SAGE_CHECK(static_cast<int>(measured.size()) == problem_.task_count(),
+             "calibration profile's measured_assignment has ",
+             measured.size(), " entries for ", problem_.task_count(),
+             " tasks");
+  const double iterations = std::max(1, profile.iterations);
+
+  // Compute: invert the emulator's charging rule (see header) to get the
+  // per-thread per-iteration host cost of each measured function, then
+  // express it as work_flops against the scale-aware proc_flops.
+  for (const CalibrationProfile::FunctionSample& sample : profile.functions) {
+    if (!(sample.busy_seconds > 0.0)) continue;
+    double scale_sum = 0.0;
+    for (const Task& task : problem_.tasks) {
+      if (task.function != sample.function) continue;
+      scale_sum += cpu_scale(measured[static_cast<std::size_t>(task.id)]);
+    }
+    if (!(scale_sum > 0.0)) continue;  // unknown function: keep estimate
+    const double host_seconds_per_thread =
+        sample.busy_seconds / (iterations * scale_sum);
+    for (Task& task : problem_.tasks) {
+      if (task.function != sample.function) continue;
+      task.work_flops = host_seconds_per_thread * kCalibratedUnitFlops;
+    }
+  }
+
+  // Communication: compare observed per-(src, dst)-node bytes against
+  // what the traffic table predicts under the measured placement, and
+  // rescale the crossing edges by the ratio (framing, retries, and
+  // credit messages all land in the measurement; the model absorbs them
+  // proportionally). Co-located edges keep their static volumes.
+  std::map<std::pair<int, int>, double> predicted;
+  for (const Traffic& edge : problem_.traffic) {
+    const int ps = measured[static_cast<std::size_t>(edge.src_task)];
+    const int pd = measured[static_cast<std::size_t>(edge.dst_task)];
+    if (ps == pd) continue;
+    predicted[{ps, pd}] += static_cast<double>(edge.bytes) * iterations;
+  }
+  std::map<std::pair<int, int>, double> factor;
+  for (const CalibrationProfile::LinkSample& sample : profile.links) {
+    const auto it = predicted.find({sample.src_node, sample.dst_node});
+    if (it == predicted.end() || !(it->second > 0.0)) continue;
+    if (!(sample.bytes > 0.0)) continue;
+    factor[{sample.src_node, sample.dst_node}] = sample.bytes / it->second;
+  }
+  if (!factor.empty()) {
+    for (Traffic& edge : problem_.traffic) {
+      const int ps = measured[static_cast<std::size_t>(edge.src_task)];
+      const int pd = measured[static_cast<std::size_t>(edge.dst_task)];
+      const auto it = factor.find({ps, pd});
+      if (it == factor.end()) continue;
+      edge.bytes = static_cast<std::size_t>(
+          static_cast<double>(edge.bytes) * it->second + 0.5);
+    }
+  }
+}
+
 void apply_assignment(model::Workspace& workspace,
                       const MappingProblem& problem,
                       const Assignment& assignment) {

@@ -99,6 +99,82 @@ CostBreakdown evaluate(const MappingProblem& problem,
                        const Assignment& assignment,
                        const ObjectiveWeights& weights = {});
 
+/// A measured execution profile: what the runtime actually observed over
+/// one tuning window, in the shape calibration needs. Built from
+/// `MetricsSnapshot` series by `runtime::Tuner` (or by hand in tests).
+struct CalibrationProfile {
+  struct FunctionSample {
+    std::string function;
+    /// Virtual busy seconds summed over all of the function's threads
+    /// for the whole window.
+    double busy_seconds = 0.0;
+    double invocations = 0.0;
+  };
+  struct LinkSample {
+    int src_node = -1;
+    int dst_node = -1;
+    /// Payload bytes observed on the (src, dst) link over the window.
+    double bytes = 0.0;
+  };
+  std::vector<FunctionSample> functions;
+  std::vector<LinkSample> links;
+  /// Data sets processed during the window (normalizes busy/bytes to
+  /// per-iteration costs).
+  int iterations = 1;
+  /// The placement the profile was measured under (task -> processor).
+  /// Required whenever `functions` or `links` is non-empty: observed
+  /// costs only make sense relative to where the work ran.
+  Assignment measured_assignment;
+
+  bool empty() const { return functions.empty() && links.empty(); }
+};
+
+/// Flop rate calibrate() assigns to a unit-cpu_scale processor. The
+/// absolute value cancels out of every compute_seconds() ratio; it only
+/// anchors work_flops to "host seconds on a unit-scale processor".
+inline constexpr double kCalibratedUnitFlops = 1e6;
+
+/// Wraps a MappingProblem with the per-processor cpu_scale vector the
+/// emulated machine charges compute with, and replaces the static cost
+/// estimates with observed ones.
+///
+/// Calibration identity: the emulator charges a kernel's host CPU time
+/// multiplied by the processor's cpu_scale, and work splits evenly over
+/// a function's threads. So from a window measured under assignment A,
+/// the per-thread per-iteration host cost of function f is
+///   h_f = busy_f / (iterations * sum over threads u of scale(A[u]))
+/// and setting work_flops = h_f * kCalibratedUnitFlops together with
+/// proc_flops[p] = kCalibratedUnitFlops / scale(p) makes the model's
+/// compute_seconds(t, p) = h_f * scale(p) -- exactly what the machine
+/// will charge. The calibrated problem reproduces A's measured per-
+/// processor loads and extrapolates any other placement.
+class CostModel {
+ public:
+  /// `cpu_scales` is rank-ordered; empty means 1.0 everywhere. The
+  /// wrapped problem's proc_flops is immediately rewritten scale-aware
+  /// (kCalibratedUnitFlops / scale) so un-calibrated and calibrated
+  /// objectives live on the same scale.
+  explicit CostModel(MappingProblem problem,
+                     std::vector<double> cpu_scales = {});
+
+  const MappingProblem& problem() const { return problem_; }
+  MappingProblem& problem() { return problem_; }
+
+  /// cpu_scale of processor `p` (1.0 when unspecified).
+  double cpu_scale(int p) const;
+
+  /// Folds one measured window into the problem: per-task work_flops
+  /// from observed busy seconds, per-edge bytes rescaled by observed
+  /// link traffic. Pure in (problem, profile): repeated calls with the
+  /// same profile are bit-identical. Throws sage::Error when the
+  /// profile's measured_assignment is missing or mis-sized.
+  void calibrate(const CalibrationProfile& profile);
+
+ private:
+  MappingProblem problem_;
+  std::vector<double> cpu_scales_;
+};
+
 /// Writes an assignment back into the workspace's mapping model
 /// (replacing existing assignments).
 void apply_assignment(model::Workspace& workspace,

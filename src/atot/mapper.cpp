@@ -112,6 +112,14 @@ GeneticResult genetic_mapping(const MappingProblem& problem,
   population.reserve(static_cast<std::size_t>(options.population));
   population.push_back({greedy_mapping(problem), 0.0});
   population.push_back({round_robin_mapping(problem), 0.0});
+  for (const Assignment& seed : options.seeds) {
+    SAGE_CHECK(static_cast<int>(seed.size()) == problem.task_count(),
+               "GA seed has ", seed.size(), " genes for ",
+               problem.task_count(), " tasks");
+    if (static_cast<int>(population.size()) < options.population) {
+      population.push_back({seed, 0.0});
+    }
+  }
   while (static_cast<int>(population.size()) < options.population) {
     population.push_back({random_assignment(problem, alive, rng), 0.0});
   }

@@ -32,6 +32,13 @@ struct GeneticOptions {
   /// GA toward designs that meet the requirement.
   double latency_bound = 0.0;
   double latency_penalty_weight = 10.0;
+  /// Assignments injected into the initial population ahead of the
+  /// random fill -- e.g. the incumbent placement when re-mapping online,
+  /// or the survivor-repaired mapping after a node death. With elites
+  /// > 0 the result is never worse than the best seed. Seeds must have
+  /// task_count() genes; dead-processor genes are legal (the objective
+  /// penalizes them away).
+  std::vector<Assignment> seeds;
 };
 
 struct GeneticResult {

@@ -2,6 +2,7 @@
 
 #include "atot/mapper.hpp"
 #include "model/hardware.hpp"
+#include "model/mapping.hpp"
 #include "runtime/compiler.hpp"
 #include "support/error.hpp"
 
@@ -86,10 +87,52 @@ atot::CostBreakdown Project::remap_on_survivors(
     const std::vector<int>& dead_ranks) {
   atot::MappingProblem problem = atot::build_problem(*workspace_);
   problem.proc_dead = dead_ranks;
-  const atot::Assignment assignment = atot::greedy_mapping(problem);
-  atot::apply_assignment(*workspace_, problem, assignment);
+
+  // Re-map with the GA seeded from the incumbent assignment (stranded
+  // threads repaired onto the least-loaded survivor first, the same
+  // tie-to-lowest-rank rule Session::recover() applies), instead of
+  // restarting from scratch: elitism makes the result strictly no worse
+  // than the repaired incumbent, and the search starts next to a
+  // placement that was already good for the surviving topology.
+  atot::GeneticOptions ga;
+  const model::MappingView view(workspace_->root(), workspace_->mapping());
+  bool have_incumbent = true;
+  atot::Assignment incumbent(static_cast<std::size_t>(problem.task_count()),
+                             0);
+  for (const atot::Task& task : problem.tasks) {
+    if (!view.is_mapped(task.function)) {
+      have_incumbent = false;
+      break;
+    }
+    const std::vector<int> ranks = view.ranks_of(task.function);
+    incumbent[static_cast<std::size_t>(task.id)] =
+        ranks[static_cast<std::size_t>(task.thread) % ranks.size()];
+  }
+  if (have_incumbent) {
+    std::vector<int> load(static_cast<std::size_t>(problem.proc_count()), 0);
+    for (const int p : incumbent) {
+      if (problem.proc_alive(p)) ++load[static_cast<std::size_t>(p)];
+    }
+    for (int& p : incumbent) {
+      if (problem.proc_alive(p)) continue;
+      int best = -1;
+      for (int r = 0; r < problem.proc_count(); ++r) {
+        if (!problem.proc_alive(r)) continue;
+        if (best == -1 || load[static_cast<std::size_t>(r)] <
+                              load[static_cast<std::size_t>(best)]) {
+          best = r;
+        }
+      }
+      p = best;
+      ++load[static_cast<std::size_t>(best)];
+    }
+    ga.seeds.push_back(std::move(incumbent));
+  }
+
+  const atot::GeneticResult result = atot::genetic_mapping(problem, ga);
+  atot::apply_assignment(*workspace_, problem, result.best);
   invalidate();
-  return atot::evaluate(problem, assignment);
+  return result.cost;
 }
 
 }  // namespace sage::core

@@ -126,12 +126,15 @@ class Project {
   /// One-shot convenience: open_session(options) and run once.
   runtime::RunStats execute(const runtime::ExecuteOptions& options = {});
 
-  /// Degraded-mode remap at the model level: re-runs the AToT greedy
-  /// mapper with `dead_ranks` excluded, writes the survivor-only
-  /// assignment back into the mapping model, and invalidates cached
-  /// glue so the next generate()/open_session() reflects the new
-  /// placement. Complements runtime::Session::recover(), which patches
-  /// a live session in place; this path regenerates from the model.
+  /// Degraded-mode remap at the model level: re-runs the AToT genetic
+  /// mapper with `dead_ranks` excluded, seeded from the incumbent
+  /// assignment (stranded threads repaired onto the least-loaded
+  /// survivor first), writes the survivor-only assignment back into the
+  /// mapping model, and invalidates cached glue so the next
+  /// generate()/open_session() reflects the new placement. Elitism
+  /// makes the result strictly no worse than the repaired incumbent.
+  /// Complements runtime::Session::recover(), which patches a live
+  /// session in place; this path regenerates from the model.
   /// Returns the cost breakdown of the survivor-only assignment.
   atot::CostBreakdown remap_on_survivors(const std::vector<int>& dead_ranks);
 

@@ -354,7 +354,8 @@ const std::array<int, 4>& Session::link_metric_ids_(int src, int dst) {
   return link_ids_.emplace(key, ids).first->second;
 }
 
-void Session::export_metrics_(RunStats& stats, const StreamTicket& ticket) {
+void Session::export_metrics_(RunStats& stats, const StreamTicket& ticket,
+                              const CompiledProgram& program) {
   const support::VirtualSeconds threshold = ticket.params.threshold;
   metrics_.add(0, iterations_id_, static_cast<double>(stats.iterations));
   for (const auto lat : stats.latencies) {
@@ -367,7 +368,7 @@ void Session::export_metrics_(RunStats& stats, const StreamTicket& ticket) {
   metrics_.set(0, makespan_id_, stats.makespan);
   metrics_.set(0, stream_period_id_, stats.stream_period);
   for (std::size_t fn = 0; fn < fn_occupancy_ids_.size(); ++fn) {
-    const std::string& name = program_->config.functions[fn].name;
+    const std::string& name = program.config.functions[fn].name;
     const auto it = stats.occupancy.find(name);
     metrics_.set(0, fn_occupancy_ids_[fn],
                  it != stats.occupancy.end() ? it->second : 0.0);
@@ -400,7 +401,7 @@ void Session::export_metrics_(RunStats& stats, const StreamTicket& ticket) {
   metrics_.set(0, pool_blocks_id_,
                static_cast<double>(stats.data_plane.pool_blocks));
 
-  metrics_.set(0, compile_seconds_id_, program_->compile_seconds);
+  metrics_.set(0, compile_seconds_id_, program.compile_seconds);
   if (cache_lookup_id_ >= 0) metrics_.add(0, cache_lookup_id_, 1.0);
 
   // std::map iteration -> (src, dst) order, so first-sight definition
@@ -538,11 +539,63 @@ RecoveryReport Session::recover(const std::vector<int>& dead_ranks) {
   // slot residency all shift, so compile a fresh (session-private,
   // uncached) program for the degraded placement. Other sessions
   // sharing the old program keep executing it untouched.
-  program_ = Compiler::lower(std::move(config));
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    program_ = Compiler::lower(std::move(config));
+  }
   allocate_states_();
   prewarm_pool_();
   pending_recoveries_.push_back(report);
   return report;
+}
+
+void Session::swap_program(std::shared_ptr<const CompiledProgram> next) {
+  SAGE_CHECK_AS(RuntimeError, !closed(),
+                "Session::swap_program on a closed session");
+  SAGE_CHECK_AS(RuntimeError, next != nullptr,
+                "Session::swap_program needs a program");
+  const GlueConfig& incoming = next->config;
+  {
+    const GlueConfig& current = program_->config;
+    SAGE_CHECK_AS(RuntimeError, incoming.nodes == current.nodes,
+                  "swap_program: node count changed (", current.nodes, " -> ",
+                  incoming.nodes, ")");
+    SAGE_CHECK_AS(RuntimeError,
+                  incoming.functions.size() == current.functions.size(),
+                  "swap_program: function table changed size");
+    for (std::size_t i = 0; i < incoming.functions.size(); ++i) {
+      const FunctionConfig& a = current.functions[i];
+      const FunctionConfig& b = incoming.functions[i];
+      SAGE_CHECK_AS(RuntimeError,
+                    a.id == b.id && a.name == b.name && a.kernel == b.kernel &&
+                        a.threads == b.threads,
+                    "swap_program: function ", a.name,
+                    " changed identity; only placements may differ");
+    }
+  }
+  for (const FunctionConfig& fn : incoming.functions) {
+    for (const int node : fn.thread_nodes) {
+      SAGE_CHECK_AS(
+          RuntimeError,
+          !std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), node),
+          "swap_program: function ", fn.name, " placed on dead node ", node);
+    }
+  }
+  // Quiesce-and-swap, exactly the recover() machinery: every queued
+  // ticket lands first (collected or not -- uncollected tickets stay
+  // redeemable), then the program pointer flips under stream_mu_ (the
+  // owning host thread may be collecting a pre-swap ticket concurrently,
+  // see wait()) and node-local staging plus the warm buffer pool are
+  // rebuilt for the new placement. Kernel bindings and metric series
+  // are keyed by function id against an unchanged table, so both carry
+  // over untouched.
+  end_epoch_();
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    program_ = std::move(next);
+  }
+  allocate_states_();
+  prewarm_pool_();
 }
 
 Session::~Session() { close(); }
@@ -784,6 +837,7 @@ bool Session::poll(Ticket ticket) const {
 RunStats Session::wait(Ticket ticket) {
   SAGE_CHECK_AS(RuntimeError, !closed(), "Session::wait on a closed session");
   std::shared_ptr<StreamTicket> t;
+  std::shared_ptr<const CompiledProgram> program;
   {
     std::unique_lock<std::mutex> lock(stream_mu_);
     const auto it = tickets_.find(ticket.id);
@@ -793,11 +847,17 @@ RunStats Session::wait(Ticket ticket) {
     t = it->second;
     stream_done_cv_.wait(lock, [&] { return t->done; });
     tickets_.erase(t->id);
+    // Capture the program while stream_mu_ is held: a tuner-thread
+    // swap_program() may retarget program_ between this ticket landing
+    // and its collection. The function table is identical across swaps,
+    // so collecting a pre-swap ticket against the successor program
+    // yields the same stats.
+    program = program_;
   }
   // `done` was set under stream_mu_ after the last node landed its
   // share, so the shares are quiescent and safely readable here.
   if (t->error) std::rethrow_exception(t->error);
-  RunStats stats = collect_(*t);
+  RunStats stats = collect_(*t, *program);
   stats.host_seconds = support::wall_seconds() - t->submit_wall;
   ++runs_completed_;
   return stats;
@@ -907,7 +967,8 @@ void Session::stream_worker_(net::NodeContext& node) {
   }
 }
 
-RunStats Session::collect_(StreamTicket& ticket) {
+RunStats Session::collect_(StreamTicket& ticket,
+                           const CompiledProgram& program) {
   const TicketParams& params = ticket.params;
   const int iterations = params.iterations;
 
@@ -1003,7 +1064,7 @@ RunStats Session::collect_(StreamTicket& ticket) {
   // Results: sum kernel-reported values per function per iteration.
   for (const auto& share : ticket.nodes) {
     for (const auto& [fn_id, iter, value] : share.results) {
-      const std::string& name = program_->config.function(fn_id).name;
+      const std::string& name = program.config.function(fn_id).name;
       auto& series = stats.results[name];
       if (series.size() < static_cast<std::size_t>(iterations)) {
         series.resize(static_cast<std::size_t>(iterations), 0.0);
@@ -1023,7 +1084,7 @@ RunStats Session::collect_(StreamTicket& ticket) {
       span_start = std::min(span_start, share.start_vt);
     }
     const support::VirtualSeconds span = ticket.complete_vt - span_start;
-    const GlueConfig& config = program_->config;
+    const GlueConfig& config = program.config;
     for (const FunctionConfig& fn : config.functions) {
       double busy = 0.0;
       for (const auto& share : ticket.nodes) {
@@ -1057,7 +1118,7 @@ RunStats Session::collect_(StreamTicket& ticket) {
                      share.fn_calls[fn]);
       }
     }
-    export_metrics_(stats, ticket);
+    export_metrics_(stats, ticket, program);
   }
 
   return stats;

@@ -74,6 +74,26 @@ enum class BufferPolicy { kUniquePerFunction, kShared };
 
 std::string to_string(BufferPolicy policy);
 
+/// Online-tuning knobs, consumed by runtime::Tuner (tuner.hpp), which
+/// closes the measure -> re-map -> hot-swap loop over a live Session.
+/// Plain values only: the executor layer stays independent of the atot
+/// mapper that interprets them.
+struct TunerOptions {
+  /// Master switch for CLI/bench drivers (the Tuner class itself works
+  /// regardless of this flag).
+  bool enabled = false;
+  /// Seed for the per-step re-mapping GA. Together with the observed
+  /// calibration profile it fully determines every tuning decision.
+  std::uint64_t seed = 0x5A6E2000u;
+  /// Minimum predicted objective gain ratio,
+  /// (incumbent - candidate) / incumbent, before a hot-swap is worth
+  /// its cost; smaller predicted wins hold the incumbent.
+  double hysteresis = 0.05;
+  /// GA size overrides for the per-step re-map (0: mapper defaults).
+  int population = 0;
+  int generations = 0;
+};
+
 /// The unified execution option set, shared by runtime::Session,
 /// runtime::Engine, and the core::Project facade (which derives the
 /// fabric model and CPU scales from the hardware model for any field
@@ -135,6 +155,10 @@ struct ExecuteOptions {
   /// dead nodes trigger a degraded-mode remap before the run (see
   /// Session::recover()).
   std::shared_ptr<const net::FaultPlan> fault_plan;
+  /// Online-tuning knobs (see TunerOptions). The session itself only
+  /// carries them; runtime::Tuner and the sagec/bench drivers act on
+  /// them.
+  TunerOptions tune;
 };
 
 /// Fault-injection and recovery counters for one run. All counters are
@@ -387,6 +411,24 @@ class Session {
   /// Ranks currently excluded by recover() (sorted).
   const std::vector<int>& dead_nodes() const { return dead_nodes_; }
 
+  /// Online-tuning hot-swap: replaces the executing program with `next`,
+  /// which must describe the same application on the same machine --
+  /// identical node count and an identical function table (names,
+  /// kernels, thread counts, ids) -- differing only in placement
+  /// (thread_nodes / schedules / transfer program). Placements naming
+  /// ranks recover() has marked dead are rejected. Uses the same
+  /// quiesce-and-swap machinery as recover(): the active epoch drains
+  /// (every queued ticket lands; uncollected tickets stay redeemable
+  /// across the swap), node-local staging is reallocated, and the
+  /// buffer pool is re-prewarmed for the new placement. Kernel bindings
+  /// and metric series carry over (both are keyed by function id).
+  ///
+  /// Unlike the rest of the Session surface this call MAY come from a
+  /// second thread (the tuner thread): while a swap is in flight the
+  /// owning host thread must limit itself to poll()/wait()/drain() --
+  /// submit()/run()/recover() may only resume after the swap returns.
+  void swap_program(std::shared_ptr<const CompiledProgram> next);
+
   /// The live fabric under this session (test hook: transport kind and
   /// node_pid for kill -9 drills). Throws sage::RuntimeError once
   /// closed.
@@ -424,8 +466,11 @@ class Session {
   void stream_worker_(net::NodeContext& node);
   void run_node_ticket_(net::NodeContext& node, StreamTicket& ticket);
   /// Host-side collection: aggregates a completed ticket into RunStats
-  /// (latencies, results, trace merge, metrics fold + snapshot).
-  RunStats collect_(StreamTicket& ticket);
+  /// (latencies, results, trace merge, metrics fold + snapshot). Reads
+  /// the program through the caller-captured pointer, never program_
+  /// directly: a tuner-thread swap_program() may retarget program_
+  /// while the host thread is still collecting a pre-swap ticket.
+  RunStats collect_(StreamTicket& ticket, const CompiledProgram& program);
   void reset_between_runs_();
   void allocate_states_();
   /// Tops the fabric's buffer pool up to the steady-state working set of
@@ -435,13 +480,17 @@ class Session {
   void define_metrics_();
   /// Folds iteration latencies, fault counters, and the fabric's
   /// per-link totals into the registry and snapshots it into `stats`.
-  void export_metrics_(RunStats& stats, const StreamTicket& ticket);
+  void export_metrics_(RunStats& stats, const StreamTicket& ticket,
+                       const CompiledProgram& program);
   /// Ids of the four per-link series for (src, dst), defining them on
   /// first sight (ids persist across warm runs; values reset).
   const std::array<int, 4>& link_metric_ids_(int src, int dst);
 
-  /// The immutable plan this executor drives. Replaced (with a private
-  /// recompile) only by recover(); everything else reads through it.
+  /// The immutable plan this executor drives. Replaced only by
+  /// recover() (private recompile) and swap_program() (online tuning);
+  /// everything else reads through it. Writes and the host-side read in
+  /// wait() happen under stream_mu_ because swap_program() may run on a
+  /// tuner thread.
   std::shared_ptr<const CompiledProgram> program_;
   ExecuteOptions options_;
   std::vector<Kernel> kernels_;  // by function id

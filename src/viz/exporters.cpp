@@ -312,6 +312,41 @@ std::string report(const Trace& trace, const MetricsSnapshot& metrics,
     }
   }
 
+  // --- tuning: the online AToT loop -----------------------------------------
+  // Present only when a runtime::Tuner snapshot was merged in (session
+  // snapshots never define these families).
+  bool tuned = false;
+  double tune_steps = 0.0;
+  double tune_swaps = 0.0;
+  double tune_holds = 0.0;
+  double tune_skips = 0.0;
+  for (const MetricValue& v : metrics.series) {
+    if (v.name != families::kTuneSteps) continue;
+    tuned = true;
+    tune_steps += v.value;
+    const std::string outcome = label_of(v, "outcome");
+    if (outcome == "swap") tune_swaps += v.value;
+    if (outcome == "hold") tune_holds += v.value;
+    if (outcome == "skip") tune_skips += v.value;
+  }
+  if (tuned) {
+    os << "tuning: " << static_cast<std::uint64_t>(tune_steps) << " steps ("
+       << static_cast<std::uint64_t>(tune_swaps) << " swaps, "
+       << static_cast<std::uint64_t>(tune_holds) << " holds, "
+       << static_cast<std::uint64_t>(tune_skips) << " skips)";
+    const MetricValue* gain = metrics.find(families::kTunePredictedGain);
+    if (gain != nullptr) {
+      os << ", last predicted gain "
+         << static_cast<int>(gain->value * 100.0) << "%";
+    }
+    const MetricValue* swap_cost = metrics.find(families::kTuneSwapSeconds);
+    if (swap_cost != nullptr && swap_cost->value > 0.0) {
+      os << ", " << support::format_seconds(swap_cost->value)
+         << " host spent swapping";
+    }
+    os << "\n";
+  }
+
   // --- serve: fleet admission / shed / latency ------------------------------
   // Present only for serve::Server snapshots (session snapshots never
   // define these families).

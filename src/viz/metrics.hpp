@@ -91,6 +91,14 @@ inline constexpr const char* kProgramCompileSeconds =
     "sage_program_compile_seconds";
 inline constexpr const char* kPlanCacheLookups =
     "sage_plan_cache_lookups_total";
+// Online-tuning probes (runtime::Tuner; see docs/RUNTIME.md "Online
+// tuning"). Decisions are driven by measured busy seconds and the swap
+// cost is host wall clock, so all three families are time-based and
+// stay out of the deterministic subset.
+inline constexpr const char* kTuneSteps = "sage_tune_steps_total";
+inline constexpr const char* kTunePredictedGain =
+    "sage_tune_predicted_gain_ratio";
+inline constexpr const char* kTuneSwapSeconds = "sage_tune_swap_seconds";
 }  // namespace families
 
 /// How per-shard values fold into one series value at snapshot time.

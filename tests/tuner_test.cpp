@@ -1,0 +1,432 @@
+// Online-tuning tests: atot::CostModel::calibrate, the GA's seeded
+// population, Session::swap_program's quiesce-and-swap, and the
+// runtime::Tuner loop end to end. The contracts pinned here:
+//   * calibration is an identity: a profile manufactured from
+//     assignment A reproduces A's per-processor loads exactly, and
+//     re-calibrating with the same snapshot is a fixpoint;
+//   * Tuner::step() is deterministic -- same (seed, profile) sequence,
+//     same decisions, bit-identical objectives -- across fresh sessions;
+//   * a mid-stream hot-swap under depth-3 streaming keeps the sink
+//     checksums bit-identical to a no-tuner sequential run, and
+//     in-flight tickets survive the swap;
+//   * swap_program() rejects programs with a different function table;
+//   * a tuner thread racing the host thread's wait() is clean (the
+//     suite runs under TSAN via scripts/run_sanitizer_tests.sh);
+//   * Project::remap_on_survivors is never worse than the repaired
+//     incumbent it is seeded with, and is deterministic.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/pipelines.hpp"
+#include "atot/cost_model.hpp"
+#include "atot/mapper.hpp"
+#include "core/project.hpp"
+#include "model/mapping.hpp"
+#include "net/fabric_model.hpp"
+#include "runtime/compiler.hpp"
+#include "runtime/session.hpp"
+#include "runtime/tuner.hpp"
+#include "support/error.hpp"
+#include "viz/metrics.hpp"
+
+namespace sage::runtime {
+namespace {
+
+/// Small instance of the skewed tuning platform: 4-function chain
+/// (src, stage0, stage1, sink) x 2 threads, 2 fast + 2 slow nodes,
+/// everything parked on the slow ones.
+core::Project make_tuning_project() {
+  return core::Project(apps::make_tuning_workspace(64, 2));
+}
+
+ExecuteOptions quiet_options(int iterations = 2) {
+  ExecuteOptions options;
+  options.iterations = iterations;
+  options.collect_trace = false;
+  return options;
+}
+
+// --- CostModel::calibrate --------------------------------------------------
+
+/// A profile manufactured from a known assignment must calibrate into a
+/// problem that predicts that assignment's loads exactly: the emulator
+/// charges host seconds x cpu_scale, so busy_f = h_f * iters *
+/// sum_t scale(A[t]) inverts to per-task work of h_f host-seconds, and
+/// evaluate() then charges h_f * scale(p) on processor p.
+TEST(TunerCalibrationTest, CalibrateReproducesMeasuredLoadsExactly) {
+  atot::MappingProblem problem;
+  problem.fabric = net::myrinet_fabric();
+  const std::vector<double> scales{0.25, 0.25, 4.0, 4.0};
+  problem.proc_flops.assign(4, 1.0);  // overwritten by the CostModel ctor
+  problem.proc_mem_bytes.assign(4, 0);
+  problem.tasks.resize(4);
+  const char* names[] = {"alpha", "alpha", "beta", "beta"};
+  for (int i = 0; i < 4; ++i) {
+    problem.tasks[static_cast<std::size_t>(i)].id = i;
+    problem.tasks[static_cast<std::size_t>(i)].function = names[i];
+    problem.tasks[static_cast<std::size_t>(i)].thread = i % 2;
+  }
+
+  // Ground truth: alpha costs 3 ms/iteration/thread of host time, beta
+  // 1 ms. Measured under A = {0, 2, 1, 3} for 5 iterations.
+  const atot::Assignment measured{0, 2, 1, 3};
+  const double h_alpha = 3e-3, h_beta = 1e-3;
+  const int iters = 5;
+  atot::CalibrationProfile profile;
+  profile.iterations = iters;
+  profile.measured_assignment = measured;
+  profile.functions.push_back(
+      {"alpha", h_alpha * iters * (scales[0] + scales[2]), 2.0 * iters});
+  profile.functions.push_back(
+      {"beta", h_beta * iters * (scales[1] + scales[3]), 2.0 * iters});
+
+  atot::CostModel model(problem, scales);
+  model.calibrate(profile);
+
+  // Per-task work is back in host seconds (x the calibrated unit).
+  EXPECT_NEAR(model.problem().tasks[0].work_flops,
+              h_alpha * atot::kCalibratedUnitFlops, 1e-6);
+  EXPECT_NEAR(model.problem().tasks[2].work_flops,
+              h_beta * atot::kCalibratedUnitFlops, 1e-6);
+
+  // And evaluate() reproduces the measured per-processor seconds: the
+  // busiest processor under A is proc 2 (alpha thread at scale 4).
+  const atot::CostBreakdown cost = atot::evaluate(model.problem(), measured);
+  EXPECT_NEAR(cost.max_load, h_alpha * scales[2], 1e-9);
+}
+
+TEST(TunerCalibrationTest, RepeatedCalibrationIsAFixpoint) {
+  core::Project project = make_tuning_project();
+  auto session = project.open_session(quiet_options());
+  TunerOptions options;
+  options.hysteresis = 1e9;  // hold: the incumbent attribution must not move
+  Tuner tuner(*session, project.registry(), options);
+
+  atot::CalibrationProfile profile;
+  profile.iterations = 2;
+  profile.functions.push_back({"stage0", 4.0, 4.0});
+  profile.functions.push_back({"stage1", 4.0, 4.0});
+  profile.functions.push_back({"src", 0.1, 4.0});
+  profile.functions.push_back({"sink", 0.1, 4.0});
+
+  tuner.observe(profile);
+  tuner.step();
+  const atot::MappingProblem first = tuner.problem();
+
+  tuner.observe(profile);
+  tuner.step();
+  const atot::MappingProblem second = tuner.problem();
+
+  ASSERT_EQ(first.tasks.size(), second.tasks.size());
+  for (std::size_t i = 0; i < first.tasks.size(); ++i) {
+    EXPECT_EQ(first.tasks[i].work_flops, second.tasks[i].work_flops)
+        << "task " << i;
+  }
+  ASSERT_EQ(first.traffic.size(), second.traffic.size());
+  for (std::size_t i = 0; i < first.traffic.size(); ++i) {
+    EXPECT_EQ(first.traffic[i].bytes, second.traffic[i].bytes) << "edge " << i;
+  }
+}
+
+/// The live loop's property test: calibrate from a real measured run,
+/// then the calibrated model's load prediction for the incumbent must
+/// land within generous bounds of the measured per-iteration makespan
+/// (compute is exact by construction; comm/serialization make the
+/// makespan an upper neighborhood, host noise blurs both sides).
+TEST(TunerCalibrationTest, CalibratedModelPredictsMeasuredMakespan) {
+  core::Project project = make_tuning_project();
+  auto session = project.open_session(quiet_options(3));
+  TunerOptions options;
+  options.hysteresis = 1e9;  // measure only, never swap
+  Tuner tuner(*session, project.registry(), options);
+
+  double makespan = 0.0;
+  int iterations = 0;
+  for (int r = 0; r < 3; ++r) {
+    const RunStats stats = session->run();
+    if (r == 0 || stats.makespan < makespan) makespan = stats.makespan;
+    iterations = stats.iterations;
+    tuner.observe(stats);
+  }
+  const TuneStepReport report = tuner.step();
+  ASSERT_EQ(report.outcome, "hold");
+  ASSERT_GT(report.incumbent_objective, 0.0);
+
+  const double per_iter = makespan / iterations;
+  const double predicted =
+      atot::evaluate(tuner.problem(), tuner.incumbent()).max_load;
+  EXPECT_GT(predicted, 0.3 * per_iter);
+  EXPECT_LT(predicted, 3.0 * per_iter);
+}
+
+// --- Tuner::step determinism ----------------------------------------------
+
+TEST(TunerStepTest, DeterministicAcrossFreshSessions) {
+  atot::CalibrationProfile profile;
+  profile.iterations = 2;
+  profile.functions.push_back({"stage0", 4.0, 4.0});
+  profile.functions.push_back({"stage1", 4.0, 4.0});
+  profile.functions.push_back({"src", 0.1, 4.0});
+  profile.functions.push_back({"sink", 0.1, 4.0});
+
+  auto decide = [&profile]() {
+    core::Project project = make_tuning_project();
+    auto session = project.open_session(quiet_options());
+    Tuner tuner(*session, project.registry());
+    tuner.observe(profile);
+    const TuneStepReport report = tuner.step();
+    return std::make_pair(report, tuner.incumbent());
+  };
+
+  const auto [first, first_map] = decide();
+  const auto [second, second_map] = decide();
+
+  EXPECT_EQ(first.outcome, second.outcome);
+  EXPECT_EQ(first.incumbent_objective, second.incumbent_objective);
+  EXPECT_EQ(first.candidate_objective, second.candidate_objective);
+  EXPECT_EQ(first.predicted_gain_ratio, second.predicted_gain_ratio);
+  EXPECT_EQ(first.moved_threads, second.moved_threads);
+  EXPECT_EQ(first_map, second_map);
+}
+
+TEST(TunerStepTest, SkipsWithoutSamplesAndCountsOutcomes) {
+  core::Project project = make_tuning_project();
+  auto session = project.open_session(quiet_options());
+  Tuner tuner(*session, project.registry());
+
+  const TuneStepReport report = tuner.step();
+  EXPECT_EQ(report.outcome, "skip");
+  EXPECT_FALSE(report.swapped());
+  EXPECT_EQ(tuner.steps(), 1);
+  EXPECT_EQ(tuner.swaps(), 0);
+
+  const viz::MetricsSnapshot snap = tuner.snapshot();
+  const viz::MetricValue* skips =
+      snap.find(viz::families::kTuneSteps, {{"outcome", "skip"}});
+  ASSERT_NE(skips, nullptr);
+  EXPECT_EQ(skips->value, 1.0);
+  EXPECT_TRUE(skips->time_based);
+  EXPECT_NE(snap.find(viz::families::kTunePredictedGain), nullptr);
+  EXPECT_NE(snap.find(viz::families::kTuneSwapSeconds), nullptr);
+}
+
+// --- the end-to-end loop ---------------------------------------------------
+
+TEST(TunerConvergenceTest, DigsOutOfTheSkewedStart) {
+  core::Project project = make_tuning_project();
+  auto session = project.open_session(quiet_options());
+  Tuner tuner(*session, project.registry());
+
+  TuneStepReport first_swap;
+  for (int s = 0; s < 3; ++s) {
+    tuner.observe(session->run());
+    const TuneStepReport report = tuner.step();
+    if (report.swapped() && first_swap.step == 0) first_swap = report;
+  }
+
+  // The 16x-skewed platform with idle fast processors: the first real
+  // window must trigger a large-gain swap.
+  ASSERT_GE(tuner.swaps(), 1);
+  EXPECT_GT(first_swap.predicted_gain_ratio, 0.5);
+  EXPECT_GT(first_swap.moved_threads, 0);
+  bool uses_fast = false;
+  for (const int node : tuner.incumbent()) {
+    if (node < 2) uses_fast = true;
+  }
+  EXPECT_TRUE(uses_fast) << "tuned placement still ignores the fast nodes";
+
+  // And the session still runs clean after the hot-swap.
+  const RunStats after = session->run();
+  EXPECT_EQ(after.iterations, 2);
+  EXPECT_GT(after.makespan, 0.0);
+}
+
+// --- swap_program under streaming load -------------------------------------
+
+atot::Assignment flipped_to_fast(const CompiledProgram& program) {
+  atot::Assignment assignment(program.bindings_of.size(), 0);
+  for (const FunctionConfig& fn : program.config.functions) {
+    for (int t = 0; t < fn.threads; ++t) {
+      const int task =
+          program.fn_thread_base[static_cast<std::size_t>(fn.id)] + t;
+      // slow nodes {2,3} -> fast nodes {1,0}; fast -> slow.
+      const int node = fn.thread_nodes[static_cast<std::size_t>(t)];
+      assignment[static_cast<std::size_t>(task)] = 3 - node;
+    }
+  }
+  return assignment;
+}
+
+TEST(TunerSwapTest, MidStreamSwapKeepsChecksumsBitIdentical) {
+  constexpr int kSets = 3;
+  const ExecuteOptions options = quiet_options();
+
+  // No-tuner reference: back-to-back synchronous runs.
+  core::Project ref_project = make_tuning_project();
+  auto ref = ref_project.open_session(options);
+  std::vector<RunStats> sequential;
+  for (int i = 0; i < 2 * kSets; ++i) sequential.push_back(ref->run());
+
+  core::Project project = make_tuning_project();
+  auto session = project.open_session(options);
+  RunOverrides depth3;
+  depth3.buffer_depth = 3;
+
+  // Swap mid-stream: three tickets in flight when the program changes.
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kSets; ++i) tickets.push_back(session->submit(depth3));
+  EXPECT_EQ(session->in_flight(), kSets);
+  session->swap_program(
+      compile_or_load(remapped_config(session->program(),
+                                      flipped_to_fast(session->program())),
+                      project.registry(), options.plan_cache_dir));
+
+  // The in-flight tickets survive and redeem in order...
+  std::vector<RunStats> streamed;
+  for (const Ticket t : tickets) streamed.push_back(session->wait(t));
+  EXPECT_EQ(session->in_flight(), 0);
+  // ...and the swapped program serves the next window on the same
+  // session.
+  for (int i = 0; i < kSets; ++i) session->submit(depth3);
+  for (RunStats& stats : session->drain()) {
+    streamed.push_back(std::move(stats));
+  }
+
+  ASSERT_EQ(streamed.size(), sequential.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].results, sequential[i].results) << "data set " << i;
+    EXPECT_EQ(streamed[i].iterations, sequential[i].iterations);
+  }
+}
+
+TEST(TunerSwapTest, RejectsIncompatiblePrograms) {
+  core::Project project = make_tuning_project();
+  const ExecuteOptions options = quiet_options();
+  auto session = project.open_session(options);
+
+  EXPECT_THROW(session->swap_program(nullptr), Error);
+
+  // A program with a different function table (the quickstart chain).
+  core::Project other(apps::make_quickstart_workspace(64, 2));
+  EXPECT_THROW(session->swap_program(other.compile_program(options)), Error);
+
+  // remapped_config checks the gene count.
+  EXPECT_THROW(remapped_config(session->program(), atot::Assignment{0, 1}),
+               Error);
+
+  // The session is untouched by the rejected swaps.
+  const RunStats stats = session->run();
+  EXPECT_EQ(stats.iterations, 2);
+}
+
+// --- tuner thread vs host thread (TSAN) ------------------------------------
+
+TEST(TunerSwapRaceTest, SwapRacesStreamingHostCleanly) {
+  constexpr int kSets = 4;
+  const ExecuteOptions options = quiet_options();
+
+  core::Project ref_project = make_tuning_project();
+  auto ref = ref_project.open_session(options);
+  std::vector<RunStats> sequential;
+  for (int i = 0; i < kSets; ++i) sequential.push_back(ref->run());
+
+  core::Project project = make_tuning_project();
+  auto session = project.open_session(options);
+  const std::shared_ptr<const CompiledProgram> fast = compile_or_load(
+      remapped_config(session->program(), flipped_to_fast(session->program())),
+      project.registry(), options.plan_cache_dir);
+
+  RunOverrides depth3;
+  depth3.buffer_depth = 3;
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < kSets; ++i) tickets.push_back(session->submit(depth3));
+
+  // The tuner thread swaps while the host thread blocks in wait() --
+  // the by-design race the swap_program contract allows.
+  std::thread tuner_thread(
+      [&session, fast]() { session->swap_program(fast); });
+  std::vector<RunStats> streamed;
+  for (const Ticket t : tickets) streamed.push_back(session->wait(t));
+  tuner_thread.join();
+
+  ASSERT_EQ(streamed.size(), static_cast<std::size_t>(kSets));
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].results, sequential[i].results) << "data set " << i;
+  }
+}
+
+// --- Project::remap_on_survivors ------------------------------------------
+
+/// The repair rule remap_on_survivors seeds the GA with: stranded
+/// threads onto the least-loaded survivor, ties to the lowest rank.
+atot::Assignment repaired_incumbent(const atot::MappingProblem& problem,
+                                    model::Workspace& workspace) {
+  const model::MappingView view(workspace.root(), workspace.mapping());
+  atot::Assignment incumbent(static_cast<std::size_t>(problem.task_count()),
+                             0);
+  for (const atot::Task& task : problem.tasks) {
+    const std::vector<int> ranks = view.ranks_of(task.function);
+    incumbent[static_cast<std::size_t>(task.id)] =
+        ranks[static_cast<std::size_t>(task.thread) % ranks.size()];
+  }
+  std::vector<int> load(static_cast<std::size_t>(problem.proc_count()), 0);
+  for (const int p : incumbent) {
+    if (problem.proc_alive(p)) ++load[static_cast<std::size_t>(p)];
+  }
+  for (int& p : incumbent) {
+    if (problem.proc_alive(p)) continue;
+    int best = -1;
+    for (int r = 0; r < problem.proc_count(); ++r) {
+      if (!problem.proc_alive(r)) continue;
+      if (best == -1 || load[static_cast<std::size_t>(r)] <
+                            load[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    p = best;
+    ++load[static_cast<std::size_t>(best)];
+  }
+  return incumbent;
+}
+
+TEST(TunerRemapTest, SurvivorRemapNeverWorseThanRepairedIncumbent) {
+  const std::vector<int> dead{3};
+
+  core::Project project = make_tuning_project();
+  atot::MappingProblem problem = atot::build_problem(project.workspace());
+  problem.proc_dead = dead;
+  const double repaired_objective =
+      atot::evaluate(problem, repaired_incumbent(problem, project.workspace()))
+          .objective;
+
+  const atot::CostBreakdown remapped = project.remap_on_survivors(dead);
+  EXPECT_LE(remapped.objective, repaired_objective);
+
+  // The written-back mapping avoids the dead rank.
+  const model::MappingView view(project.workspace().root(),
+                                project.workspace().mapping());
+  for (const atot::Task& task : problem.tasks) {
+    for (const int rank : view.ranks_of(task.function)) {
+      EXPECT_NE(rank, 3) << task.function << " still on the dead rank";
+    }
+  }
+
+  // And the remap is deterministic: a second identical project lands on
+  // the identical mapping.
+  core::Project again = make_tuning_project();
+  const atot::CostBreakdown remapped2 = again.remap_on_survivors(dead);
+  const model::MappingView view2(again.workspace().root(),
+                                 again.workspace().mapping());
+  EXPECT_EQ(remapped.objective, remapped2.objective);
+  for (const atot::Task& task : problem.tasks) {
+    EXPECT_EQ(view.ranks_of(task.function), view2.ranks_of(task.function));
+  }
+}
+
+}  // namespace
+}  // namespace sage::runtime

@@ -80,6 +80,7 @@
 #include "model/hardware.hpp"
 #include "model/serialize.hpp"
 #include "net/transport.hpp"
+#include "runtime/tuner.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "support/error.hpp"
@@ -110,6 +111,10 @@ using namespace sage;
                " [-o file]\n"
                "        [--transport inproc|shmem|tcp]"
                " [--fault-plan plan.txt] [--fault-seed N]\n"
+               "  tune <model-file|hetero|quickstart|radar|fft2d|cornerturn>"
+               " [--steps N] [--seed S]\n"
+               "        [-i iters] [--hysteresis h] [-n size] [-p nodes]"
+               " [--plan-cache dir]\n"
                "  alter <script.alt> [-m model-file] [-o dir]\n"
                "  analyze <trace.csv> [--latency-bound ms]\n"
                "  serve <model-file|fft2d|cornerturn|quickstart|radar>"
@@ -571,6 +576,77 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// --- tune: the online AToT loop over a live session -------------------------
+// Runs the measure -> calibrate -> re-map -> hot-swap loop for --steps
+// windows. The default target "hetero" is the deliberately skewed
+// heterogeneous demo (fast procs idle, slow procs overloaded) whose bad
+// start the loop is expected to dig out.
+int cmd_tune(const Args& args) {
+  const std::string target =
+      args.positional.empty() ? "hetero" : args.positional[0];
+  const auto n = static_cast<std::size_t>(
+      parse_flag_int("n", args.flag_or("n", "128"), 1, 1 << 20));
+  const int nodes = flag_int(args, "p", target == "radar" ? "8" : "4", 1, 4096);
+  std::unique_ptr<model::Workspace> ws;
+  if (target == "hetero") {
+    ws = apps::make_tuning_workspace(n);
+  } else {
+    ws = make_demo(target, n, nodes);
+    if (ws == nullptr) ws = model::load_workspace(read_file(target));
+  }
+
+  core::Project project(std::move(ws));
+  runtime::ExecuteOptions options;
+  options.plan_cache_dir = args.flag_or("plan-cache", "");
+  options.iterations = flag_int(args, "i", "3", 1, 1000000);
+  options.tune.enabled = true;
+  if (!args.flag_or("seed", "").empty()) {
+    options.tune.seed = flag_u64(args, "seed", "");
+  }
+  options.tune.hysteresis = flag_double(args, "hysteresis", "0.05", 0.0, 1.0);
+  const int steps = flag_int(args, "steps", "4", 1, 10000);
+
+  auto session = project.open_session(options);
+  runtime::Tuner tuner(*session, project.registry(), options.tune);
+
+  runtime::RunStats stats = session->run();
+  const double start_span = stats.makespan;
+  std::printf("start:    makespan %8.3f ms (virtual) per window of %d"
+              " iterations\n",
+              start_span * 1e3, stats.iterations);
+  for (int s = 0; s < steps; ++s) {
+    tuner.observe(stats);
+    const runtime::TuneStepReport rep = tuner.step();
+    stats = session->run();  // measure the (possibly re-mapped) placement
+    std::printf("step %2d:  %-4s  predicted gain %5.1f%%  objective %.3g ->"
+                " %.3g  measured makespan %8.3f ms%s\n",
+                rep.step, rep.outcome.c_str(),
+                rep.predicted_gain_ratio * 100.0, rep.incumbent_objective,
+                rep.candidate_objective, stats.makespan * 1e3,
+                rep.swapped()
+                    ? (" (swap: " + std::to_string(rep.moved_threads) +
+                       " threads moved)")
+                          .c_str()
+                    : "");
+  }
+  if (start_span > 0.0) {
+    std::printf("tuned:    makespan %8.3f ms (virtual), %.2fx the bad"
+                " start's throughput, %d swaps in %d steps\n",
+                stats.makespan * 1e3,
+                stats.makespan > 0.0 ? start_span / stats.makespan : 0.0,
+                tuner.swaps(), tuner.steps());
+  }
+
+  // The run snapshot plus the tuner's own families drive the report's
+  // "tuning" section.
+  viz::MetricsSnapshot merged = stats.metrics;
+  for (const viz::MetricValue& v : tuner.snapshot().series) {
+    merged.series.push_back(v);
+  }
+  std::fputs(viz::report(stats.trace, merged).c_str(), stdout);
+  return 0;
+}
+
 int cmd_analyze(const Args& args) {
   if (args.positional.empty()) usage();
   const viz::Trace trace = viz::Trace::from_csv(read_file(args.positional[0]));
@@ -765,6 +841,7 @@ int main(int argc, char** argv) {
     if (command == "compile") return cmd_compile(args);
     if (command == "run") return cmd_run(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "tune") return cmd_tune(args);
     if (command == "alter") return cmd_alter(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "serve") return cmd_serve(args);
