@@ -39,7 +39,8 @@ DEFAULT_THRESHOLD = 0.10
 DEFAULT_MIN_SECONDS = 0.001
 GATED_BENCHES = ("table1_fft2d", "table1_cornerturn", "scaling",
                  "session_create", "pipeline_period", "serve_load",
-                 "transport_overhead", "atot_mapping", "tune_convergence")
+                 "transport_overhead", "atot_mapping", "tune_convergence",
+                 "glue_codegen")
 
 
 def load_report(path):

@@ -9,6 +9,11 @@
 #            fault-injection frame path, program blob round-trips). The
 #            LSan suppressions cover a pre-existing bounded leak: the
 #            Alter interpreter's environment<->closure shared_ptr cycle.
+#            All three flavors also run the Alter bytecode pipeline
+#            suites (reader/compiler/VM, script differentials, codegen
+#            goldens): the VM manages frame/chunk shared_ptr graphs and
+#            a manually indexed value stack -- exactly what sanitizers
+#            are for.
 #   tsan  -- ThreadSanitizer: the concurrency-heavy suites (emulated
 #            machine dispatch handshake, fabric, MPI layer, the
 #            engine/session execution paths, the streaming executor --
@@ -40,22 +45,25 @@ case "$flavor" in
     cmake_flag=-DSAGE_ASAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test viz_test metrics_test program_test \
-      random_graph_test serve_test transport_test tuner_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner)'
+      random_graph_test serve_test transport_test tuner_test \
+      alter_test alter_script_test codegen_test codegen_golden_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner|Alter|Reader|Eval|Builtin|Emit|Vm|Codegen)'
     ;;
   tsan)
     cmake_flag=-DSAGE_TSAN=ON
     targets="net_test mpi_test engine_test session_test streaming_test \
       fault_test viz_test metrics_test program_test random_graph_test \
-      serve_test transport_test tuner_test"
-    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner)'
+      serve_test transport_test tuner_test \
+      alter_test alter_script_test codegen_test codegen_golden_test"
+    filter='(Machine|Fabric|Mpi|Engine|Session|Streaming|Redistribution|WarmCold|Fault|Degraded|Metrics|Trace|Analysis|Export|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner|Alter|Reader|Eval|Builtin|Emit|Vm|Codegen)'
     ;;
   ubsan)
     cmake_flag=-DSAGE_UBSAN=ON
     targets="net_test session_test streaming_test striping_test fault_test \
       integration_pipeline_test isspl_test registry_test metrics_test \
-      program_test random_graph_test serve_test transport_test tuner_test"
-    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner)'
+      program_test random_graph_test serve_test transport_test tuner_test \
+      alter_test alter_script_test codegen_test codegen_golden_test"
+    filter='(Fabric|Session|Streaming|Striping|Redistribution|Fault|Degraded|Pipeline|Fft|Kernel|Plan|Metrics|Program|PlanCache|RandomChain|Diamond|Serve|Transport|Shmem|Tuner|Alter|Reader|Eval|Builtin|Emit|Vm|Codegen)'
     ;;
   *)
     echo "usage: $0 <asan|tsan|ubsan> [build-dir]" >&2

@@ -1,0 +1,127 @@
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "alter/chunk.hpp"
+
+namespace sage::alter {
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kNil: return "nil";
+    case Op::kPop: return "pop";
+    case Op::kGetLocal: return "get-local";
+    case Op::kSetLocal: return "set-local";
+    case Op::kGetGlobal: return "get-global";
+    case Op::kSetGlobal: return "set-global";
+    case Op::kDefGlobal: return "def-global";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump-if-false";
+    case Op::kJumpIfFalsePeek: return "jump-if-false*";
+    case Op::kJumpIfTruePeek: return "jump-if-true*";
+    case Op::kPushFrame: return "push-frame";
+    case Op::kPopFrame: return "pop-frame";
+    case Op::kClosure: return "closure";
+    case Op::kCall: return "call";
+    case Op::kReturn: return "return";
+    case Op::kIterNext: return "iter-next";
+    case Op::kRangeNext: return "range-next";
+  }
+  return "?";
+}
+
+std::string constant_note(const Chunk& chunk, std::int32_t index) {
+  const std::size_t i = static_cast<std::size_t>(index);
+  if (i >= chunk.constants.size()) return "?";
+  return chunk.constants[i].to_string();
+}
+
+void disassemble_into(const Chunk& chunk, const std::string& label,
+                      std::ostringstream& os) {
+  os << "== " << (chunk.name.empty() ? label : chunk.name) << " ==\n";
+  if (!chunk.params.empty() || !chunk.rest_param.empty()) {
+    os << "params:";
+    for (const std::string& p : chunk.params) os << ' ' << p;
+    if (!chunk.rest_param.empty()) os << " &rest " << chunk.rest_param;
+    os << '\n';
+  }
+  os << "slots: " << chunk.slot_count << '\n';
+
+  int last_line = -1;
+  for (std::size_t ip = 0; ip < chunk.code.size(); ++ip) {
+    const Instruction& in = chunk.code[ip];
+    os << std::setw(4) << ip << "  ";
+    const int line = chunk.line_at(ip);
+    if (line != last_line && line > 0) {
+      os << std::setw(4) << line;
+      last_line = line;
+    } else {
+      os << "   |";
+    }
+    os << "  " << std::left << std::setw(15) << op_name(in.op) << std::right;
+    switch (in.op) {
+      case Op::kConst:
+      case Op::kGetGlobal:
+      case Op::kSetGlobal:
+      case Op::kDefGlobal:
+        os << ' ' << in.a << "  ; " << constant_note(chunk, in.a);
+        break;
+      case Op::kGetLocal:
+      case Op::kSetLocal:
+        os << ' ' << in.a << ' ' << in.b << "  ; depth slot";
+        break;
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfFalsePeek:
+      case Op::kJumpIfTruePeek:
+        os << " -> " << in.a;
+        break;
+      case Op::kPushFrame:
+        os << ' ' << in.a << "  ; slots";
+        break;
+      case Op::kClosure: {
+        os << ' ' << in.a;
+        const std::size_t i = static_cast<std::size_t>(in.a);
+        if (i < chunk.protos.size() && !chunk.protos[i]->name.empty()) {
+          os << "  ; " << chunk.protos[i]->name;
+        }
+        break;
+      }
+      case Op::kCall:
+        os << ' ' << in.a << "  ; argc";
+        break;
+      case Op::kIterNext:
+        os << " -> " << in.a << "  ; list@" << in.b << " var@" << in.c;
+        break;
+      case Op::kRangeNext:
+        os << " -> " << in.a << "  ; ctr@" << in.b << " var@" << in.c;
+        break;
+      case Op::kNil:
+      case Op::kPop:
+      case Op::kPopFrame:
+      case Op::kReturn:
+        break;
+    }
+    os << '\n';
+  }
+
+  for (std::size_t i = 0; i < chunk.protos.size(); ++i) {
+    os << '\n';
+    std::ostringstream fallback;
+    fallback << label << ".lambda" << i;
+    disassemble_into(*chunk.protos[i], fallback.str(), os);
+  }
+}
+
+}  // namespace
+
+std::string disassemble(const Chunk& chunk) {
+  std::ostringstream os;
+  disassemble_into(chunk, chunk.name.empty() ? "chunk" : chunk.name, os);
+  return os.str();
+}
+
+}  // namespace sage::alter

@@ -1,6 +1,8 @@
 #include "alter/interp.hpp"
 
+#include "alter/compiler.hpp"
 #include "alter/reader.hpp"
+#include "alter/vm.hpp"
 #include "support/error.hpp"
 
 namespace sage::alter {
@@ -21,39 +23,31 @@ struct DepthGuard {
   int& depth_;
 };
 
-/// Parses a lambda parameter list, splitting off an optional &rest tail.
-void parse_params(const ValueList& param_list, std::vector<std::string>& params,
-                  std::string& rest_param) {
-  bool rest_next = false;
-  for (const Value& p : param_list) {
-    const std::string& name = p.as_symbol().name;
-    if (name == "&rest") {
-      SAGE_CHECK_AS(AlterError, !rest_next, "duplicate &rest");
-      rest_next = true;
-      continue;
-    }
-    if (rest_next) {
-      SAGE_CHECK_AS(AlterError, rest_param.empty(),
-                    "only one &rest parameter allowed");
-      rest_param = name;
-    } else {
-      params.push_back(name);
-    }
-  }
-  SAGE_CHECK_AS(AlterError, !rest_next || !rest_param.empty(),
-                "&rest without a parameter name");
-}
-
 }  // namespace
 
-Interpreter::Interpreter() : global_(Environment::make_root()) {
+Interpreter::Interpreter() : Interpreter(Mode::kCompiled) {}
+
+Interpreter::Interpreter(Mode mode)
+    : global_(Environment::make_root()), mode_(mode) {
   install_core_builtins(*this, global_);
   install_model_builtins(*this, global_);
 }
 
 Value Interpreter::eval_string(std::string_view source) {
-  const ValueList program = read_program(source);
-  return eval_program(program, global_);
+  if (mode_ == Mode::kTreeWalk) {
+    const ValueList program = read_program(source);
+    return eval_program(program, global_);
+  }
+  return execute(compile(source));
+}
+
+ChunkPtr Interpreter::compile(std::string_view source, std::string name) const {
+  return compile_string(source, std::move(name));
+}
+
+Value Interpreter::execute(const ChunkPtr& chunk) {
+  VM vm(*this);
+  return vm.execute(chunk);
 }
 
 Value Interpreter::eval_program(const ValueList& program, const EnvPtr& env) {
@@ -265,6 +259,13 @@ Value Interpreter::apply(const Value& callable, ValueList args) {
     }
     DepthGuard guard(depth_);
     return eval_body(lam.body, 0, scope);
+  }
+  if (callable.is_closure()) {
+    // Compiled closure handed back through a builtin (map/filter/...):
+    // run it on a nested VM. The depth guard bounds native re-entrancy.
+    DepthGuard guard(depth_);
+    VM vm(*this);
+    return vm.call_closure(callable.as_closure(), std::move(args));
   }
   raise<AlterError>("not callable: ", callable.to_string());
 }

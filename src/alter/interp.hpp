@@ -12,6 +12,12 @@
 // generator writes source files into: (set-output "file.c") selects the
 // current stream, (emit ...) / (emit-line ...) append to it. A model
 // root can be attached so (model-root) and the traversal builtins work.
+//
+// Since the bytecode pipeline landed, this class is a facade over two
+// execution strategies: eval_string compiles to a Chunk and runs it on
+// the stack VM (the default), while tree-walk mode keeps the original
+// recursive evaluator alive as the reference implementation the
+// differential tests pin the VM against.
 #pragma once
 
 #include <map>
@@ -19,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "alter/chunk.hpp"
 #include "alter/env.hpp"
 #include "alter/value.hpp"
 
@@ -30,8 +37,16 @@ namespace sage::alter {
 
 class Interpreter {
  public:
+  /// Execution strategy for eval_string: bytecode compilation + stack
+  /// VM (default), or the original tree-walking evaluator (kept as the
+  /// reference implementation for differential testing).
+  enum class Mode { kCompiled, kTreeWalk };
+
   /// Creates an interpreter with all core and model builtins installed.
   Interpreter();
+  explicit Interpreter(Mode mode);
+
+  Mode mode() const { return mode_; }
 
   EnvPtr global_env() { return global_; }
 
@@ -41,13 +56,22 @@ class Interpreter {
   model::ModelObject* model_root() const { return model_root_; }
 
   // --- evaluation -----------------------------------------------------------
+  // Tree-walking reference evaluator (always available, regardless of mode).
   Value eval(const Value& expr, const EnvPtr& env);
   Value eval_program(const ValueList& program, const EnvPtr& env);
   /// Reads and evaluates `source` in the global environment; returns the
-  /// last expression's value.
+  /// last expression's value. Compiles to bytecode and runs on the VM in
+  /// kCompiled mode, tree-walks in kTreeWalk mode.
   Value eval_string(std::string_view source);
 
-  /// Calls a callable value with arguments.
+  // Bytecode pipeline (reader -> resolver/compiler -> VM).
+  /// Compiles `source` to a chunk without executing it.
+  ChunkPtr compile(std::string_view source, std::string name = "script") const;
+  /// Runs a compiled chunk on the stack VM against the global environment.
+  Value execute(const ChunkPtr& chunk);
+
+  /// Calls a callable value (builtin, tree-walk lambda, or compiled
+  /// closure) with arguments.
   Value apply(const Value& callable, ValueList args);
 
   // --- emit streams -----------------------------------------------------------
@@ -68,6 +92,7 @@ class Interpreter {
   Value eval_body(const ValueList& body, std::size_t start, const EnvPtr& env);
 
   EnvPtr global_;
+  Mode mode_ = Mode::kCompiled;
   model::ModelObject* model_root_ = nullptr;
   std::map<std::string, std::string> outputs_;
   std::string current_output_ = "default";

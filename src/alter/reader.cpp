@@ -11,7 +11,8 @@ namespace {
 
 class Reader {
  public:
-  explicit Reader(std::string_view source) : src_(source) {}
+  explicit Reader(std::string_view source, SourceMap* map = nullptr)
+      : src_(source), map_(map) {}
 
   bool at_end() {
     skip_ws();
@@ -26,7 +27,8 @@ class Reader {
     if (c == ')') fail("unbalanced ')'");
     if (c == '\'') {
       ++pos_;
-      return Value::list({Value::symbol("quote"), read_expr()});
+      const int line = line_;
+      return record(Value::list({Value::symbol("quote"), read_expr()}), line);
     }
     if (c == '"') return read_string();
     return read_atom();
@@ -52,6 +54,7 @@ class Reader {
   }
 
   Value read_list() {
+    const int line = line_;
     ++pos_;  // consume '('
     ValueList items;
     for (;;) {
@@ -59,10 +62,15 @@ class Reader {
       if (pos_ >= src_.size()) fail("unterminated list");
       if (src_[pos_] == ')') {
         ++pos_;
-        return Value::list(std::move(items));
+        return record(Value::list(std::move(items)), line);
       }
       items.push_back(read_expr());
     }
+  }
+
+  Value record(Value list, int line) {
+    if (map_ != nullptr) map_->list_lines.emplace(&list.as_list(), line);
+    return list;
   }
 
   Value read_string() {
@@ -124,6 +132,7 @@ class Reader {
   }
 
   std::string_view src_;
+  SourceMap* map_ = nullptr;
   std::size_t pos_ = 0;
   int line_ = 1;
 };
@@ -139,8 +148,8 @@ Value read_one(std::string_view source) {
   return value;
 }
 
-ValueList read_program(std::string_view source) {
-  Reader reader(source);
+ValueList read_program(std::string_view source, SourceMap* map) {
+  Reader reader(source, map);
   ValueList program;
   while (!reader.at_end()) {
     program.push_back(reader.read_expr());

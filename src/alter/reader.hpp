@@ -3,19 +3,42 @@
 // Syntax: (...) lists, 'x quote sugar, "..." strings with the escapes
 // \n \t \" and backslash-backslash, ; line comments, #t/#f booleans,
 // nil, integers, reals, symbols. Reports line numbers in errors.
+//
+// The reader can also record where each form came from: pass a
+// SourceMap to read_program and every list cell is keyed (by the
+// identity of its shared ValueList) to the source line its '(' sits
+// on. The bytecode compiler threads those lines into the chunk's line
+// table so runtime errors can name a script position.
 #pragma once
 
+#include <map>
 #include <string_view>
 
 #include "alter/value.hpp"
 
 namespace sage::alter {
 
+/// Per-expression source positions, keyed by list-cell identity. Value
+/// copies share list cells, so the map stays valid for any copy of the
+/// returned tree (atoms carry no identity and are attributed to their
+/// enclosing form).
+struct SourceMap {
+  std::map<const ValueList*, int> list_lines;
+
+  /// The recorded line of a form, or 0 when unknown.
+  int line_of(const Value& form) const {
+    if (!form.is_list()) return 0;
+    auto it = list_lines.find(&form.as_list());
+    return it == list_lines.end() ? 0 : it->second;
+  }
+};
+
 /// Parses one complete expression; throws sage::AlterError on trailing
 /// garbage or malformed input.
 Value read_one(std::string_view source);
 
-/// Parses a whole program (sequence of expressions).
-ValueList read_program(std::string_view source);
+/// Parses a whole program (sequence of expressions). When `map` is
+/// non-null, records the source line of every list form.
+ValueList read_program(std::string_view source, SourceMap* map = nullptr);
 
 }  // namespace sage::alter

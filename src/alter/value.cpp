@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "alter/chunk.hpp"
 #include "model/object.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -65,6 +66,13 @@ const Lambda& Value::as_lambda() const {
   raise<AlterError>("not a lambda: ", to_string());
 }
 
+const std::shared_ptr<const Closure>& Value::as_closure() const {
+  if (const auto* c = std::get_if<std::shared_ptr<const Closure>>(&storage_)) {
+    return *c;
+  }
+  raise<AlterError>("not a compiled lambda: ", to_string());
+}
+
 model::ModelObject* Value::as_object() const {
   if (const auto* o = std::get_if<model::ModelObject*>(&storage_)) return *o;
   raise<AlterError>("not a model object: ", to_string());
@@ -96,6 +104,7 @@ bool Value::equals(const Value& other) const {
   }
   if (is_builtin()) return &as_builtin() == &other.as_builtin();
   if (is_lambda()) return &as_lambda() == &other.as_lambda();
+  if (is_closure()) return as_closure().get() == other.as_closure().get();
   return false;
 }
 
@@ -113,6 +122,10 @@ std::string Value::to_string() const {
   if (is_builtin()) return "#<builtin " + as_builtin().name + ">";
   if (is_lambda()) {
     const std::string& name = as_lambda().name;
+    return name.empty() ? "#<lambda>" : "#<lambda " + name + ">";
+  }
+  if (is_closure()) {
+    const std::string& name = as_closure()->chunk->name;
     return name.empty() ? "#<lambda>" : "#<lambda " + name + ">";
   }
   if (is_object()) {

@@ -23,6 +23,7 @@ namespace sage::alter {
 class Value;
 class Interpreter;
 class Environment;
+struct Closure;  // compiled lambda: (chunk, captured frame), see chunk.hpp
 
 using EnvPtr = std::shared_ptr<Environment>;
 using ValueList = std::vector<Value>;
@@ -61,6 +62,7 @@ class Value {
                    std::shared_ptr<ValueList>,      // list
                    std::shared_ptr<const Builtin>,  //
                    std::shared_ptr<const Lambda>,   //
+                   std::shared_ptr<const Closure>,  // compiled lambda
                    model::ModelObject*>;            // model handle
 
   Value() : storage_(std::monostate{}) {}
@@ -91,6 +93,11 @@ class Value {
     v.storage_ = std::make_shared<const Lambda>(std::move(lam));
     return v;
   }
+  static Value closure(std::shared_ptr<const Closure> c) {
+    Value v;
+    v.storage_ = std::move(c);
+    return v;
+  }
   static Value symbol(std::string name) { return Value(Symbol{std::move(name)}); }
 
   bool is_nil() const { return std::holds_alternative<std::monostate>(storage_); }
@@ -109,7 +116,12 @@ class Value {
   bool is_lambda() const {
     return std::holds_alternative<std::shared_ptr<const Lambda>>(storage_);
   }
-  bool is_callable() const { return is_builtin() || is_lambda(); }
+  bool is_closure() const {
+    return std::holds_alternative<std::shared_ptr<const Closure>>(storage_);
+  }
+  bool is_callable() const {
+    return is_builtin() || is_lambda() || is_closure();
+  }
   bool is_object() const {
     return std::holds_alternative<model::ModelObject*>(storage_);
   }
@@ -129,6 +141,7 @@ class Value {
   ValueList& as_list_mut();
   const Builtin& as_builtin() const;
   const Lambda& as_lambda() const;
+  const std::shared_ptr<const Closure>& as_closure() const;
   model::ModelObject* as_object() const;
 
   /// Structural equality (objects by identity, callables by identity).

@@ -1,0 +1,58 @@
+// openSAGE -- the Alter stack VM.
+//
+// Executes chunks produced by alter/compiler.hpp against slot-indexed
+// Frame chains. Calls between compiled closures push entries on an
+// explicit call-frame stack (no C++ recursion), so Alter-level
+// recursion depth is bounded by kMaxCallFrames rather than the native
+// stack. Builtins run as direct native calls and may re-enter the
+// interpreter (map/filter/reduce apply their callbacks through
+// Interpreter::apply, which spins up a nested VM for compiled
+// closures).
+//
+// Runtime AlterErrors are re-raised annotated with the raising chunk's
+// name and source line, so a failing script names the line it died on.
+#pragma once
+
+#include <vector>
+
+#include "alter/chunk.hpp"
+
+namespace sage::alter {
+
+class Interpreter;
+
+class VM {
+ public:
+  /// Alter call-frame budget: deep enough for real recursive scripts
+  /// (tests pin 10k frames) while catching runaway recursion with an
+  /// AlterError instead of exhausting memory.
+  static constexpr std::size_t kMaxCallFrames = 50000;
+
+  explicit VM(Interpreter& interp) : interp_(interp) {}
+
+  /// Runs a top-level chunk; locals resolve to frames, free names to the
+  /// interpreter's global environment.
+  Value execute(const ChunkPtr& chunk);
+
+  /// Applies a compiled closure to arguments (the Interpreter::apply
+  /// path for callbacks handed to builtins).
+  Value call_closure(const std::shared_ptr<const Closure>& closure,
+                     ValueList args);
+
+ private:
+  struct CallFrame {
+    ChunkPtr chunk;
+    std::size_t ip = 0;
+    FramePtr env;
+    std::size_t stack_base = 0;  // value-stack height to restore on return
+  };
+
+  Value run();
+  void do_call(std::int32_t argc);
+
+  Interpreter& interp_;
+  std::vector<Value> stack_;
+  std::vector<CallFrame> frames_;
+};
+
+}  // namespace sage::alter

@@ -1,5 +1,6 @@
 #include "codegen/generator.hpp"
 
+#include "alter/compiler.hpp"
 #include "alter/interp.hpp"
 #include "codegen/generator_program.hpp"
 #include "support/clock.hpp"
@@ -7,6 +8,19 @@
 #include "support/log.hpp"
 
 namespace sage::codegen {
+
+namespace {
+
+/// The builtin glue generator program never changes within a process,
+/// so its bytecode chunk is compiled exactly once and shared by every
+/// generate_glue call (chunks are immutable and safe to re-execute).
+const alter::ChunkPtr& builtin_generator_chunk() {
+  static const alter::ChunkPtr chunk =
+      alter::compile_string(glue_generator_source(), "glue-generator");
+  return chunk;
+}
+
+}  // namespace
 
 GeneratedArtifacts generate_glue(model::Workspace& workspace,
                                  const GenerateOptions& options) {
@@ -16,9 +30,15 @@ GeneratedArtifacts generate_glue(model::Workspace& workspace,
 
   alter::Interpreter interp;
   interp.attach_model(workspace.root());
-  const std::string& program =
-      options.program.empty() ? glue_generator_source() : options.program;
-  interp.eval_string(program);
+  alter::ChunkPtr chunk;
+  if (options.program.empty()) {
+    chunk = builtin_generator_chunk();
+  } else {
+    chunk = interp.compile(options.program);
+  }
+  const double compiled = support::wall_seconds();
+  interp.execute(chunk);
+  const double executed = support::wall_seconds();
 
   GeneratedArtifacts artifacts;
   artifacts.outputs = interp.outputs();
@@ -32,6 +52,8 @@ GeneratedArtifacts generate_glue(model::Workspace& workspace,
   }
   artifacts.config.validate();
 
+  artifacts.compile_seconds = compiled - start;
+  artifacts.execute_seconds = executed - compiled;
   artifacts.generation_seconds = support::wall_seconds() - start;
   support::log_info("generated glue for application '",
                     artifacts.config.application, "': ",

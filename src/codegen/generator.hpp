@@ -29,8 +29,12 @@ struct GeneratedArtifacts {
   /// The parsed, validated runtime configuration (from "glue.cfg").
   runtime::GlueConfig config;
   /// Wall-clock generation time (host seconds; tooling cost, not
-  /// modeled application time).
+  /// modeled application time). Split into the bytecode-compile and
+  /// VM-execute stages; compile_seconds is ~0 on warm calls because the
+  /// builtin generator program's chunk is compiled once per process.
   double generation_seconds = 0.0;
+  double compile_seconds = 0.0;
+  double execute_seconds = 0.0;
 
   const std::string& glue_config_text() const { return outputs.at("glue.cfg"); }
   const std::string& glue_source_text() const { return outputs.at("glue.c"); }

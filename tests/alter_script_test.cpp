@@ -47,5 +47,24 @@ TEST(AlterScriptTest, ModelReportRunsAgainstABenchmarkDesign) {
   EXPECT_NE(interp.print_log().find("report generated"), std::string::npos);
 }
 
+TEST(AlterScriptTest, ModelReportIdenticalUnderVmAndTreeWalk) {
+  // The shipped script must produce byte-identical emit streams and
+  // print log from the bytecode VM and the tree-walking reference.
+  const std::string script = read_script("model_report.alt");
+  auto ws_vm = apps::make_fft2d_workspace(64, 4);
+  auto ws_tree = apps::make_fft2d_workspace(64, 4);
+
+  Interpreter vm;  // default mode: compiled
+  vm.attach_model(ws_vm->root());
+  vm.eval_string(script);
+
+  Interpreter tree(Interpreter::Mode::kTreeWalk);
+  tree.attach_model(ws_tree->root());
+  tree.eval_string(script);
+
+  EXPECT_EQ(vm.outputs(), tree.outputs());
+  EXPECT_EQ(vm.print_log(), tree.print_log());
+}
+
 }  // namespace
 }  // namespace sage::alter

@@ -1,8 +1,10 @@
 // Alter language tests: the reader, evaluator semantics (closures,
-// scoping, special forms), core builtins, model-traversal builtins, and
-// the emit-stream interface.
+// scoping, special forms), core builtins, model-traversal builtins, the
+// emit-stream interface, and the bytecode pipeline (compiler + VM
+// differential against the tree-walking reference evaluator).
 #include <gtest/gtest.h>
 
+#include "alter/compiler.hpp"
 #include "alter/interp.hpp"
 #include "alter/reader.hpp"
 #include "model/app.hpp"
@@ -166,6 +168,168 @@ TEST(EvalTest, RunawayRecursionCaught) {
   Interpreter interp;
   run(interp, "(define (loop x) (loop x))");
   EXPECT_THROW(run(interp, "(loop 1)"), AlterError);
+}
+
+// --- bytecode pipeline -----------------------------------------------------------
+
+/// Runs `src` in both execution modes and requires identical results
+/// and identical (print ...) logs.
+void expect_modes_agree(const std::string& src) {
+  Interpreter compiled;  // default mode: bytecode VM
+  Interpreter tree(Interpreter::Mode::kTreeWalk);
+  const Value vm_result = compiled.eval_string(src);
+  const Value tree_result = tree.eval_string(src);
+  EXPECT_EQ(vm_result.to_string(), tree_result.to_string()) << src;
+  EXPECT_EQ(compiled.print_log(), tree.print_log()) << src;
+}
+
+TEST(VmTest, DifferentialSpecialForms) {
+  expect_modes_agree("(if 0 'zero 'other)");
+  expect_modes_agree("(cond (#f 1) (2) (else 3))");  // single-element clause
+  expect_modes_agree("(cond)");
+  expect_modes_agree("(and)");
+  expect_modes_agree("(and 1 nil 3)");
+  expect_modes_agree("(or)");
+  expect_modes_agree("(or nil #f)");  // -> #f, not the last falsy value
+  expect_modes_agree("(or nil 7 (error \"unreached\"))");
+  expect_modes_agree("(begin)");
+  expect_modes_agree("(while #f 1)");
+  expect_modes_agree("(define i 0) (while (< i 3) (set! i (+ i 1)) (* i 10))");
+  expect_modes_agree("(when 1)");
+  expect_modes_agree("(unless nil 1 2)");
+  expect_modes_agree("(quote (a b (c)))");
+  expect_modes_agree("()");
+}
+
+TEST(VmTest, DifferentialScoping) {
+  expect_modes_agree("(define a 100) (let ((a 1) (b a)) (list a b))");
+  expect_modes_agree("(let* ((a 1) (b (+ a 1))) (list a b))");
+  expect_modes_agree("(let ((x 1)) (define y 2) (+ x y))");
+  expect_modes_agree("(let ((a 1) (a 2)) a)");  // duplicate binding: last wins
+  expect_modes_agree(
+      "(define (f) (define x 1) (define (g) x) (set! x 2) (g)) (f)");
+  expect_modes_agree(
+      "(define x 'outer) (dolist (x (list 1 2)) x) x");  // loop var is scoped
+  expect_modes_agree("(dotimes (i 4) (* i i))");
+  expect_modes_agree("(dolist (x (list)) (error \"unreached\")) 'done");
+  expect_modes_agree("(define acc (list))"
+                     "(dotimes (i 3) (set! acc (cons i acc))) acc");
+}
+
+TEST(VmTest, DifferentialFunctions) {
+  expect_modes_agree("(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))"
+                     "(fact 10)");
+  expect_modes_agree("(map (lambda (x) (* x x)) (list 1 2 3))");
+  expect_modes_agree("(reduce + 0 (range 10))");
+  expect_modes_agree("(define (f a &rest r) (list a r)) (f 1 2 3)");
+  expect_modes_agree("(define (f a &rest r) (list a r)) (f 1)");
+  expect_modes_agree("(apply + (list 1 2 3))");
+  expect_modes_agree("(print \"side\" 1) (print \"effects\")");
+}
+
+TEST(VmTest, ClosuresOverLoopScopeShareTheFinalValue) {
+  // dolist creates ONE child scope reused across iterations, so every
+  // closure made in the body sees the final loop value -- in both modes.
+  const std::string src =
+      "(define fns (list))"
+      "(dolist (i (list 1 2 3)) (set! fns (cons (lambda () i) fns)))"
+      "(map (lambda (f) (f)) fns)";
+  expect_modes_agree(src);
+  Interpreter interp;
+  EXPECT_EQ(run(interp, src).to_string(), "(3 3 3)");
+}
+
+TEST(VmTest, SetThroughCapturedFrames) {
+  Interpreter interp;
+  run(interp,
+      "(define (make-counter)"
+      "  (let ((n 0)) (lambda () (set! n (+ n 1)) n)))"
+      "(define c1 (make-counter))"
+      "(define c2 (make-counter))");
+  EXPECT_EQ(run(interp, "(c1)").as_int(), 1);
+  EXPECT_EQ(run(interp, "(c1)").as_int(), 2);
+  EXPECT_EQ(run(interp, "(c2)").as_int(), 1);  // counters are independent
+  EXPECT_EQ(run(interp, "(c1)").as_int(), 3);
+}
+
+TEST(VmTest, RestArityChecked) {
+  Interpreter interp;
+  run(interp, "(define (f a b &rest r) (list a b (length r)))");
+  EXPECT_EQ(run(interp, "(f 1 2)").to_string(), "(1 2 0)");
+  EXPECT_EQ(run(interp, "(f 1 2 3 4 5)").to_string(), "(1 2 3)");
+  try {
+    run(interp, "(f 1)");
+    FAIL() << "expected arity error";
+  } catch (const AlterError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected at least 2 args, got 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VmTest, DeepRecursionUsesVmFramesNotNativeStack) {
+  // 10k-deep non-tail recursion would overflow the C++ stack under the
+  // tree-walker; the VM's explicit call-frame stack handles it.
+  Interpreter interp;
+  run(interp, "(define (sum n acc) (if (= n 0) acc (sum (- n 1) (+ acc n))))");
+  EXPECT_EQ(run(interp, "(sum 10000 0)").as_int(), 50005000);
+}
+
+TEST(VmTest, RuntimeErrorNamesSourceLine) {
+  Interpreter interp;
+  try {
+    interp.eval_string("(define x 1)\n"
+                       "(define y 2)\n"
+                       "(+ x \"oops\")\n");
+    FAIL() << "expected a type error";
+  } catch (const AlterError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("script"), std::string::npos) << what;
+  }
+}
+
+TEST(VmTest, RuntimeErrorInsideNamedFunctionNamesIt) {
+  Interpreter interp;
+  try {
+    interp.eval_string("(define (boom n)\n"
+                       "  (+ n 'not-a-number))\n"
+                       "(boom 1)\n");
+    FAIL() << "expected a type error";
+  } catch (const AlterError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boom line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(VmTest, DisassemblerListsChunkStructure) {
+  const ChunkPtr chunk = compile_string(
+      "(define (square x) (* x x))\n"
+      "(dotimes (i 3) (square i))\n",
+      "demo");
+  const std::string listing = disassemble(*chunk);
+  EXPECT_NE(listing.find("== demo =="), std::string::npos);
+  EXPECT_NE(listing.find("== square =="), std::string::npos);
+  EXPECT_NE(listing.find("def-global"), std::string::npos);
+  EXPECT_NE(listing.find("range-next"), std::string::npos);
+  EXPECT_NE(listing.find("params: x"), std::string::npos);
+  EXPECT_NE(listing.find("; square"), std::string::npos);  // constant note
+}
+
+TEST(VmTest, ChunksAreReusableAcrossInterpreters) {
+  const ChunkPtr chunk = compile_string("(+ 20 22)");
+  Interpreter a;
+  Interpreter b;
+  EXPECT_EQ(a.execute(chunk).as_int(), 42);
+  EXPECT_EQ(b.execute(chunk).as_int(), 42);
+}
+
+TEST(VmTest, TreeWalkModeStillAvailable) {
+  Interpreter tree(Interpreter::Mode::kTreeWalk);
+  EXPECT_EQ(tree.mode(), Interpreter::Mode::kTreeWalk);
+  EXPECT_EQ(tree.eval_string("(+ 1 2)").as_int(), 3);
+  Interpreter compiled;
+  EXPECT_EQ(compiled.mode(), Interpreter::Mode::kCompiled);
 }
 
 // --- core builtins ---------------------------------------------------------------

@@ -14,7 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "alter/interp.hpp"
+#include "apps/benchmarks.hpp"
 #include "codegen/generator.hpp"
+#include "codegen/generator_program.hpp"
 #include "model/app.hpp"
 #include "model/hardware.hpp"
 #include "model/mapping.hpp"
@@ -222,6 +225,39 @@ TEST(CodegenGoldenTest, RadarGlueSource) {
   auto ws = make_radar_workspace();
   const codegen::GeneratedArtifacts artifacts = codegen::generate_glue(*ws);
   expect_matches_golden(artifacts.glue_source_text(), "radar_glue.c");
+}
+
+// Differential matrix: every golden design's glue generation must emit
+// byte-identical streams from the bytecode VM (the generate_glue path)
+// and from the tree-walking reference evaluator. This is the contract
+// that let the VM replace the tree-walker without regolding anything.
+TEST(CodegenGoldenTest, VmAndTreeWalkEmitIdenticalStreams) {
+  struct Case {
+    const char* name;
+    std::unique_ptr<model::Workspace> workspace;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"quickstart", make_quickstart_workspace()});
+  cases.push_back({"radar", make_radar_workspace()});
+  cases.push_back({"fft2d", apps::make_fft2d_workspace(64, 4)});
+  cases.push_back({"cornerturn", apps::make_cornerturn_workspace(64, 2)});
+
+  for (Case& c : cases) {
+    // VM path (the production pipeline, memoized chunk).
+    const codegen::GeneratedArtifacts artifacts =
+        codegen::generate_glue(*c.workspace);
+
+    // Reference path: the original tree-walking evaluator.
+    alter::Interpreter tree(alter::Interpreter::Mode::kTreeWalk);
+    tree.attach_model(c.workspace->root());
+    tree.eval_string(codegen::glue_generator_source());
+
+    ASSERT_EQ(artifacts.outputs.size(), tree.outputs().size()) << c.name;
+    for (const auto& [stream, text] : artifacts.outputs) {
+      ASSERT_TRUE(tree.outputs().contains(stream)) << c.name << "/" << stream;
+      EXPECT_EQ(text, tree.outputs().at(stream)) << c.name << "/" << stream;
+    }
+  }
 }
 
 TEST(CodegenGoldenTest, GenerationIsDeterministic) {

@@ -41,9 +41,10 @@
 //       metrics CSV (csv), or the Chrome trace (chrome). --run N repeats
 //       the run warm and reports the last one; --threshold feeds the
 //       latency-violation monitor.
-//   sagec alter <script.alt> [-m model-file] [-o dir]
+//   sagec alter <script.alt> [-m model-file] [-o dir] [--disasm]
 //       run an Alter program (optionally against a model); print its
-//       (print ...) log and write its emit streams
+//       (print ...) log and write its emit streams. --disasm prints the
+//       compiled bytecode listing instead of executing
 //   sagec serve <model-file|fft2d|cornerturn|quickstart|radar>
 //             [--workers N] [--sessions M] [--queue D] [--requests R]
 //             [--rate r | --load f] [--seed S] [--tenants T] [--quota Q]
@@ -115,7 +116,7 @@ using namespace sage;
                " [--steps N] [--seed S]\n"
                "        [-i iters] [--hysteresis h] [-n size] [-p nodes]"
                " [--plan-cache dir]\n"
-               "  alter <script.alt> [-m model-file] [-o dir]\n"
+               "  alter <script.alt> [-m model-file] [-o dir] [--disasm]\n"
                "  analyze <trace.csv> [--latency-bound ms]\n"
                "  serve <model-file|fft2d|cornerturn|quickstart|radar>"
                " [--workers N] [--sessions M]\n"
@@ -155,7 +156,17 @@ struct Args {
     }
     return fallback;
   }
+
+  bool has_flag(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return true;
+    }
+    return false;
+  }
 };
+
+/// Flags that take no value; present means on.
+bool is_bool_flag(const std::string& key) { return key == "disasm"; }
 
 Args parse_args(int argc, char** argv, int start) {
   Args args;
@@ -163,6 +174,10 @@ Args parse_args(int argc, char** argv, int start) {
     const std::string arg = argv[i];
     if (arg.size() > 1 && arg[0] == '-') {
       const std::string key = arg.substr(arg[1] == '-' ? 2 : 1);
+      if (is_bool_flag(key)) {
+        args.flags.emplace_back(key, "1");
+        continue;
+      }
       if (i + 1 >= argc) raise<Error>("flag '", arg, "' needs a value");
       args.flags.emplace_back(key, argv[++i]);
     } else {
@@ -670,6 +685,12 @@ int cmd_alter(const Args& args) {
   const std::string program = read_file(args.positional[0]);
 
   alter::Interpreter interp;
+  if (args.has_flag("disasm")) {
+    // Compile only: print the bytecode listing instead of executing.
+    const alter::ChunkPtr chunk = interp.compile(program, args.positional[0]);
+    std::fputs(alter::disassemble(*chunk).c_str(), stdout);
+    return 0;
+  }
   std::unique_ptr<model::Workspace> ws;  // keeps the model alive
   const std::string model_path = args.flag_or("m", "");
   if (!model_path.empty()) {
